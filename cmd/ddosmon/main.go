@@ -1,0 +1,97 @@
+// Command ddosmon demonstrates DDoS-command eavesdropping (§2.5):
+// it stands up a live C2 that will issue attack commands, activates
+// a bot sample against it in restricted mode, and prints every
+// command the pipeline extracts (protocol-profile and heuristic
+// methods) with its verification status.
+//
+// Usage:
+//
+//	ddosmon [-family mirai|gafgyt|daddyl33t] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"time"
+
+	"malnet/internal/binfmt"
+	c2pkg "malnet/internal/c2"
+	"malnet/internal/core"
+	"malnet/internal/sandbox"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "mirai", "bot family (mirai, gafgyt, daddyl33t)")
+		seed   = flag.Int64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	t0 := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	clock := simclock.New(t0)
+	net := simnet.New(clock, simnet.DefaultConfig())
+
+	srv := c2pkg.NewServer(net, c2pkg.ServerConfig{
+		Family:   *family,
+		Addr:     simnet.AddrFrom("60.0.0.9", 23),
+		Birth:    t0,
+		Death:    t0.Add(30 * 24 * time.Hour),
+		AlwaysOn: true,
+	})
+
+	// The operator's attack schedule.
+	attacks := []c2pkg.Command{
+		{Attack: c2pkg.AttackUDPFlood, Target: netip.MustParseAddr("70.0.0.10"), Port: 80, Duration: 30 * time.Second},
+		{Attack: c2pkg.AttackSYNFlood, Target: netip.MustParseAddr("70.0.0.11"), Port: 443, Duration: 30 * time.Second},
+	}
+	switch *family {
+	case "daddyl33t":
+		attacks = append(attacks,
+			c2pkg.Command{Attack: c2pkg.AttackBlacknurse, Target: netip.MustParseAddr("70.0.0.12"), Duration: 20 * time.Second},
+			c2pkg.Command{Attack: c2pkg.AttackNFO, Target: netip.MustParseAddr("70.0.0.13"), Port: 238, Duration: 20 * time.Second})
+	case "gafgyt":
+		attacks = []c2pkg.Command{
+			{Attack: c2pkg.AttackUDPFlood, Target: netip.MustParseAddr("70.0.0.10"), Port: 80, Duration: 30 * time.Second},
+			{Attack: c2pkg.AttackVSE, Target: netip.MustParseAddr("70.0.0.14"), Port: 27015, Duration: 20 * time.Second},
+			{Attack: c2pkg.AttackSTD, Target: netip.MustParseAddr("70.0.0.15"), Port: 9999, Duration: 20 * time.Second},
+		}
+	}
+	for i, cmd := range attacks {
+		srv.ScheduleAttack(t0.Add(time.Duration(10+i*15)*time.Minute), cmd, 5)
+	}
+
+	raw, err := binfmt.Encode(binfmt.BotConfig{
+		Family: *family, Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, rand.New(rand.NewSource(*seed)), nil)
+	if err != nil {
+		fatal(err)
+	}
+	sb := sandbox.New(net, sandbox.Config{Seed: *seed})
+	rep, err := sb.Run(raw, sandbox.RunOptions{
+		Mode:         sandbox.ModeLive,
+		Duration:     2 * time.Hour,
+		RestrictToC2: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	cands := core.DetectC2(rep, 1)
+	fmt.Printf("sample %s: %d C2 endpoint(s) detected\n", rep.SHA256[:12], len(cands))
+	obs := core.ExtractDDoS(rep, *family, cands, core.DefaultDDoSExtractorConfig())
+	fmt.Printf("extracted %d DDoS command(s):\n", len(obs))
+	for _, o := range obs {
+		fmt.Printf("  %s\n", o)
+	}
+	fmt.Printf("ground truth: server issued %d command(s)\n", len(srv.Issued))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddosmon:", err)
+	os.Exit(1)
+}

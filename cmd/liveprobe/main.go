@@ -1,0 +1,115 @@
+// Command liveprobe checks whether real endpoints speak an IoT C2
+// protocol — the deployment form of the paper's weaponized probing
+// (§2.1, second mode), for defensive confirmation of suspected C2
+// addresses from malware profiles. It shares every protocol byte
+// with the simulated study.
+//
+// Usage:
+//
+//	liveprobe [-family mirai|gafgyt|daddyl33t|tsunami]
+//	          [-timeout DUR] host:port [host:port ...]
+//
+// With no targets it runs a loopback demo: starts a Mirai-style C2
+// and an nginx-style banner host locally and probes both.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"malnet/internal/c2"
+	"malnet/internal/realprobe"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "mirai", "weaponized protocol")
+		timeout = flag.Duration("timeout", 10*time.Second, "engagement timeout per target")
+	)
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = demoTargets()
+		fmt.Println("no targets given; probing loopback demo servers")
+	}
+	p := &realprobe.Prober{Family: *family, EngageTimeout: *timeout}
+	for _, res := range p.ProbeAll(context.Background(), targets) {
+		switch res.Verdict {
+		case realprobe.VerdictEngaged:
+			fmt.Printf("%-22s LIVE C2 (%s protocol engaged, rtt %v)\n", res.Target, res.Family, res.RTT.Round(time.Millisecond))
+		case realprobe.VerdictBanner:
+			fmt.Printf("%-22s benign service: %q\n", res.Target, res.Banner)
+		case realprobe.VerdictAcceptedSilent:
+			fmt.Printf("%-22s accepted but silent\n", res.Target)
+		default:
+			fmt.Printf("%-22s no answer (%v)\n", res.Target, res.Err)
+		}
+	}
+}
+
+// demoTargets starts a Mirai-style responder and an nginx-style
+// banner host on loopback.
+func demoTargets() []string {
+	c2ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := c2ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 16)
+				var got []byte
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					got = append(got, buf[:n]...)
+					for len(got) >= 4 && bytes.Equal(got[:4], c2.MiraiHandshake) {
+						got = got[4:]
+					}
+					for len(got) >= 2 && got[0] == 0 && got[1] == 0 {
+						conn.Write(c2.MiraiPing)
+						got = got[2:]
+					}
+				}
+			}(conn)
+		}
+	}()
+	webln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := webln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				// nginx answers any malformed input with a 400.
+				buf := make([]byte, 256)
+				conn.Read(buf)
+				conn.Write([]byte("HTTP/1.1 400 Bad Request\r\nServer: nginx/1.18.0\r\n\r\n"))
+			}(conn)
+		}
+	}()
+	return []string{c2ln.Addr().String(), webln.Addr().String()}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "liveprobe:", err)
+	os.Exit(1)
+}

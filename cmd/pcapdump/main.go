@@ -1,0 +1,125 @@
+// Command pcapdump prints a tcpdump-style summary of a LINKTYPE_RAW
+// capture produced by the sandbox (see sandbox.Report.WritePCAP).
+// With no file argument it runs a demo: activates one sample, writes
+// its capture to a temporary file, and dumps it.
+//
+// Usage:
+//
+//	pcapdump [capture.pcap]
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"malnet/internal/binfmt"
+	"malnet/internal/packet"
+	"malnet/internal/pcap"
+	"malnet/internal/sandbox"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+func main() {
+	var in io.Reader
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else {
+		in = demoCapture()
+	}
+	r, err := pcap.NewReader(in)
+	if err != nil {
+		fatal(err)
+	}
+	if r.Link != pcap.LinkTypeRaw {
+		fatal(fmt.Errorf("unsupported link type %d (want %d)", r.Link, pcap.LinkTypeRaw))
+	}
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		n++
+		fmt.Printf("%s %s\n", rec.Time.Format("15:04:05.000000"), summarize(rec.Data))
+	}
+	fmt.Printf("%d packets\n", n)
+}
+
+// summarize renders one frame tcpdump-style.
+func summarize(frame []byte) string {
+	p, err := packet.Decode(frame)
+	if err != nil {
+		return fmt.Sprintf("undecodable %d bytes: %v", len(frame), err)
+	}
+	switch {
+	case p.TCP != nil:
+		flags := ""
+		for _, f := range []struct {
+			on bool
+			c  string
+		}{{p.TCP.SYN, "S"}, {p.TCP.ACK, "."}, {p.TCP.PSH, "P"}, {p.TCP.FIN, "F"}, {p.TCP.RST, "R"}} {
+			if f.on {
+				flags += f.c
+			}
+		}
+		return fmt.Sprintf("IP %s.%d > %s.%d: Flags [%s], length %d",
+			p.IP.SrcIP, p.TCP.SrcPort, p.IP.DstIP, p.TCP.DstPort, flags, len(p.Payload))
+	case p.UDP != nil:
+		extra := ""
+		if p.UDP.DstPort == 53 || p.UDP.SrcPort == 53 {
+			if m, err := packet.DecodeDNS(p.Payload); err == nil && len(m.Questions) > 0 {
+				kind := "query"
+				if m.Response {
+					kind = "response"
+				}
+				extra = fmt.Sprintf(" DNS %s %s", kind, m.Questions[0].Name)
+			}
+		}
+		return fmt.Sprintf("IP %s.%d > %s.%d: UDP, length %d%s",
+			p.IP.SrcIP, p.UDP.SrcPort, p.IP.DstIP, p.UDP.DstPort, len(p.Payload), extra)
+	case p.ICMP != nil:
+		return fmt.Sprintf("IP %s > %s: ICMP type %d code %d",
+			p.IP.SrcIP, p.IP.DstIP, p.ICMP.Type, p.ICMP.Code)
+	}
+	return fmt.Sprintf("IP %s > %s: proto %d, length %d", p.IP.SrcIP, p.IP.DstIP, p.IP.Protocol, len(p.Payload))
+}
+
+// demoCapture runs one sample and returns its capture.
+func demoCapture() io.Reader {
+	clock := simclock.New(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	net := simnet.New(clock, simnet.DefaultConfig())
+	sb := sandbox.New(net, sandbox.Config{Seed: 1})
+	raw, err := binfmt.Encode(binfmt.BotConfig{
+		Family: "gafgyt", Variant: "v1",
+		C2Addrs: []string{"cnc.demo.example:666"},
+	}, rand.New(rand.NewSource(2)), nil)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := sb.Run(raw, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 5 * time.Minute})
+	if err != nil {
+		fatal(err)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(rep.WritePCAP(pw, 4))
+	}()
+	return pr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcapdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// ddoswatch: live DDoS-command eavesdropping (§2.5 / §5). A
+// Daddyl33t C2 issues a burst of attacks — including the
+// two-attacks-one-target session of §5.2 — while a bot runs in the
+// restricted sandbox; the pipeline extracts every command from the
+// C2 traffic and classifies the attack types and target protocols.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"malnet"
+	"malnet/internal/analysis"
+	"malnet/internal/binfmt"
+	"malnet/internal/c2"
+	"malnet/internal/core"
+	"malnet/internal/report"
+	"malnet/internal/results"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+func main() {
+	t0 := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	clock := simclock.New(t0)
+	net := simnet.New(clock, simnet.DefaultConfig())
+
+	srv := c2.NewServer(net, c2.ServerConfig{
+		Family:   c2.FamilyDaddyl33t,
+		Addr:     simnet.AddrFrom("46.28.0.9", 1312),
+		Birth:    t0,
+		Death:    t0.Add(14 * 24 * time.Hour),
+		AlwaysOn: true,
+	})
+
+	target := netip.MustParseAddr("70.0.0.42")
+	schedule := []struct {
+		at  time.Duration
+		cmd c2.Command
+	}{
+		{10 * time.Minute, c2.Command{Attack: c2.AttackUDPFlood, Target: netip.MustParseAddr("70.0.0.10"), Port: 80, Duration: 30 * time.Second}},
+		// The §5.2 double session: TLS then HYDRASYN on one target.
+		{25 * time.Minute, c2.Command{Attack: c2.AttackTLS, Target: target, Port: 4567, Duration: 30 * time.Second}},
+		{35 * time.Minute, c2.Command{Attack: c2.AttackSYNFlood, Target: target, Port: 4567, Duration: 30 * time.Second}},
+		{50 * time.Minute, c2.Command{Attack: c2.AttackBlacknurse, Target: netip.MustParseAddr("70.0.0.12"), Duration: 20 * time.Second}},
+		{65 * time.Minute, c2.Command{Attack: c2.AttackNFO, Target: netip.MustParseAddr("70.0.0.13"), Port: 238, Duration: 20 * time.Second}},
+	}
+	for _, s := range schedule {
+		srv.ScheduleAttack(t0.Add(s.at), s.cmd, 3)
+	}
+
+	raw, err := binfmt.Encode(binfmt.BotConfig{
+		Family: "daddyl33t", Variant: "v1", C2Addrs: []string{"46.28.0.9:1312"},
+	}, rand.New(rand.NewSource(5)), nil)
+	if err != nil {
+		panic(err)
+	}
+	sb := malnet.NewSandbox(net, malnet.SandboxConfig{Seed: 5})
+	rep, err := sb.Run(raw, malnet.RunOptions{
+		Mode:         malnet.ModeLive,
+		Duration:     2 * time.Hour,
+		RestrictToC2: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	cands := malnet.DetectC2(rep, 1)
+	obs := core.ExtractDDoS(rep, "daddyl33t", cands, core.DefaultDDoSExtractorConfig())
+
+	fmt.Printf("watched sample %s for 2h; %d commands extracted (server issued %d)\n\n",
+		rep.SHA256[:12], len(obs), len(srv.Issued))
+	protos := analysis.NewHistogram()
+	byTarget := map[string][]string{}
+	for _, o := range obs {
+		fmt.Printf("  %s\n", o)
+		protos.Add(results.AttackProto(o), 1)
+		k := o.Command.Target.String()
+		byTarget[k] = append(byTarget[k], o.Command.Attack.String())
+	}
+	fmt.Println()
+	fmt.Print(report.Bars("attacks by target protocol", protos.Sorted(), 20))
+	for tgt, types := range byTarget {
+		if len(types) > 1 {
+			fmt.Printf("\ntarget %s was hit by %d attack types in one session: %v\n", tgt, len(types), types)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: profile a single freshly-caught IoT malware binary —
+// the paper's core workflow in ~40 lines. We build one synthetic
+// MIPS sample, activate it in the isolated sandbox, and print its
+// network profile: the C2 endpoints it calls home to, the DNS names
+// it resolves, and the exploits it fires at victims.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"malnet"
+	"malnet/internal/binfmt"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+func main() {
+	// A virtual Internet and a sandbox on it.
+	clock := simclock.New(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	net := simnet.New(clock, simnet.DefaultConfig())
+	sb := malnet.NewSandbox(net, malnet.SandboxConfig{Seed: 1})
+
+	// A "freshly caught" sample: a Gafgyt bot with a DNS C2 and a
+	// GPON exploit kit. In a real deployment these bytes come off
+	// the VirusTotal / MalwareBazaar feed.
+	raw, err := binfmt.Encode(binfmt.BotConfig{
+		Family:         "gafgyt",
+		Variant:        "v1",
+		C2Addrs:        []string{"cnc.fresh-botnet.xyz:6738", "60.0.0.77:666"},
+		ScanPorts:      []uint16{23, 80},
+		ExploitIDs:     []string{"gpon-rce"},
+		LoaderName:     "8UsA.sh",
+		DownloaderAddr: "60.0.0.77:80",
+	}, rand.New(rand.NewSource(7)), nil)
+	if err != nil {
+		panic(err)
+	}
+
+	// Activate it: isolated mode (fake Internet), handshaker armed.
+	rep, err := sb.Run(raw, malnet.RunOptions{
+		Mode:                malnet.ModeIsolated,
+		Duration:            20 * time.Minute,
+		HandshakerThreshold: 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("sample %s (%d bytes, family ground truth: %s)\n\n",
+		rep.SHA256[:16], len(raw), rep.Config.Family)
+
+	fmt.Println("C2 endpoints detected from traffic:")
+	for _, c := range malnet.DetectC2(rep, 2) {
+		fmt.Printf("  %-28s kind=%-3s attempts=%-3d signature=%s\n",
+			c.Address, c.Kind, c.Attempts, c.Signature)
+	}
+
+	fmt.Println("\nDNS queries observed:")
+	for name, ip := range rep.Resolutions {
+		fmt.Printf("  %s -> %s\n", name, ip)
+	}
+
+	fmt.Println("\nexploits captured by the handshaker:")
+	for _, f := range malnet.ClassifyExploits(rep) {
+		for _, v := range f.Vulns {
+			fmt.Printf("  %-16s port %-5d loader=%s downloader=%s\n",
+				v.Label(), f.Port, f.Loader, f.Downloader)
+		}
+	}
+
+	fmt.Printf("\ncaptured %d packets in the analysis window\n", len(rep.Capture))
+}

@@ -1,0 +1,3 @@
+module malnet
+
+go 1.22

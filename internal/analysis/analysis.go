@@ -1,0 +1,270 @@
+// Package analysis provides the measurement statistics the study's
+// tables and figures are built from: empirical CDFs, histograms,
+// weekly heatmap grids, and share/ranking helpers. It is a generic
+// layer: the per-experiment aggregation lives in internal/results.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Percentile returns the smallest x with P(X <= x) >= p, for p in
+// (0, 1].
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p > 1 {
+		p = 1
+	}
+	i := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Point is one (x, P(X<=x)) pair.
+type Point struct {
+	X, P float64
+}
+
+// Series returns the CDF evaluated at each distinct sample value —
+// the data behind the paper's CDF figures.
+func (c *CDF) Series() []Point {
+	var out []Point
+	n := float64(len(c.sorted))
+	for i := 0; i < len(c.sorted); i++ {
+		if i+1 < len(c.sorted) && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		out = append(out, Point{X: c.sorted[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// Histogram counts occurrences per label, retaining insertion order
+// of first appearance.
+type Histogram struct {
+	counts map[string]int
+	order  []string
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: map[string]int{}}
+}
+
+// Add increments label by n.
+func (h *Histogram) Add(label string, n int) {
+	if _, ok := h.counts[label]; !ok {
+		h.order = append(h.order, label)
+	}
+	h.counts[label] += n
+}
+
+// Count returns label's count.
+func (h *Histogram) Count(label string) int { return h.counts[label] }
+
+// Total returns the sum of all counts.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// Share returns label's fraction of the total.
+func (h *Histogram) Share(label string) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.counts[label]) / float64(t)
+}
+
+// Entry is a labeled count.
+type Entry struct {
+	Label string
+	Count int
+}
+
+// Sorted returns entries by descending count (ties: label order).
+func (h *Histogram) Sorted() []Entry {
+	out := make([]Entry, 0, len(h.order))
+	for _, l := range h.order {
+		out = append(out, Entry{l, h.counts[l]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Labels returns labels in first-appearance order.
+func (h *Histogram) Labels() []string { return append([]string(nil), h.order...) }
+
+// Grid is a labeled 2-D counting grid (Figure 1's heatmap).
+type Grid struct {
+	Rows, Cols []string
+	rowIdx     map[string]int
+	colIdx     map[string]int
+	cells      [][]int
+}
+
+// NewGrid builds a zeroed grid with fixed axes.
+func NewGrid(rows, cols []string) *Grid {
+	g := &Grid{
+		Rows: rows, Cols: cols,
+		rowIdx: map[string]int{}, colIdx: map[string]int{},
+	}
+	for i, r := range rows {
+		g.rowIdx[r] = i
+	}
+	for i, c := range cols {
+		g.colIdx[c] = i
+	}
+	g.cells = make([][]int, len(rows))
+	for i := range g.cells {
+		g.cells[i] = make([]int, len(cols))
+	}
+	return g
+}
+
+// Add increments (row, col) by n; unknown labels are ignored (data
+// outside the grid's frame, e.g. calendar gaps).
+func (g *Grid) Add(row, col string, n int) {
+	i, ok := g.rowIdx[row]
+	if !ok {
+		return
+	}
+	j, ok := g.colIdx[col]
+	if !ok {
+		return
+	}
+	g.cells[i][j] += n
+}
+
+// At returns the (row, col) count.
+func (g *Grid) At(row, col string) int {
+	i, ok := g.rowIdx[row]
+	if !ok {
+		return 0
+	}
+	j, ok := g.colIdx[col]
+	if !ok {
+		return 0
+	}
+	return g.cells[i][j]
+}
+
+// Max returns the largest cell value.
+func (g *Grid) Max() int {
+	m := 0
+	for _, row := range g.cells {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// RowTotal sums a row.
+func (g *Grid) RowTotal(row string) int {
+	i, ok := g.rowIdx[row]
+	if !ok {
+		return 0
+	}
+	t := 0
+	for _, v := range g.cells[i] {
+		t += v
+	}
+	return t
+}
+
+// ColTotal sums a column.
+func (g *Grid) ColTotal(col string) int {
+	j, ok := g.colIdx[col]
+	if !ok {
+		return 0
+	}
+	t := 0
+	for i := range g.cells {
+		t += g.cells[i][j]
+	}
+	return t
+}
+
+// TopShare returns the combined share of the k largest groups in a
+// histogram — e.g. "10 ASes host 69.7 % of C2s".
+func TopShare(h *Histogram, k int) float64 {
+	entries := h.Sorted()
+	if k > len(entries) {
+		k = len(entries)
+	}
+	top := 0
+	for _, e := range entries[:k] {
+		top += e.Count
+	}
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(top) / float64(t)
+}
+
+// FmtPct renders a fraction as "12.3%".
+func FmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

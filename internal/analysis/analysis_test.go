@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.At(2); got != 0.6 {
+		t.Fatalf("At(2) = %v, want 0.6", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %v", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v", got)
+	}
+	if got := c.Mean(); math.Abs(got-3.6) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := c.Max(); got != 10 {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := c.Percentile(0.5); got != 5 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := c.Percentile(1.0); got != 10 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := c.Percentile(0.05); got != 1 {
+		t.Fatalf("P5 = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 {
+		t.Fatal("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Mean()) || !math.IsNaN(c.Percentile(0.5)) {
+		t.Fatal("empty CDF stats not NaN")
+	}
+}
+
+func TestCDFSeriesMonotonic(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3, 3, 2, 8})
+	pts := c.Series()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X || pts[i].P < pts[i-1].P {
+			t.Fatalf("series not monotonic at %d: %+v", i, pts)
+		}
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Fatalf("series does not end at 1: %v", pts[len(pts)-1].P)
+	}
+}
+
+func TestQuickCDFAtBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		c := NewCDF(clean)
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		return c.At(clean[len(clean)-1]) == 1 && c.At(clean[0]) >= 1/float64(len(clean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add("a", 3)
+	h.Add("b", 5)
+	h.Add("a", 2)
+	if h.Count("a") != 5 || h.Count("b") != 5 {
+		t.Fatalf("counts %d %d", h.Count("a"), h.Count("b"))
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Share("a") != 0.5 {
+		t.Fatalf("share %v", h.Share("a"))
+	}
+	sorted := h.Sorted()
+	if len(sorted) != 2 || sorted[0].Label != "a" { // stable tie-break: insertion order
+		t.Fatalf("sorted %v", sorted)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	h := NewHistogram()
+	h.Add("big", 70)
+	h.Add("small1", 20)
+	h.Add("small2", 10)
+	if got := TopShare(h, 1); got != 0.7 {
+		t.Fatalf("TopShare(1) = %v", got)
+	}
+	if got := TopShare(h, 5); got != 1 {
+		t.Fatalf("TopShare(5) = %v", got)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := NewGrid([]string{"r1", "r2"}, []string{"c1", "c2", "c3"})
+	g.Add("r1", "c2", 3)
+	g.Add("r1", "c2", 1)
+	g.Add("r2", "c3", 7)
+	g.Add("nope", "c1", 99) // silently ignored
+	g.Add("r1", "nope", 99)
+	if g.At("r1", "c2") != 4 || g.At("r2", "c3") != 7 || g.At("r1", "c1") != 0 {
+		t.Fatal("cell values wrong")
+	}
+	if g.Max() != 7 {
+		t.Fatalf("Max = %d", g.Max())
+	}
+	if g.RowTotal("r1") != 4 || g.ColTotal("c3") != 7 {
+		t.Fatal("totals wrong")
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if got := FmtPct(0.697); got != "69.7%" {
+		t.Fatalf("FmtPct = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package avclass implements an AVClass2-style family labeler: it
+// normalizes the noisy per-vendor detection names a scanning service
+// returns for a sample and picks the plurality family token.
+//
+// The paper notes AVClass2 "seems to be often unreliable for MIPS
+// binaries" — e.g. every Mozi sample is labeled Mirai. That behavior
+// is reproduced here (vendors in internal/intel emit mirai-flavored
+// names for Mozi), so the pipeline exercises the same
+// misclassification-handling path the authors needed.
+package avclass
+
+import (
+	"sort"
+	"strings"
+)
+
+// Detection is one vendor's verdict for a sample.
+type Detection struct {
+	// Vendor is the engine name.
+	Vendor string
+	// Label is the raw detection string, e.g.
+	// "Linux.Mirai.B!tr" or "Trojan:Linux/Gafgyt.SM".
+	Label string
+}
+
+// genericTokens are dropped during normalization, mirroring
+// AVClass2's generic-token list.
+var genericTokens = map[string]bool{
+	"linux": true, "unix": true, "elf": true, "mips": true,
+	"trojan": true, "backdoor": true, "worm": true, "virus": true,
+	"malware": true, "agent": true, "generic": true, "gen": true,
+	"variant": true, "heur": true, "riskware": true, "ddos": true,
+	"bot": true, "botnet": true, "malicious": true, "suspicious": true,
+	"a": true, "b": true, "c": true, "tr": true, "sm": true,
+}
+
+// knownFamilies anchor normalization: tokens that are prefixes or
+// aliases of these map onto them.
+var knownFamilies = []string{
+	"mirai", "gafgyt", "tsunami", "daddyl33t", "mozi", "hajime", "vpnfilter",
+}
+
+// aliases maps vendor-specific names to canonical families (bashlite
+// and qbot are the common ones for this corpus).
+var aliases = map[string]string{
+	"bashlite": "gafgyt",
+	"lizkebab": "gafgyt",
+	"torlus":   "gafgyt",
+	"kaiten":   "tsunami",
+	"qbot":     "daddyl33t",
+}
+
+// Tokenize splits a raw label into normalized candidate tokens.
+func Tokenize(label string) []string {
+	f := func(r rune) bool {
+		return !('a' <= r && r <= 'z' || 'A' <= r && r <= 'Z' ||
+			'0' <= r && r <= '9')
+	}
+	var out []string
+	for _, tok := range strings.FieldsFunc(label, f) {
+		tok = strings.ToLower(tok)
+		if len(tok) < 2 || genericTokens[tok] {
+			continue
+		}
+		if canon, ok := aliases[tok]; ok {
+			tok = canon
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// Label aggregates vendor detections and returns the plurality
+// family and the number of vendors that voted for it. Tokens
+// matching a known family count first; if none match, the most
+// common non-generic token wins. Ties break lexicographically for
+// determinism.
+func Label(dets []Detection) (family string, votes int) {
+	counts := map[string]int{}
+	for _, d := range dets {
+		seen := map[string]bool{} // one vote per vendor per token
+		for _, tok := range Tokenize(d.Label) {
+			for _, fam := range knownFamilies {
+				if strings.HasPrefix(tok, fam) {
+					tok = fam
+					break
+				}
+			}
+			if !seen[tok] {
+				seen[tok] = true
+				counts[tok]++
+			}
+		}
+	}
+	type kv struct {
+		tok string
+		n   int
+	}
+	var ranked []kv
+	for tok, n := range counts {
+		ranked = append(ranked, kv{tok, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].tok < ranked[j].tok
+	})
+	known := map[string]bool{}
+	for _, fam := range knownFamilies {
+		known[fam] = true
+	}
+	for _, r := range ranked {
+		if known[r.tok] {
+			return r.tok, r.n
+		}
+	}
+	if len(ranked) > 0 {
+		return ranked[0].tok, ranked[0].n
+	}
+	return "", 0
+}
+
+// MaliciousCount returns how many detections are non-empty — the
+// "corroboration of at least 5 malware detection engines" check from
+// the paper's collection methodology.
+func MaliciousCount(dets []Detection) int {
+	n := 0
+	for _, d := range dets {
+		if strings.TrimSpace(d.Label) != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package avclass
+
+import (
+	"testing"
+)
+
+func TestTokenizeDropsGenerics(t *testing.T) {
+	toks := Tokenize("Trojan:Linux/Mirai.SM!tr")
+	if len(toks) != 1 || toks[0] != "mirai" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestTokenizeAppliesAliases(t *testing.T) {
+	toks := Tokenize("Linux.Bashlite.Gen")
+	if len(toks) != 1 || toks[0] != "gafgyt" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLabelPluralityWins(t *testing.T) {
+	dets := []Detection{
+		{Vendor: "a", Label: "Linux/Mirai.B"},
+		{Vendor: "b", Label: "Trojan.Mirai!gen"},
+		{Vendor: "c", Label: "ELF:Gafgyt-X"},
+	}
+	fam, votes := Label(dets)
+	if fam != "mirai" || votes != 2 {
+		t.Fatalf("Label = %q, %d", fam, votes)
+	}
+}
+
+func TestLabelPrefixFoldsVariants(t *testing.T) {
+	dets := []Detection{
+		{Vendor: "a", Label: "Linux.Miraix.A"},
+		{Vendor: "b", Label: "Mirai2022"},
+	}
+	fam, votes := Label(dets)
+	if fam != "mirai" || votes != 2 {
+		t.Fatalf("Label = %q, %d", fam, votes)
+	}
+}
+
+func TestLabelKnownFamilyBeatsUnknownToken(t *testing.T) {
+	dets := []Detection{
+		{Vendor: "a", Label: "Foobarware"},
+		{Vendor: "b", Label: "Foobarware"},
+		{Vendor: "c", Label: "Linux.Gafgyt"},
+	}
+	fam, _ := Label(dets)
+	if fam != "gafgyt" {
+		t.Fatalf("Label = %q, want gafgyt", fam)
+	}
+}
+
+func TestLabelUnknownTokenFallback(t *testing.T) {
+	dets := []Detection{
+		{Vendor: "a", Label: "Linux.Newfam.A"},
+		{Vendor: "b", Label: "newfam!gen"},
+	}
+	fam, votes := Label(dets)
+	if fam != "newfam" || votes != 2 {
+		t.Fatalf("Label = %q, %d", fam, votes)
+	}
+}
+
+func TestLabelEmpty(t *testing.T) {
+	fam, votes := Label(nil)
+	if fam != "" || votes != 0 {
+		t.Fatalf("Label(nil) = %q, %d", fam, votes)
+	}
+}
+
+func TestLabelDeterministicTieBreak(t *testing.T) {
+	dets := []Detection{
+		{Vendor: "a", Label: "mirai"},
+		{Vendor: "b", Label: "gafgyt"},
+	}
+	for i := 0; i < 20; i++ {
+		fam, _ := Label(dets)
+		if fam != "gafgyt" { // lexicographic tie-break
+			t.Fatalf("tie-break unstable: %q", fam)
+		}
+	}
+}
+
+func TestOneVotePerVendorPerToken(t *testing.T) {
+	dets := []Detection{
+		{Vendor: "a", Label: "Mirai.Mirai.Mirai"},
+		{Vendor: "b", Label: "Gafgyt"},
+		{Vendor: "c", Label: "Gafgyt"},
+	}
+	fam, votes := Label(dets)
+	if fam != "gafgyt" || votes != 2 {
+		t.Fatalf("Label = %q, %d; repeated tokens must not stack votes", fam, votes)
+	}
+}
+
+func TestMaliciousCount(t *testing.T) {
+	dets := []Detection{
+		{Vendor: "a", Label: "Mirai"},
+		{Vendor: "b", Label: ""},
+		{Vendor: "c", Label: "  "},
+		{Vendor: "d", Label: "Gafgyt"},
+	}
+	if n := MaliciousCount(dets); n != 2 {
+		t.Fatalf("MaliciousCount = %d, want 2", n)
+	}
+}
+
+func TestMoziMisclassifiedAsMiraiWhenVendorsSayMirai(t *testing.T) {
+	// The paper: "all the instances of the Mozi family ... are
+	// wrongly classified as Mirai" because vendors label them so.
+	dets := []Detection{
+		{Vendor: "a", Label: "Linux.Mirai.B"},
+		{Vendor: "b", Label: "Mirai.Mozi"},
+		{Vendor: "c", Label: "ELF/Mirai!tr"},
+	}
+	fam, _ := Label(dets)
+	if fam != "mirai" {
+		t.Fatalf("Label = %q, want mirai (the documented misclassification)", fam)
+	}
+}

@@ -1,0 +1,261 @@
+package binfmt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleConfig() BotConfig {
+	return BotConfig{
+		Family:     "mirai",
+		Variant:    "v1",
+		C2Addrs:    []string{"203.0.113.10:23"},
+		ScanPorts:  []uint16{23, 2323},
+		ExploitIDs: []string{"CVE-2018-10561"},
+		LoaderName: "t8UsA2.sh",
+	}
+}
+
+func mustEncode(t *testing.T, cfg BotConfig, seed int64, extra []string) []byte {
+	t.Helper()
+	raw, err := Encode(cfg, rand.New(rand.NewSource(seed)), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	raw := mustEncode(t, sampleConfig(), 1, nil)
+	b, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ExtractConfig(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Family != "mirai" || cfg.Variant != "v1" {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if len(cfg.C2Addrs) != 1 || cfg.C2Addrs[0] != "203.0.113.10:23" {
+		t.Fatalf("c2 = %v", cfg.C2Addrs)
+	}
+	if cfg.LoaderName != "t8UsA2.sh" {
+		t.Fatalf("loader = %q", cfg.LoaderName)
+	}
+}
+
+func TestELFHeaderIsMIPS32BE(t *testing.T) {
+	raw := mustEncode(t, sampleConfig(), 1, nil)
+	if raw[0] != 0x7f || string(raw[1:4]) != "ELF" {
+		t.Fatal("missing ELF magic")
+	}
+	if raw[4] != 1 {
+		t.Fatal("not ELFCLASS32")
+	}
+	if raw[5] != 2 {
+		t.Fatal("not big-endian")
+	}
+	if raw[18] != 0 || raw[19] != 8 {
+		t.Fatal("machine is not EM_MIPS")
+	}
+}
+
+func TestDistinctSeedsDistinctHashes(t *testing.T) {
+	a := mustEncode(t, sampleConfig(), 1, nil)
+	b := mustEncode(t, sampleConfig(), 2, nil)
+	pa, _ := Parse(a)
+	pb, _ := Parse(b)
+	if pa.SHA256 == pb.SHA256 {
+		t.Fatal("different seeds produced identical hashes")
+	}
+}
+
+func TestSameSeedDeterministic(t *testing.T) {
+	a := mustEncode(t, sampleConfig(), 7, nil)
+	b := mustEncode(t, sampleConfig(), 7, nil)
+	pa, _ := Parse(a)
+	pb, _ := Parse(b)
+	if pa.SHA256 != pb.SHA256 {
+		t.Fatal("same seed produced different binaries")
+	}
+}
+
+func TestFamilyStringsVisibleToStrings(t *testing.T) {
+	raw := mustEncode(t, sampleConfig(), 1, []string{"extra-artifact.sh"})
+	found := map[string]bool{}
+	for _, s := range Strings(raw, 4) {
+		found[s] = true
+	}
+	for _, want := range []string{"/bin/busybox MIRAI", "TSource Engine Query", "extra-artifact.sh"} {
+		if !found[want] {
+			t.Fatalf("string %q not extracted", want)
+		}
+	}
+}
+
+func TestConfigNotVisibleToStrings(t *testing.T) {
+	raw := mustEncode(t, sampleConfig(), 1, nil)
+	for _, s := range Strings(raw, 4) {
+		if strings.Contains(s, "203.0.113.10") {
+			t.Fatalf("C2 address leaked to strings output: %q", s)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("MZ not an elf at all")); err != ErrNotELF {
+		t.Fatalf("err = %v, want ErrNotELF", err)
+	}
+}
+
+func TestParseRejectsWrongMachine(t *testing.T) {
+	raw := mustEncode(t, sampleConfig(), 1, nil)
+	raw[19] = 0x3e // EM_X86_64
+	if _, err := Parse(raw); err != ErrNotMIPS32BE {
+		t.Fatalf("err = %v, want ErrNotMIPS32BE", err)
+	}
+}
+
+func TestParseRejectsLittleEndian(t *testing.T) {
+	raw := mustEncode(t, sampleConfig(), 1, nil)
+	raw[5] = 1 // ELFDATA2LSB
+	if _, err := Parse(raw); err != ErrNotMIPS32BE {
+		t.Fatalf("err = %v, want ErrNotMIPS32BE", err)
+	}
+}
+
+func TestParseRejectsTruncatedSectionTable(t *testing.T) {
+	raw := mustEncode(t, sampleConfig(), 1, nil)
+	if _, err := Parse(raw[:len(raw)-30]); err == nil {
+		t.Fatal("truncated section table accepted")
+	}
+}
+
+func TestExtractConfigMissingSection(t *testing.T) {
+	raw := buildELF([]Section{{Name: ".text", Data: make([]byte, 64)}})
+	b, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractConfig(b); err != ErrNoConfig {
+		t.Fatalf("err = %v, want ErrNoConfig", err)
+	}
+}
+
+func TestValidateRejectsMissingC2(t *testing.T) {
+	cfg := BotConfig{Family: "gafgyt"}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("non-P2P config without C2 validated")
+	}
+	cfg.P2P = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("P2P config rejected: %v", err)
+	}
+}
+
+func TestP2PFamilyRoundTrip(t *testing.T) {
+	cfg := BotConfig{Family: "mozi", Variant: "v1", P2P: true, ScanPorts: []uint16{23}}
+	raw := mustEncode(t, cfg, 3, nil)
+	b, _ := Parse(raw)
+	got, err := ExtractConfig(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.P2P || got.Family != "mozi" {
+		t.Fatalf("config = %+v", got)
+	}
+}
+
+func TestStringsMinimumLength(t *testing.T) {
+	raw := []byte("ab\x00abcd\x00abcdefgh")
+	got := Strings(raw, 4)
+	if len(got) != 2 || got[0] != "abcd" || got[1] != "abcdefgh" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestXORObfuscationInvolution(t *testing.T) {
+	f := func(data []byte) bool {
+		round := xorObfuscate(xorObfuscate(data))
+		if len(round) != len(data) {
+			return false
+		}
+		for i := range data {
+			if round[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any valid config round-trips through a full
+// encode/parse/extract cycle.
+func TestQuickConfigRoundTrip(t *testing.T) {
+	f := func(seed int64, nPorts uint8, variant uint8) bool {
+		cfg := BotConfig{
+			Family:  "gafgyt",
+			Variant: string(rune('a' + variant%26)),
+			C2Addrs: []string{"198.51.100.1:6667"},
+		}
+		for i := 0; i < int(nPorts%8); i++ {
+			cfg.ScanPorts = append(cfg.ScanPorts, uint16(23+i))
+		}
+		raw, err := Encode(cfg, rand.New(rand.NewSource(seed)), nil)
+		if err != nil {
+			return false
+		}
+		b, err := Parse(raw)
+		if err != nil {
+			return false
+		}
+		got, err := ExtractConfig(b)
+		if err != nil {
+			return false
+		}
+		return got.Variant == cfg.Variant && len(got.ScanPorts) == len(cfg.ScanPorts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSniffArch(t *testing.T) {
+	mips := mustEncode(t, sampleConfig(), 1, nil)
+	if a, err := SniffArch(mips); err != nil || a != ArchMIPS32BE {
+		t.Fatalf("mips sniff = %v, %v", a, err)
+	}
+	for _, arch := range []Arch{ArchARM32LE, ArchX86_64} {
+		raw, err := EncodeForeign(arch, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SniffArch(raw)
+		if err != nil || got != arch {
+			t.Fatalf("%v sniff = %v, %v", arch, got, err)
+		}
+		// The full parser must reject it.
+		if _, err := Parse(raw); err == nil {
+			t.Fatalf("%v parsed as MIPS", arch)
+		}
+	}
+	if _, err := SniffArch([]byte("not an elf")); err != ErrNotELF {
+		t.Fatalf("garbage sniff err = %v", err)
+	}
+	if ArchMIPS32BE.String() != "mips32-be" || ArchX86_64.String() != "x86-64" {
+		t.Fatal("arch names wrong")
+	}
+}
+
+func TestEncodeForeignRejectsMIPS(t *testing.T) {
+	if _, err := EncodeForeign(ArchMIPS32BE, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("EncodeForeign accepted MIPS")
+	}
+}

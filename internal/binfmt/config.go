@@ -1,0 +1,198 @@
+package binfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// xorKey obfuscates the .botcfg section, mirroring Mirai's table
+// encryption: enough that the config is not visible to strings(1),
+// while the "emulator" that knows the scheme recovers it.
+var xorKey = []byte{0xde, 0xad, 0xbe, 0xef}
+
+func xorObfuscate(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = c ^ xorKey[i%len(xorKey)]
+	}
+	return out
+}
+
+// BotConfig is the behavioral configuration baked into a synthetic
+// sample. It is what a dynamic-analysis run elicits: which C2 the bot
+// calls home to, what it scans, which exploits it fires.
+type BotConfig struct {
+	// Family is the malware family name (e.g. "mirai").
+	Family string `json:"family"`
+	// Variant distinguishes forks within a family (the paper
+	// tracks 2 variants per attack-launching family).
+	Variant string `json:"variant"`
+	// C2Addrs are the C2 endpoints the bot calls home to, in
+	// priority order. Each is "host:port" where host is an IPv4
+	// literal or a DNS name.
+	C2Addrs []string `json:"c2,omitempty"`
+	// P2P marks families (Mozi, Hajime) with no client-server C2.
+	P2P bool `json:"p2p,omitempty"`
+	// ScanPorts are the TCP ports the bot scans for victims.
+	ScanPorts []uint16 `json:"scan_ports,omitempty"`
+	// ExploitIDs name entries in the vulnerability catalog the bot
+	// fires at fake victims (Table 4).
+	ExploitIDs []string `json:"exploits,omitempty"`
+	// LoaderName is the first-stage payload filename in the
+	// exploit template (Figure 9).
+	LoaderName string `json:"loader,omitempty"`
+	// DownloaderAddr is "host:port" of the malware-hosting server
+	// referenced by the exploits.
+	DownloaderAddr string `json:"downloader,omitempty"`
+	// Evasion selects the sample's anti-sandbox gate (§6f):
+	// "" (none), "connectivity" (requires a working Internet path,
+	// defeated by InetSim-style fakes), or "strict" (detects
+	// resolve-everything fake DNS and aborts).
+	Evasion string `json:"evasion,omitempty"`
+}
+
+// Validate checks internal consistency.
+func (c *BotConfig) Validate() error {
+	if c.Family == "" {
+		return fmt.Errorf("binfmt: config missing family")
+	}
+	if !c.P2P && len(c.C2Addrs) == 0 {
+		return fmt.Errorf("binfmt: non-P2P config for %s missing C2 address", c.Family)
+	}
+	return nil
+}
+
+// Encode builds a complete synthetic sample: valid MIPS-BE ELF with
+// deterministic .text filler (seeded by rng), the family's
+// characteristic strings in .rodata, and the obfuscated config in
+// .botcfg. extraStrings lets the world generator add per-sample
+// artifacts (loader names, exploit paths) that triage tools see.
+func Encode(cfg BotConfig, rng *rand.Rand, extraStrings []string) ([]byte, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("binfmt: marshal config: %w", err)
+	}
+
+	// .text: pseudo-random "code" 8-64 KiB, varying per sample so
+	// hashes differ even for identical configs.
+	textLen := 8192 + rng.Intn(57344)
+	text := make([]byte, textLen)
+	rng.Read(text)
+	// Scrub accidental printable runs longer than 3 so string
+	// triage sees only .rodata.
+	run := 0
+	for i := range text {
+		if text[i] >= 0x20 && text[i] < 0x7f {
+			run++
+			if run > 3 {
+				text[i] = 0
+				run = 0
+			}
+		} else {
+			run = 0
+		}
+	}
+
+	var rodata []byte
+	for _, s := range familyStrings(cfg.Family) {
+		rodata = append(rodata, s...)
+		rodata = append(rodata, 0)
+	}
+	for _, s := range extraStrings {
+		rodata = append(rodata, s...)
+		rodata = append(rodata, 0)
+	}
+
+	raw := buildELF([]Section{
+		{Name: ".text", Data: text},
+		{Name: ".rodata", Data: rodata},
+		{Name: ".botcfg", Data: xorObfuscate(cfgJSON)},
+	})
+	return raw, nil
+}
+
+// ExtractConfig recovers the behavioral configuration from a parsed
+// sample — the binfmt-level equivalent of activating it.
+func ExtractConfig(b *Binary) (*BotConfig, error) {
+	sec := b.Section(".botcfg")
+	if sec == nil {
+		return nil, ErrNoConfig
+	}
+	var cfg BotConfig
+	if err := json.Unmarshal(xorObfuscate(sec), &cfg); err != nil {
+		return nil, fmt.Errorf("binfmt: decode config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// familyStrings returns the characteristic .rodata artifacts each
+// family's real samples carry; the YARA rules in internal/yara key on
+// these.
+func familyStrings(family string) []string {
+	common := []string{
+		"/bin/busybox", "/proc/net/tcp", "/dev/watchdog", "/dev/null",
+		"enable", "system", "shell", "sh", "ps", "GET /%s HTTP/1.0",
+	}
+	perFamily := map[string][]string{
+		"mirai": {
+			"/bin/busybox MIRAI", "listening tun0",
+			"TSource Engine Query", "/dev/misc/watchdog", "PMMV",
+		},
+		"gafgyt": {
+			"PING", "PONG!", "REPORT %s:%s:%s", "BOGOMIPS",
+			"/bin/busybox wget", "gafgyt.infect",
+		},
+		"tsunami": {
+			"NICK %s", "MODE %s +xi", "JOIN %s :%s", "PRIVMSG",
+			"NOTICE %s :TSUNAMI", "kaiten.c",
+		},
+		"daddyl33t": {
+			"UDPRAW", "HYDRASYN", "NURSE", "NFOV6",
+			"daddyl33t-army", "qbot.mod",
+		},
+		"mozi": {
+			"dht.transmissionbt.com", "router.bittorrent.com",
+			"Mozi.m", "[ss]", "[hp]", "v2s",
+		},
+		"hajime": {
+			"atk.airdropmalware", ".i.hajime", "stage2.bin",
+		},
+		"vpnfilter": {
+			"/var/run/vpnfilterw", "photobucket.com/user", "torproject",
+			"vpnfilter-stage1",
+		},
+	}
+	return append(common, perFamily[family]...)
+}
+
+// EncodeForeign builds a non-MIPS decoy binary: a structurally
+// plausible ELF for another architecture, as real feeds deliver
+// alongside MIPS samples. The collection filter (§2.2) must skip
+// these; they are never parsed beyond SniffArch.
+func EncodeForeign(arch Arch, rng *rand.Rand) ([]byte, error) {
+	if arch == ArchMIPS32BE {
+		return nil, fmt.Errorf("binfmt: EncodeForeign is for non-MIPS architectures")
+	}
+	raw, err := Encode(BotConfig{
+		Family: "gafgyt", Variant: "v1", C2Addrs: []string{"192.0.2.1:23"},
+	}, rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	class, data, machine := arch.elfIdent()
+	raw[4], raw[5] = class, data
+	// e_machine is stored in the file's byte order.
+	if data == elfData2MSB {
+		raw[18], raw[19] = byte(machine>>8), byte(machine)
+	} else {
+		raw[18], raw[19] = byte(machine), byte(machine>>8)
+	}
+	return raw, nil
+}

@@ -1,0 +1,334 @@
+// Package binfmt encodes and parses the synthetic MIPS 32-bit
+// big-endian ELF malware binaries the simulated feeds distribute.
+//
+// The paper's pipeline consumes real MIPS 32B samples; here a sample
+// is a structurally valid ELF32/EM_MIPS executable whose .text is
+// deterministic filler, whose .rodata carries the family's
+// characteristic strings (what YARA rules and strings(1) triage key
+// on), and whose .botcfg section carries an XOR-obfuscated behavioral
+// configuration (family, C2 addresses, scan ports, exploits) that the
+// sandbox's emulator recovers when it "executes" the sample — the
+// stand-in for behavior a real emulator would elicit from real code.
+package binfmt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// ELF constants for the subset this package handles.
+const (
+	elfClass32   = 1
+	elfData2MSB  = 2 // big-endian
+	elfTypeExec  = 2
+	elfMachMIPS  = 8
+	ehSize       = 52
+	phEntSize    = 32
+	shEntSize    = 40
+	baseVaddr    = 0x00400000
+	textAlign    = 16
+	shtProgbits  = 1
+	shtStrtab    = 3
+	shfAlloc     = 0x2
+	shfExecinstr = 0x4
+)
+
+// Parse errors.
+var (
+	ErrNotELF      = errors.New("binfmt: not an ELF file")
+	ErrNotMIPS32BE = errors.New("binfmt: not a MIPS 32-bit big-endian executable")
+	ErrCorrupt     = errors.New("binfmt: corrupt section table")
+	ErrNoConfig    = errors.New("binfmt: no .botcfg section")
+)
+
+// Arch identifies a binary's target architecture. The study only
+// analyzes ArchMIPS32BE (§2.2: "We were able to collect 1447 MIPS
+// 32B malware binaries"); other architectures appear in real feeds
+// and are filtered at collection.
+type Arch uint8
+
+// Supported encoding architectures.
+const (
+	ArchMIPS32BE Arch = iota
+	ArchARM32LE
+	ArchX86_64
+)
+
+// String names the architecture as feeds do.
+func (a Arch) String() string {
+	switch a {
+	case ArchMIPS32BE:
+		return "mips32-be"
+	case ArchARM32LE:
+		return "arm32-le"
+	case ArchX86_64:
+		return "x86-64"
+	}
+	return "unknown"
+}
+
+// elfIdent returns (class, data, machine) for the arch.
+func (a Arch) elfIdent() (byte, byte, uint16) {
+	switch a {
+	case ArchARM32LE:
+		return elfClass32, 1 /* LSB */, 0x28 /* EM_ARM */
+	case ArchX86_64:
+		return 2 /* ELFCLASS64 */, 1, 0x3e /* EM_X86_64 */
+	}
+	return elfClass32, elfData2MSB, elfMachMIPS
+}
+
+// SniffArch inspects only the ELF identity bytes, the way a
+// collection pipeline triages a feed download before deeper
+// parsing.
+func SniffArch(raw []byte) (Arch, error) {
+	if len(raw) < 20 || raw[0] != 0x7f || raw[1] != 'E' || raw[2] != 'L' || raw[3] != 'F' {
+		return 0, ErrNotELF
+	}
+	var machine uint16
+	if raw[5] == elfData2MSB {
+		machine = binary.BigEndian.Uint16(raw[18:])
+	} else {
+		machine = binary.LittleEndian.Uint16(raw[18:])
+	}
+	switch {
+	case raw[4] == elfClass32 && raw[5] == elfData2MSB && machine == elfMachMIPS:
+		return ArchMIPS32BE, nil
+	case raw[4] == elfClass32 && raw[5] == 1 && machine == 0x28:
+		return ArchARM32LE, nil
+	case raw[4] == 2 && raw[5] == 1 && machine == 0x3e:
+		return ArchX86_64, nil
+	}
+	return 0, ErrNotMIPS32BE
+}
+
+// Section is a named byte range of the binary.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Binary is a parsed sample.
+type Binary struct {
+	// SHA256 is the hex digest of the raw bytes, the sample's
+	// identity across the pipeline (as in VT/MalwareBazaar).
+	SHA256 string
+	// Entry is the ELF entry point.
+	Entry uint32
+	// Sections are the parsed sections in file order.
+	Sections []Section
+	raw      []byte
+}
+
+// Size returns the file size in bytes.
+func (b *Binary) Size() int { return len(b.raw) }
+
+// Bytes returns the raw file contents.
+func (b *Binary) Bytes() []byte { return b.raw }
+
+// Section returns the named section's data, or nil.
+func (b *Binary) Section(name string) []byte {
+	for _, s := range b.Sections {
+		if s.Name == name {
+			return s.Data
+		}
+	}
+	return nil
+}
+
+// buildELF assembles a minimal but structurally valid ELF32 MIPS-BE
+// executable from the given sections (which must include .text).
+func buildELF(sections []Section) []byte {
+	// Layout: ehdr | phdr | section data... | .shstrtab | shdrs
+	shstr := []byte{0}
+	nameOff := map[string]uint32{}
+	for _, s := range sections {
+		nameOff[s.Name] = uint32(len(shstr))
+		shstr = append(shstr, s.Name...)
+		shstr = append(shstr, 0)
+	}
+	nameOff[".shstrtab"] = uint32(len(shstr))
+	shstr = append(shstr, ".shstrtab"...)
+	shstr = append(shstr, 0)
+
+	off := uint32(ehSize + phEntSize)
+	type placed struct {
+		Section
+		off, vaddr uint32
+	}
+	var body []byte
+	var placedSecs []placed
+	vaddr := uint32(baseVaddr + ehSize + phEntSize)
+	for _, s := range sections {
+		for off%textAlign != 0 {
+			body = append(body, 0)
+			off++
+			vaddr++
+		}
+		placedSecs = append(placedSecs, placed{s, off, vaddr})
+		body = append(body, s.Data...)
+		off += uint32(len(s.Data))
+		vaddr += uint32(len(s.Data))
+	}
+	shstrOff := off
+	body = append(body, shstr...)
+	off += uint32(len(shstr))
+	shoff := off
+
+	shnum := len(sections) + 2 // NULL + sections + .shstrtab
+	out := make([]byte, 0, int(off)+shnum*shEntSize)
+
+	// ELF header.
+	eh := make([]byte, ehSize)
+	copy(eh, []byte{0x7f, 'E', 'L', 'F', elfClass32, elfData2MSB, 1, 0})
+	be := binary.BigEndian
+	be.PutUint16(eh[16:], elfTypeExec)
+	be.PutUint16(eh[18:], elfMachMIPS)
+	be.PutUint32(eh[20:], 1)                          // version
+	be.PutUint32(eh[24:], baseVaddr+ehSize+phEntSize) // entry = start of .text
+	be.PutUint32(eh[28:], ehSize)                     // phoff
+	be.PutUint32(eh[32:], shoff)                      // shoff
+	be.PutUint32(eh[36:], 0x70001000)                 // flags: EF_MIPS_ARCH_32 | NOREORDER-ish
+	be.PutUint16(eh[40:], ehSize)
+	be.PutUint16(eh[42:], phEntSize)
+	be.PutUint16(eh[44:], 1) // phnum
+	be.PutUint16(eh[46:], shEntSize)
+	be.PutUint16(eh[48:], uint16(shnum))
+	be.PutUint16(eh[50:], uint16(shnum-1)) // shstrndx
+	out = append(out, eh...)
+
+	// One PT_LOAD covering the file.
+	ph := make([]byte, phEntSize)
+	be.PutUint32(ph[0:], 1) // PT_LOAD
+	be.PutUint32(ph[4:], 0)
+	be.PutUint32(ph[8:], baseVaddr)
+	be.PutUint32(ph[12:], baseVaddr)
+	be.PutUint32(ph[16:], shstrOff) // filesz: loadable part
+	be.PutUint32(ph[20:], shstrOff)
+	be.PutUint32(ph[24:], 0x7) // RWX, as IoT malware ships
+	be.PutUint32(ph[28:], 0x1000)
+	out = append(out, ph...)
+	out = append(out, body...)
+
+	// Section headers.
+	sh := make([]byte, shEntSize) // SHT_NULL
+	out = append(out, sh...)
+	for _, p := range placedSecs {
+		sh := make([]byte, shEntSize)
+		be.PutUint32(sh[0:], nameOff[p.Name])
+		be.PutUint32(sh[4:], shtProgbits)
+		flags := uint32(shfAlloc)
+		if p.Name == ".text" {
+			flags |= shfExecinstr
+		}
+		be.PutUint32(sh[8:], flags)
+		be.PutUint32(sh[12:], p.vaddr)
+		be.PutUint32(sh[16:], p.off)
+		be.PutUint32(sh[20:], uint32(len(p.Data)))
+		be.PutUint32(sh[32:], textAlign)
+		out = append(out, sh...)
+	}
+	sh = make([]byte, shEntSize)
+	be.PutUint32(sh[0:], nameOff[".shstrtab"])
+	be.PutUint32(sh[4:], shtStrtab)
+	be.PutUint32(sh[16:], shstrOff)
+	be.PutUint32(sh[20:], uint32(len(shstr)))
+	be.PutUint32(sh[32:], 1)
+	out = append(out, sh...)
+	return out
+}
+
+// Parse validates an ELF32 MIPS-BE executable and extracts its
+// sections.
+func Parse(raw []byte) (*Binary, error) {
+	if len(raw) < ehSize || raw[0] != 0x7f || raw[1] != 'E' || raw[2] != 'L' || raw[3] != 'F' {
+		return nil, ErrNotELF
+	}
+	if raw[4] != elfClass32 || raw[5] != elfData2MSB {
+		return nil, ErrNotMIPS32BE
+	}
+	be := binary.BigEndian
+	if be.Uint16(raw[18:]) != elfMachMIPS || be.Uint16(raw[16:]) != elfTypeExec {
+		return nil, ErrNotMIPS32BE
+	}
+	shoff := be.Uint32(raw[32:])
+	shnum := int(be.Uint16(raw[48:]))
+	shstrndx := int(be.Uint16(raw[50:]))
+	if shnum == 0 || shstrndx >= shnum {
+		return nil, ErrCorrupt
+	}
+	readShdr := func(i int) (nameOff, typ, off, size uint32, err error) {
+		base := int(shoff) + i*shEntSize
+		if base+shEntSize > len(raw) {
+			return 0, 0, 0, 0, ErrCorrupt
+		}
+		return be.Uint32(raw[base:]), be.Uint32(raw[base+4:]), be.Uint32(raw[base+16:]), be.Uint32(raw[base+20:]), nil
+	}
+	_, _, strOff, strSize, err := readShdr(shstrndx)
+	if err != nil {
+		return nil, err
+	}
+	if int(strOff)+int(strSize) > len(raw) {
+		return nil, ErrCorrupt
+	}
+	strtab := raw[strOff : strOff+strSize]
+	secName := func(nameOff uint32) string {
+		if int(nameOff) >= len(strtab) {
+			return ""
+		}
+		end := nameOff
+		for int(end) < len(strtab) && strtab[end] != 0 {
+			end++
+		}
+		return string(strtab[nameOff:end])
+	}
+	sum := sha256.Sum256(raw)
+	b := &Binary{
+		SHA256: hex.EncodeToString(sum[:]),
+		Entry:  be.Uint32(raw[24:]),
+		raw:    raw,
+	}
+	for i := 1; i < shnum; i++ {
+		nameOff, typ, off, size, err := readShdr(i)
+		if err != nil {
+			return nil, err
+		}
+		if typ != shtProgbits {
+			continue
+		}
+		if int(off)+int(size) > len(raw) {
+			return nil, fmt.Errorf("%w: section %d out of bounds", ErrCorrupt, i)
+		}
+		b.Sections = append(b.Sections, Section{Name: secName(nameOff), Data: raw[off : off+size]})
+	}
+	return b, nil
+}
+
+// Strings extracts printable-ASCII runs of at least min bytes, like
+// strings(1); the triage path uses it for family hints.
+func Strings(raw []byte, min int) []string {
+	if min < 1 {
+		min = 4
+	}
+	var out []string
+	start := -1
+	for i, c := range raw {
+		printable := c >= 0x20 && c < 0x7f
+		if printable && start < 0 {
+			start = i
+		}
+		if !printable && start >= 0 {
+			if i-start >= min {
+				out = append(out, string(raw[start:i]))
+			}
+			start = -1
+		}
+	}
+	if start >= 0 && len(raw)-start >= min {
+		out = append(out, string(raw[start:]))
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package c2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tsunami speaks IRC (Table 6: "its communication over the IRC
+// protocol"). Only the handful of message types the bots and C2s
+// exchange are modeled: registration (NICK/USER), channel join,
+// server PING/PONG, and PRIVMSG carrying operator commands. No
+// Tsunami DDoS launches appear in the study's D-DDOS, so commands
+// are opaque strings here.
+
+// IRCMessage is one parsed IRC line.
+type IRCMessage struct {
+	Prefix  string
+	Command string
+	Params  []string
+	// Trailing is the ":"-prefixed final parameter.
+	Trailing string
+}
+
+// EncodeIRC renders the message as a CRLF-terminated IRC line.
+func (m IRCMessage) EncodeIRC() []byte {
+	var sb strings.Builder
+	if m.Prefix != "" {
+		sb.WriteByte(':')
+		sb.WriteString(m.Prefix)
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(m.Command)
+	for _, p := range m.Params {
+		sb.WriteByte(' ')
+		sb.WriteString(p)
+	}
+	if m.Trailing != "" {
+		sb.WriteString(" :")
+		sb.WriteString(m.Trailing)
+	}
+	sb.WriteString("\r\n")
+	return []byte(sb.String())
+}
+
+// ParseIRC parses one IRC line (without its CRLF).
+func ParseIRC(line string) (IRCMessage, error) {
+	line = strings.TrimRight(line, "\r\n")
+	var m IRCMessage
+	if line == "" {
+		return m, fmt.Errorf("c2: empty IRC line")
+	}
+	rest := line
+	if rest[0] == ':' {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return m, fmt.Errorf("c2: IRC prefix without command: %q", line)
+		}
+		m.Prefix = rest[1:sp]
+		rest = rest[sp+1:]
+	}
+	if tr := strings.Index(rest, " :"); tr >= 0 {
+		m.Trailing = rest[tr+2:]
+		rest = rest[:tr]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return m, fmt.Errorf("c2: IRC line without command: %q", line)
+	}
+	m.Command = fields[0]
+	m.Params = fields[1:]
+	return m, nil
+}
+
+// Tsunami session constants.
+const (
+	// TsunamiChannel is the control channel bots join.
+	TsunamiChannel = "#tsunami"
+)

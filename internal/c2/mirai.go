@@ -1,0 +1,160 @@
+package c2
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Mirai's binary C2 protocol, following the leaked source: a 4-byte
+// handshake, 2-byte keepalive pings echoed by the server, and
+// length-prefixed attack commands of the form
+//
+//	u16 total_len | u32 duration | u8 vector | u8 n_targets |
+//	n * (ipv4[4] | netmask u8) | u8 n_opts | n * (key u8 | len u8 | val)
+var (
+	// MiraiHandshake is the bot's opening message (version 1).
+	MiraiHandshake = []byte{0x00, 0x00, 0x00, 0x01}
+	// MiraiPing is the 2-byte keepalive, echoed verbatim by the C2.
+	MiraiPing = []byte{0x00, 0x00}
+)
+
+// Mirai attack vector ids (subset used in the study's traffic).
+const (
+	MiraiVecUDP   = 0 // "UDP Flood" — command value "0" per §5.1
+	MiraiVecVSE   = 1
+	MiraiVecSYN   = 3
+	MiraiVecSTOMP = 5
+	MiraiVecTLS   = 33 // variant-specific extension seen in the wild
+)
+
+// Mirai attack option keys (from the leaked source's attack.h).
+const (
+	miraiOptSport = 6
+	miraiOptDport = 7
+)
+
+// Mirai decode errors.
+var (
+	ErrMiraiShort  = errors.New("c2: short mirai command")
+	ErrMiraiVector = errors.New("c2: unknown mirai attack vector")
+)
+
+func miraiVector(a AttackType) (uint8, error) {
+	switch a {
+	case AttackUDPFlood:
+		return MiraiVecUDP, nil
+	case AttackVSE:
+		return MiraiVecVSE, nil
+	case AttackSYNFlood:
+		return MiraiVecSYN, nil
+	case AttackSTOMP:
+		return MiraiVecSTOMP, nil
+	case AttackTLS:
+		return MiraiVecTLS, nil
+	}
+	return 0, fmt.Errorf("%w: %v not a mirai attack", ErrMiraiVector, a)
+}
+
+func miraiAttack(vec uint8) (AttackType, error) {
+	switch vec {
+	case MiraiVecUDP:
+		return AttackUDPFlood, nil
+	case MiraiVecVSE:
+		return AttackVSE, nil
+	case MiraiVecSYN:
+		return AttackSYNFlood, nil
+	case MiraiVecSTOMP:
+		return AttackSTOMP, nil
+	case MiraiVecTLS:
+		return AttackTLS, nil
+	}
+	return 0, fmt.Errorf("%w: vector %d", ErrMiraiVector, vec)
+}
+
+// EncodeMiraiAttack renders cmd as a Mirai C2 attack message.
+func EncodeMiraiAttack(cmd Command) ([]byte, error) {
+	vec, err := miraiVector(cmd.Attack)
+	if err != nil {
+		return nil, err
+	}
+	if !cmd.Target.Is4() {
+		return nil, fmt.Errorf("c2: mirai target %v is not IPv4", cmd.Target)
+	}
+	body := make([]byte, 0, 16)
+	body = binary.BigEndian.AppendUint32(body, uint32(cmd.Duration.Seconds()))
+	body = append(body, vec, 1) // one target
+	ip := cmd.Target.As4()
+	body = append(body, ip[:]...)
+	body = append(body, 32) // /32
+	if cmd.Port != 0 {
+		body = append(body, 1, miraiOptDport, 2)
+		body = binary.BigEndian.AppendUint16(body, cmd.Port)
+	} else {
+		body = append(body, 0)
+	}
+	out := make([]byte, 2, 2+len(body))
+	binary.BigEndian.PutUint16(out, uint16(2+len(body)))
+	return append(out, body...), nil
+}
+
+// DecodeMiraiAttack parses a Mirai attack message. It returns the
+// first target (the study's commands carry one).
+func DecodeMiraiAttack(b []byte) (*Command, error) {
+	if len(b) < 2 {
+		return nil, ErrMiraiShort
+	}
+	total := int(binary.BigEndian.Uint16(b))
+	if total > len(b) || total < 8 {
+		return nil, ErrMiraiShort
+	}
+	body := b[2:total]
+	if len(body) < 6 {
+		return nil, ErrMiraiShort
+	}
+	dur := time.Duration(binary.BigEndian.Uint32(body)) * time.Second
+	attack, err := miraiAttack(body[4])
+	if err != nil {
+		return nil, err
+	}
+	n := int(body[5])
+	pos := 6
+	if n < 1 || len(body) < pos+5*n+1 {
+		return nil, ErrMiraiShort
+	}
+	target := netip.AddrFrom4([4]byte(body[pos : pos+4]))
+	pos += 5 * n
+	cmd := &Command{Attack: attack, Target: target, Duration: dur, Raw: b[:total]}
+	nOpts := int(body[pos])
+	pos++
+	for i := 0; i < nOpts; i++ {
+		if len(body) < pos+2 {
+			return nil, ErrMiraiShort
+		}
+		key, vlen := body[pos], int(body[pos+1])
+		pos += 2
+		if len(body) < pos+vlen {
+			return nil, ErrMiraiShort
+		}
+		if key == miraiOptDport && vlen == 2 {
+			cmd.Port = binary.BigEndian.Uint16(body[pos:])
+		}
+		pos += vlen
+	}
+	if attack == AttackTLS {
+		cmd.TCPTransport = true // Mirai's TLS variant attacks TCP
+	}
+	return cmd, nil
+}
+
+// IsMiraiHandshake reports whether b opens a Mirai bot session.
+func IsMiraiHandshake(b []byte) bool {
+	return len(b) >= 4 && b[0] == 0 && b[1] == 0 && b[2] == 0 && b[3] == 1
+}
+
+// IsMiraiPing reports whether b is the 2-byte keepalive.
+func IsMiraiPing(b []byte) bool {
+	return len(b) == 2 && b[0] == 0 && b[1] == 0
+}

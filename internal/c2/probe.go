@@ -1,0 +1,58 @@
+package c2
+
+import "bytes"
+
+// Weaponized-probe protocol helpers (§2.1's second mode): the
+// messages a probing client sends to elicit C2 engagement, and the
+// classifier for the server's reaction. They are shared by the
+// simulated probing study (internal/core) and the real-network
+// prober (internal/realprobe) — one protocol implementation, two
+// transports.
+
+// ProbeHandshake returns the message sequence a weaponized bot of
+// the family opens a session with.
+func ProbeHandshake(family string) [][]byte {
+	switch family {
+	case FamilyMirai:
+		// Handshake, then a keepalive ping the C2 will echo.
+		return [][]byte{MiraiHandshake, MiraiPing}
+	case FamilyGafgyt:
+		return [][]byte{[]byte("BUILD GAFGYT PROBE\n")}
+	case FamilyDaddyl33t:
+		return [][]byte{[]byte("l33t probe\n")}
+	case FamilyTsunami:
+		return [][]byte{
+			IRCMessage{Command: "NICK", Params: []string{"probe"}}.EncodeIRC(),
+			IRCMessage{Command: "USER", Params: []string{"probe", "8", "*"}, Trailing: "probe"}.EncodeIRC(),
+		}
+	}
+	return [][]byte{{0x00, 0x00, 0x00, 0x01}}
+}
+
+// ProbeEngaged reports whether data from the peer is C2-protocol
+// engagement for the family.
+func ProbeEngaged(family string, data []byte) bool {
+	switch family {
+	case FamilyMirai:
+		return IsMiraiPing(data)
+	case FamilyGafgyt:
+		return bytes.Contains(data, []byte(GafgytPing))
+	case FamilyDaddyl33t:
+		return bytes.Contains(data, []byte(DaddyPing))
+	case FamilyTsunami:
+		return bytes.Contains(data, []byte(" 001 ")) || bytes.HasPrefix(data, []byte(":"))
+	}
+	return len(data) > 0
+}
+
+// WellKnownBanner reports whether data opens with a benign service
+// banner (Apache, nginx, SSH, SMTP/FTP, IMAP) — the probing ethics
+// filter (§2.6) that excludes ordinary servers from C2 candidacy.
+func WellKnownBanner(data []byte) bool {
+	for _, sig := range [][]byte{[]byte("HTTP/"), []byte("SSH-"), []byte("220 "), []byte("* OK")} {
+		if bytes.HasPrefix(data, sig) {
+			return true
+		}
+	}
+	return false
+}

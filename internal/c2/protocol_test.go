@@ -1,0 +1,287 @@
+package c2
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var target = netip.MustParseAddr("198.51.100.9")
+
+func TestMiraiAttackRoundTrip(t *testing.T) {
+	for _, attack := range []AttackType{AttackUDPFlood, AttackSYNFlood, AttackSTOMP, AttackVSE, AttackTLS} {
+		cmd := Command{Attack: attack, Target: target, Port: 80, Duration: 60 * time.Second}
+		wire, err := EncodeMiraiAttack(cmd)
+		if err != nil {
+			t.Fatalf("%v: %v", attack, err)
+		}
+		got, err := DecodeMiraiAttack(wire)
+		if err != nil {
+			t.Fatalf("%v: %v", attack, err)
+		}
+		if got.Attack != attack || got.Target != target || got.Port != 80 || got.Duration != time.Minute {
+			t.Fatalf("%v: decoded %+v", attack, got)
+		}
+	}
+}
+
+func TestMiraiUDPFloodUsesVectorZero(t *testing.T) {
+	// §5.1: "Mirai uses value 0 in the DDOS command to refer to
+	// this attack."
+	wire, _ := EncodeMiraiAttack(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	if wire[6] != 0 {
+		t.Fatalf("vector byte = %d, want 0", wire[6])
+	}
+}
+
+func TestMiraiPortlessCommand(t *testing.T) {
+	cmd := Command{Attack: AttackSYNFlood, Target: target, Duration: 30 * time.Second}
+	wire, err := EncodeMiraiAttack(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMiraiAttack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Port != 0 {
+		t.Fatalf("port = %d, want 0", got.Port)
+	}
+}
+
+func TestMiraiTLSMarksTCPTransport(t *testing.T) {
+	wire, _ := EncodeMiraiAttack(Command{Attack: AttackTLS, Target: target, Port: 443, Duration: time.Minute})
+	got, err := DecodeMiraiAttack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.TCPTransport {
+		t.Fatal("Mirai TLS command must mark TCP transport")
+	}
+}
+
+func TestMiraiDecodeRejectsShort(t *testing.T) {
+	if _, err := DecodeMiraiAttack([]byte{0, 5, 1}); err == nil {
+		t.Fatal("short command decoded")
+	}
+	if _, err := DecodeMiraiAttack(nil); err == nil {
+		t.Fatal("nil command decoded")
+	}
+}
+
+func TestMiraiDecodeRejectsUnknownVector(t *testing.T) {
+	wire, _ := EncodeMiraiAttack(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	wire[6] = 99
+	if _, err := DecodeMiraiAttack(wire); err == nil {
+		t.Fatal("unknown vector decoded")
+	}
+}
+
+func TestMiraiHandshakeAndPing(t *testing.T) {
+	if !IsMiraiHandshake(MiraiHandshake) {
+		t.Fatal("canonical handshake not recognized")
+	}
+	if IsMiraiHandshake([]byte{0, 0, 0, 2}) {
+		t.Fatal("wrong version accepted")
+	}
+	if !IsMiraiPing(MiraiPing) {
+		t.Fatal("canonical ping not recognized")
+	}
+	if IsMiraiPing([]byte{0, 0, 0}) {
+		t.Fatal("3-byte ping accepted")
+	}
+}
+
+func TestGafgytRoundTrip(t *testing.T) {
+	for _, attack := range []AttackType{AttackUDPFlood, AttackSYNFlood, AttackVSE, AttackSTD} {
+		cmd := Command{Attack: attack, Target: target, Port: 80, Duration: 60 * time.Second}
+		wire, err := EncodeGafgytCommand(cmd)
+		if err != nil {
+			t.Fatalf("%v: %v", attack, err)
+		}
+		got, err := ParseGafgytLine(string(wire))
+		if err != nil {
+			t.Fatalf("%v: %v", attack, err)
+		}
+		if got.Attack != attack || got.Target != target || got.Port != 80 {
+			t.Fatalf("%v: %+v", attack, got)
+		}
+	}
+}
+
+func TestGafgytUDPWireFormat(t *testing.T) {
+	// §5.1: "Gafgyt uses the string UDP ... to launch this attack".
+	wire, _ := EncodeGafgytCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	if !strings.HasPrefix(string(wire), "!* UDP 198.51.100.9 80 60") {
+		t.Fatalf("wire = %q", wire)
+	}
+}
+
+func TestGafgytChatterIsNotCommand(t *testing.T) {
+	for _, line := range []string{"PING", "PONG!", "", "hello"} {
+		if _, err := ParseGafgytLine(line); err != ErrNotCommand {
+			t.Fatalf("%q: err = %v, want ErrNotCommand", line, err)
+		}
+	}
+}
+
+func TestGafgytMalformedCommand(t *testing.T) {
+	for _, line := range []string{"!* UDP", "!* UDP notanip 80 60", "!* UDP 1.2.3.4 99999 60", "!* WAT 1.2.3.4 80 60"} {
+		if _, err := ParseGafgytLine(line); err == nil {
+			t.Fatalf("%q parsed", line)
+		}
+	}
+}
+
+func TestDaddyRoundTrip(t *testing.T) {
+	for _, attack := range []AttackType{AttackUDPFlood, AttackSYNFlood, AttackTLS, AttackNFO} {
+		cmd := Command{Attack: attack, Target: target, Port: 4567, Duration: 120 * time.Second}
+		wire, err := EncodeDaddyCommand(cmd)
+		if err != nil {
+			t.Fatalf("%v: %v", attack, err)
+		}
+		got, err := ParseDaddyLine(string(wire))
+		if err != nil {
+			t.Fatalf("%v: %v", attack, err)
+		}
+		if got.Attack != attack || got.Port != 4567 {
+			t.Fatalf("%v: %+v", attack, got)
+		}
+	}
+}
+
+func TestDaddyVerbsMatchPaper(t *testing.T) {
+	// §5.1: UDPRAW, HYDRASYN, NURSE (ICMP, portless), NFOV6.
+	wire, _ := EncodeDaddyCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	if !strings.HasPrefix(string(wire), "UDPRAW ") {
+		t.Fatalf("UDP verb = %q", wire)
+	}
+	wire, _ = EncodeDaddyCommand(Command{Attack: AttackSYNFlood, Target: target, Port: 80, Duration: time.Minute})
+	if !strings.HasPrefix(string(wire), "HYDRASYN ") {
+		t.Fatalf("SYN verb = %q", wire)
+	}
+	wire, _ = EncodeDaddyCommand(Command{Attack: AttackBlacknurse, Target: target, Duration: time.Minute})
+	if string(wire) != "NURSE 198.51.100.9 60\n" {
+		t.Fatalf("NURSE wire = %q", wire)
+	}
+	got, err := ParseDaddyLine("NURSE 198.51.100.9 60")
+	if err != nil || got.Attack != AttackBlacknurse || got.Port != 0 {
+		t.Fatalf("NURSE parse = %+v, %v", got, err)
+	}
+}
+
+func TestDaddyNonCommandLines(t *testing.T) {
+	for _, line := range []string{"!ping", "!pong", "l33t bot1", ""} {
+		if _, err := ParseDaddyLine(line); err != ErrNotCommand {
+			t.Fatalf("%q: err = %v, want ErrNotCommand", line, err)
+		}
+	}
+}
+
+func TestLinesSplitsAndKeepsPartial(t *testing.T) {
+	lines, rest := Lines([]byte("one\ntwo\r\npart"))
+	if len(lines) != 2 || lines[0] != "one" || lines[1] != "two" {
+		t.Fatalf("lines = %v", lines)
+	}
+	if string(rest) != "part" {
+		t.Fatalf("rest = %q", rest)
+	}
+}
+
+func TestIRCRoundTrip(t *testing.T) {
+	m := IRCMessage{Prefix: "c2", Command: "PRIVMSG", Params: []string{TsunamiChannel}, Trailing: "do things"}
+	got, err := ParseIRC(string(m.EncodeIRC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Prefix != "c2" || got.Command != "PRIVMSG" || got.Trailing != "do things" {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Params) != 1 || got.Params[0] != TsunamiChannel {
+		t.Fatalf("params = %v", got.Params)
+	}
+}
+
+func TestIRCNoPrefixNoTrailing(t *testing.T) {
+	got, err := ParseIRC("NICK bot42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != "NICK" || len(got.Params) != 1 || got.Params[0] != "bot42" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAttackTargetProtoDistributionDims(t *testing.T) {
+	// Figure 10 buckets: UDP, TCP, ICMP (+DNS handled at analysis
+	// level). Every attack type must map to one.
+	for a := AttackUDPFlood; a <= AttackNFO; a++ {
+		p := a.TargetProto()
+		if p != "UDP" && p != "TCP" && p != "ICMP" {
+			t.Fatalf("%v -> %q", a, p)
+		}
+	}
+}
+
+func TestQuickMiraiRoundTripAnyPortDuration(t *testing.T) {
+	f := func(port uint16, secs uint16, ip [4]byte) bool {
+		cmd := Command{
+			Attack:   AttackUDPFlood,
+			Target:   netip.AddrFrom4(ip),
+			Port:     port,
+			Duration: time.Duration(secs) * time.Second,
+		}
+		wire, err := EncodeMiraiAttack(cmd)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMiraiAttack(wire)
+		if err != nil {
+			return false
+		}
+		return got.Port == port && got.Target == cmd.Target && got.Duration == cmd.Duration
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGafgytRoundTrip(t *testing.T) {
+	f := func(port uint16, secs uint8, ip [4]byte) bool {
+		cmd := Command{
+			Attack:   AttackUDPFlood,
+			Target:   netip.AddrFrom4(ip),
+			Port:     port,
+			Duration: time.Duration(secs) * time.Second,
+		}
+		wire, err := EncodeGafgytCommand(cmd)
+		if err != nil {
+			return false
+		}
+		got, err := ParseGafgytLine(string(wire))
+		if err != nil {
+			return false
+		}
+		return got.Port == port && got.Target == cmd.Target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMiraiDecodeTruncationFuzz(t *testing.T) {
+	wire, _ := EncodeMiraiAttack(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	for i := 0; i < len(wire); i++ {
+		trunc := wire[:i]
+		if cmd, err := DecodeMiraiAttack(trunc); err == nil {
+			// Decoding a prefix must never fabricate a different
+			// command.
+			if !bytes.Equal(cmd.Raw, wire) {
+				t.Fatalf("truncated to %d bytes decoded: %+v", i, cmd)
+			}
+		}
+	}
+}

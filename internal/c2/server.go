@@ -1,0 +1,397 @@
+package c2
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"malnet/internal/detrand"
+	"malnet/internal/simnet"
+)
+
+// DutyCycle is the responsiveness model behind the paper's
+// "elusive C2" finding (§3.2, Figure 4): the server's observable
+// uptime is a per-slot Markov chain. With the default parameters a
+// server that answered a probe answers the next one (4 h later) only
+// 9 % of the time, and six consecutive responsive slots essentially
+// never happen.
+type DutyCycle struct {
+	// SlotLen is the chain's time step (the paper probes at 4 h).
+	SlotLen time.Duration
+	// RespAfterResp is P(responsive | previous slot responsive).
+	RespAfterResp float64
+	// RespAfterIdle is P(responsive | previous slot idle).
+	RespAfterIdle float64
+	// Seed drives the deterministic chain.
+	Seed int64
+}
+
+// DefaultDutyCycle returns the paper-calibrated elusiveness model.
+func DefaultDutyCycle(seed int64) DutyCycle {
+	return DutyCycle{
+		SlotLen:       4 * time.Hour,
+		RespAfterResp: 0.09,
+		RespAfterIdle: 0.30,
+		Seed:          seed,
+	}
+}
+
+// hash01 derives a uniform [0,1) from the seed and slot index.
+func (d DutyCycle) hash01(slot int) float64 {
+	return detrand.Float01(d.Seed, "slot", strconv.Itoa(slot))
+}
+
+// Responsive reports whether slot i (0-based from the server's
+// birth) is responsive. The chain is evaluated iteratively but
+// deterministically, so any slot can be queried independently of
+// simulation order.
+func (d DutyCycle) Responsive(slot int) bool {
+	if slot < 0 {
+		return false
+	}
+	resp := d.hash01(0) < 0.5 // initial state
+	for i := 1; i <= slot; i++ {
+		p := d.RespAfterIdle
+		if resp {
+			p = d.RespAfterResp
+		}
+		resp = d.hash01(i) < p
+	}
+	return resp
+}
+
+// ServerConfig describes one C2 server.
+type ServerConfig struct {
+	// Family selects the protocol (mirai, gafgyt, daddyl33t,
+	// tsunami).
+	Family string
+	// Addr is the listen endpoint.
+	Addr simnet.Addr
+	// Birth and Death bound the server's life; outside it the host
+	// is dark (SYN timeouts).
+	Birth, Death time.Time
+	// Duty is the responsiveness model within the lifetime.
+	Duty DutyCycle
+	// AlwaysOn disables the duty cycle (for protocol tests).
+	AlwaysOn bool
+	// Downloader, when non-nil, co-hosts an HTTP malware
+	// downloader on port 80 serving these files (path -> bytes).
+	Downloader map[string][]byte
+	// KeepaliveEvery is the server-side ping cadence for text/IRC
+	// protocols; defaults to 60 s.
+	KeepaliveEvery time.Duration
+	// SessionTTL bounds how long a bot session is kept before the
+	// server closes it; defaults to 4 h (bounds event volume).
+	SessionTTL time.Duration
+}
+
+// IssuedCommand is a ground-truth record of an attack command that
+// actually went out to >= 1 bot.
+type IssuedCommand struct {
+	Time time.Time
+	Cmd  Command
+	Bots int
+}
+
+// Server is a live C2 on the virtual network.
+type Server struct {
+	cfg      ServerConfig
+	host     *simnet.Host
+	net      *simnet.Network
+	sessions map[*session]struct{}
+	// Issued logs every command actually delivered — the ground
+	// truth D-DDOS is validated against.
+	Issued []IssuedCommand
+}
+
+type session struct {
+	srv   *Server
+	conn  *simnet.Conn
+	ready bool
+	buf   []byte
+	nick  string
+}
+
+// NewServer installs a C2 server on the network. The host is created
+// if needed; its Online flag is driven by the lifetime and duty
+// cycle.
+func NewServer(n *simnet.Network, cfg ServerConfig) *Server {
+	if cfg.KeepaliveEvery <= 0 {
+		cfg.KeepaliveEvery = time.Minute
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 4 * time.Hour
+	}
+	if cfg.Duty.SlotLen <= 0 {
+		cfg.Duty = DefaultDutyCycle(cfg.Duty.Seed)
+	}
+	s := &Server{
+		cfg:      cfg,
+		net:      n,
+		host:     n.AddHost(cfg.Addr.IP),
+		sessions: make(map[*session]struct{}),
+	}
+	s.host.ListenTCP(cfg.Addr.Port, s.accept)
+	if cfg.Downloader != nil {
+		ServeDownloader(s.host, 80, cfg.Downloader)
+	}
+	s.applyOnline()
+	s.scheduleFlips()
+	return s
+}
+
+// Config returns the server's configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// Host returns the underlying simnet host.
+func (s *Server) Host() *simnet.Host { return s.host }
+
+// Sessions returns the number of connected bot sessions.
+func (s *Server) Sessions() int { return len(s.sessions) }
+
+// OnlineAt reports whether the server is reachable at t per its
+// lifetime and duty cycle.
+func (s *Server) OnlineAt(t time.Time) bool {
+	if t.Before(s.cfg.Birth) || !t.Before(s.cfg.Death) {
+		return false
+	}
+	if s.cfg.AlwaysOn {
+		return true
+	}
+	slot := int(t.Sub(s.cfg.Birth) / s.cfg.Duty.SlotLen)
+	return s.cfg.Duty.Responsive(slot)
+}
+
+func (s *Server) applyOnline() {
+	s.host.Online = s.OnlineAt(s.net.Clock.Now())
+}
+
+// scheduleFlips registers Online transitions at every slot boundary
+// inside the lifetime plus the birth/death edges.
+func (s *Server) scheduleFlips() {
+	clock := s.net.Clock
+	now := clock.Now()
+	schedule := func(at time.Time) {
+		if at.After(now) {
+			clock.Schedule(at, s.applyOnline)
+		}
+	}
+	schedule(s.cfg.Birth)
+	schedule(s.cfg.Death)
+	if s.cfg.AlwaysOn {
+		return
+	}
+	for t := s.cfg.Birth; t.Before(s.cfg.Death); t = t.Add(s.cfg.Duty.SlotLen) {
+		schedule(t)
+	}
+}
+
+// accept starts a protocol session for an inbound bot connection.
+func (s *Server) accept(local, remote simnet.Addr) simnet.ConnHandler {
+	sess := &session{srv: s}
+	return simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) {
+			sess.conn = c
+			s.sessions[sess] = struct{}{}
+			sess.onConnect()
+			s.net.Clock.After(s.cfg.SessionTTL, func() {
+				if _, live := s.sessions[sess]; live {
+					c.Close()
+				}
+			})
+		},
+		Data: func(c *simnet.Conn, b []byte) { sess.onData(b) },
+		Close: func(c *simnet.Conn, err error) {
+			delete(s.sessions, sess)
+		},
+	}
+}
+
+func (sess *session) onConnect() {
+	switch sess.srv.cfg.Family {
+	case FamilyGafgyt, FamilyDaddyl33t, FamilyTsunami:
+		sess.scheduleKeepalive()
+	}
+}
+
+func (sess *session) scheduleKeepalive() {
+	srv := sess.srv
+	srv.net.Clock.After(srv.cfg.KeepaliveEvery, func() {
+		if _, live := srv.sessions[sess]; !live {
+			return
+		}
+		switch srv.cfg.Family {
+		case FamilyGafgyt:
+			sess.conn.Write([]byte(GafgytPing + "\n"))
+		case FamilyDaddyl33t:
+			sess.conn.Write([]byte(DaddyPing + "\n"))
+		case FamilyTsunami:
+			sess.conn.Write(IRCMessage{Command: "PING", Trailing: "c2"}.EncodeIRC())
+		}
+		sess.scheduleKeepalive()
+	})
+}
+
+func (sess *session) onData(b []byte) {
+	switch sess.srv.cfg.Family {
+	case FamilyMirai:
+		if !sess.ready && IsMiraiHandshake(b) {
+			sess.ready = true
+			return
+		}
+		if IsMiraiPing(b) {
+			sess.conn.Write(MiraiPing) // echo keepalive
+		}
+	case FamilyGafgyt:
+		sess.ready = true // any login line registers the bot
+	case FamilyDaddyl33t:
+		sess.buf = append(sess.buf, b...)
+		var lines []string
+		lines, sess.buf = Lines(sess.buf)
+		for _, ln := range lines {
+			if len(ln) >= 4 && ln[:4] == "l33t" {
+				sess.ready = true
+			}
+		}
+	case FamilyVPNFilter:
+		// Stage-2 distribution endpoint: answer beacons with a
+		// generic 200 so the bot holds the session.
+		if len(b) > 4 && string(b[:4]) == "GET " {
+			sess.conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"))
+			sess.ready = true
+		}
+	case FamilyTsunami:
+		sess.buf = append(sess.buf, b...)
+		var lines []string
+		lines, sess.buf = Lines(sess.buf)
+		for _, ln := range lines {
+			m, err := ParseIRC(ln)
+			if err != nil {
+				continue
+			}
+			switch m.Command {
+			case "NICK":
+				if len(m.Params) > 0 {
+					sess.nick = m.Params[0]
+				}
+				sess.conn.Write(IRCMessage{Prefix: "c2", Command: "001", Params: []string{sess.nick}, Trailing: "welcome"}.EncodeIRC())
+			case "JOIN":
+				sess.ready = true
+			case "PONG":
+				// keepalive answered; nothing to do
+			}
+		}
+	}
+}
+
+// Issue sends an attack command to every ready session now. It
+// returns the number of bots that received it; 0 means no bot was
+// connected (nothing is logged then).
+func (s *Server) Issue(cmd Command) (int, error) {
+	wire, err := s.encode(cmd)
+	if err != nil {
+		return 0, err
+	}
+	bots := 0
+	for sess := range s.sessions {
+		if sess.ready {
+			if sess.conn.Write(wire) == nil {
+				bots++
+			}
+		}
+	}
+	if bots > 0 {
+		s.Issued = append(s.Issued, IssuedCommand{Time: s.net.Clock.Now(), Cmd: cmd, Bots: bots})
+	}
+	return bots, nil
+}
+
+func (s *Server) encode(cmd Command) ([]byte, error) {
+	switch s.cfg.Family {
+	case FamilyMirai:
+		return EncodeMiraiAttack(cmd)
+	case FamilyGafgyt:
+		return EncodeGafgytCommand(cmd)
+	case FamilyDaddyl33t:
+		return EncodeDaddyCommand(cmd)
+	}
+	return nil, fmt.Errorf("c2: family %q cannot issue attacks", s.cfg.Family)
+}
+
+// IssueText sends a raw operator line to every ready session —
+// Tsunami's IRC command channel (Table 6: "download and execute
+// files from the Internet"). The line is wrapped per the family's
+// transport (PRIVMSG for IRC, newline-terminated otherwise).
+func (s *Server) IssueText(line string) int {
+	var wire []byte
+	switch s.cfg.Family {
+	case FamilyTsunami:
+		wire = IRCMessage{Prefix: "op!op@c2", Command: "PRIVMSG", Params: []string{TsunamiChannel}, Trailing: line}.EncodeIRC()
+	default:
+		wire = append([]byte(line), '\n')
+	}
+	bots := 0
+	for sess := range s.sessions {
+		if sess.ready && sess.conn.Write(wire) == nil {
+			bots++
+		}
+	}
+	return bots
+}
+
+// ScheduleAttack arranges for cmd to be issued at the given time,
+// retrying hourly (up to retries times) while no bot is connected —
+// mirroring how operators re-issue commands until bots pick them up.
+func (s *Server) ScheduleAttack(at time.Time, cmd Command, retries int) {
+	s.ScheduleAttackEvery(at, cmd, retries, time.Hour)
+}
+
+// ScheduleAttackEvery is ScheduleAttack with an explicit retry
+// interval.
+func (s *Server) ScheduleAttackEvery(at time.Time, cmd Command, retries int, every time.Duration) {
+	if every <= 0 {
+		every = time.Hour
+	}
+	s.net.Clock.Schedule(at, func() {
+		n, err := s.Issue(cmd)
+		if err != nil {
+			return
+		}
+		if n == 0 && retries > 0 {
+			s.ScheduleAttackEvery(s.net.Clock.Now().Add(every), cmd, retries-1, every)
+		}
+	})
+}
+
+// ServeDownloader binds a minimal HTTP file server to the host — the
+// loader-hosting role §3.1 finds co-located with C2s ("All
+// downloader servers host on http port 80").
+func ServeDownloader(h *simnet.Host, port uint16, files map[string][]byte) {
+	h.ListenTCP(port, func(local, remote simnet.Addr) simnet.ConnHandler {
+		var buf []byte
+		return simnet.ConnFuncs{
+			Data: func(c *simnet.Conn, b []byte) {
+				buf = append(buf, b...)
+				lines, _ := Lines(buf)
+				if len(lines) == 0 {
+					return
+				}
+				var path string
+				if n, _ := fmt.Sscanf(lines[0], "GET %s HTTP/", &path); n != 1 {
+					c.Write([]byte("HTTP/1.0 400 Bad Request\r\n\r\n"))
+					c.Close()
+					return
+				}
+				body, ok := files[path]
+				if !ok {
+					c.Write([]byte("HTTP/1.0 404 Not Found\r\n\r\n"))
+					c.Close()
+					return
+				}
+				c.Write([]byte(fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\nContent-Type: application/octet-stream\r\n\r\n", len(body))))
+				c.Write(body)
+				c.Close()
+			},
+		}
+	})
+}

@@ -1,0 +1,376 @@
+package c2
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+var t0 = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func newWorld() (*simnet.Network, *simclock.Clock) {
+	clock := simclock.New(t0)
+	return simnet.New(clock, simnet.DefaultConfig()), clock
+}
+
+func alwaysOnServer(n *simnet.Network, family string, ip string) *Server {
+	return NewServer(n, ServerConfig{
+		Family:   family,
+		Addr:     simnet.AddrFrom(ip, 23),
+		Birth:    t0,
+		Death:    t0.Add(365 * 24 * time.Hour),
+		AlwaysOn: true,
+	})
+}
+
+func TestMiraiSessionHandshakeAndPingEcho(t *testing.T) {
+	n, clock := newWorld()
+	srv := alwaysOnServer(n, FamilyMirai, "60.0.0.1")
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+
+	var echoes int
+	bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) {
+			c.Write(MiraiHandshake)
+			c.Write(MiraiPing)
+		},
+		Data: func(c *simnet.Conn, b []byte) {
+			if IsMiraiPing(b) {
+				echoes++
+			}
+		},
+	})
+	clock.RunFor(10 * time.Second)
+	if echoes != 1 {
+		t.Fatalf("ping echoes = %d, want 1", echoes)
+	}
+	if srv.Sessions() != 1 {
+		t.Fatalf("sessions = %d", srv.Sessions())
+	}
+}
+
+func TestIssueDeliversCommandToReadyBots(t *testing.T) {
+	n, clock := newWorld()
+	srv := alwaysOnServer(n, FamilyMirai, "60.0.0.1")
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+
+	var got *Command
+	bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) { c.Write(MiraiHandshake) },
+		Data: func(c *simnet.Conn, b []byte) {
+			if cmd, err := DecodeMiraiAttack(b); err == nil {
+				got = cmd
+			}
+		},
+	})
+	clock.RunFor(5 * time.Second)
+	want := Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute}
+	nBots, err := srv.Issue(want)
+	if err != nil || nBots != 1 {
+		t.Fatalf("Issue = %d, %v", nBots, err)
+	}
+	clock.RunFor(5 * time.Second)
+	if got == nil || got.Attack != AttackUDPFlood || got.Target != target {
+		t.Fatalf("bot received %+v", got)
+	}
+	if len(srv.Issued) != 1 || srv.Issued[0].Bots != 1 {
+		t.Fatalf("issued log = %+v", srv.Issued)
+	}
+}
+
+func TestIssueWithoutBotsNotLogged(t *testing.T) {
+	n, _ := newWorld()
+	srv := alwaysOnServer(n, FamilyMirai, "60.0.0.1")
+	nBots, err := srv.Issue(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	if err != nil || nBots != 0 {
+		t.Fatalf("Issue = %d, %v", nBots, err)
+	}
+	if len(srv.Issued) != 0 {
+		t.Fatal("command without receivers was logged")
+	}
+}
+
+func TestScheduleAttackRetriesUntilBotConnects(t *testing.T) {
+	n, clock := newWorld()
+	srv := alwaysOnServer(n, FamilyGafgyt, "60.0.0.1")
+	cmd := Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute}
+	srv.ScheduleAttack(t0.Add(time.Hour), cmd, 5)
+
+	// Bot connects two hours in; the second retry should hit it.
+	clock.Schedule(t0.Add(2*time.Hour), func() {
+		bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+		bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
+			Connect: func(c *simnet.Conn) { c.Write([]byte("BUILD GAFGYT\n")) },
+		})
+	})
+	clock.RunFor(6 * time.Hour)
+	if len(srv.Issued) != 1 {
+		t.Fatalf("issued = %d, want 1 (via retry)", len(srv.Issued))
+	}
+}
+
+func TestGafgytKeepalivePing(t *testing.T) {
+	n, clock := newWorld()
+	srv := alwaysOnServer(n, FamilyGafgyt, "60.0.0.1")
+	_ = srv
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	var pings int
+	bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) { c.Write([]byte("BUILD GAFGYT\n")) },
+		Data: func(c *simnet.Conn, b []byte) {
+			if strings.Contains(string(b), GafgytPing) {
+				pings++
+				c.Write([]byte(GafgytPong + "\n"))
+			}
+		},
+	})
+	clock.RunFor(3*time.Minute + 10*time.Second)
+	if pings < 2 {
+		t.Fatalf("keepalive pings = %d, want >= 2", pings)
+	}
+}
+
+func TestTsunamiIRCRegistrationFlow(t *testing.T) {
+	n, clock := newWorld()
+	srv := alwaysOnServer(n, FamilyTsunami, "60.0.0.1")
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	var welcomed bool
+	bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) {
+			c.Write(IRCMessage{Command: "NICK", Params: []string{"bot42"}}.EncodeIRC())
+		},
+		Data: func(c *simnet.Conn, b []byte) {
+			lines, _ := Lines(b)
+			for _, ln := range lines {
+				if m, err := ParseIRC(ln); err == nil && m.Command == "001" {
+					welcomed = true
+					c.Write(IRCMessage{Command: "JOIN", Params: []string{TsunamiChannel}}.EncodeIRC())
+				}
+			}
+		},
+	})
+	clock.RunFor(10 * time.Second)
+	if !welcomed {
+		t.Fatal("IRC 001 welcome not received")
+	}
+	for sess := range srv.sessions {
+		if !sess.ready {
+			t.Fatal("session not ready after JOIN")
+		}
+	}
+}
+
+func TestServerDarkOutsideLifetime(t *testing.T) {
+	n, clock := newWorld()
+	srv := NewServer(n, ServerConfig{
+		Family: FamilyMirai,
+		Addr:   simnet.AddrFrom("60.0.0.1", 23),
+		Birth:  t0.Add(24 * time.Hour),
+		Death:  t0.Add(48 * time.Hour),
+		Duty:   DutyCycle{SlotLen: time.Hour, RespAfterResp: 1, RespAfterIdle: 1, Seed: 1},
+	})
+	if srv.OnlineAt(t0) {
+		t.Fatal("online before birth")
+	}
+	if srv.OnlineAt(t0.Add(72 * time.Hour)) {
+		t.Fatal("online after death")
+	}
+	// Dial before birth: SYN timeout.
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	var gotErr error
+	bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
+		Close: func(c *simnet.Conn, err error) { gotErr = err },
+	})
+	clock.RunFor(time.Minute)
+	if gotErr != simnet.ErrTimeout {
+		t.Fatalf("pre-birth dial err = %v, want timeout", gotErr)
+	}
+}
+
+func TestDutyCycleNeverSixConsecutive(t *testing.T) {
+	// Figure 4: "C2 servers never responded to all six probes in
+	// one day." With P(resp|resp)=0.09 a 6-run is ~0.09^5; check
+	// across many seeds and days.
+	for seed := int64(0); seed < 200; seed++ {
+		d := DefaultDutyCycle(seed)
+		run := 0
+		for slot := 0; slot < 84; slot++ { // two weeks of 4h slots
+			if d.Responsive(slot) {
+				run++
+				if run >= 6 {
+					t.Fatalf("seed %d: 6 consecutive responsive slots", seed)
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+}
+
+func TestDutyCycleSecondProbeMissRate(t *testing.T) {
+	// §3.2: 91% of the time a server does not respond to a second
+	// probe 4 hours after a successful probe.
+	var after, miss int
+	for seed := int64(0); seed < 500; seed++ {
+		d := DefaultDutyCycle(seed)
+		prev := false
+		for slot := 0; slot < 84; slot++ {
+			cur := d.Responsive(slot)
+			if prev {
+				after++
+				if !cur {
+					miss++
+				}
+			}
+			prev = cur
+		}
+	}
+	rate := float64(miss) / float64(after)
+	if rate < 0.86 || rate > 0.96 {
+		t.Fatalf("second-probe miss rate = %.3f, want ~0.91", rate)
+	}
+}
+
+func TestDutyCycleDeterministic(t *testing.T) {
+	a := DefaultDutyCycle(9)
+	b := DefaultDutyCycle(9)
+	for slot := 0; slot < 50; slot++ {
+		if a.Responsive(slot) != b.Responsive(slot) {
+			t.Fatalf("slot %d differs across equal seeds", slot)
+		}
+	}
+}
+
+func TestDownloaderServesLoader(t *testing.T) {
+	n, clock := newWorld()
+	NewServer(n, ServerConfig{
+		Family: FamilyMirai,
+		Addr:   simnet.AddrFrom("60.0.0.1", 23),
+		Birth:  t0, Death: t0.Add(time.Hour), AlwaysOn: true,
+		Downloader: map[string][]byte{"/t8UsA2.sh": []byte("#!/bin/sh\nwget...\n")},
+	})
+	cli := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	var resp []byte
+	cli.DialTCP(simnet.AddrFrom("60.0.0.1", 80), simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) { c.Write([]byte("GET /t8UsA2.sh HTTP/1.0\r\n\r\n")) },
+		Data:    func(c *simnet.Conn, b []byte) { resp = append(resp, b...) },
+	})
+	clock.RunFor(5 * time.Second)
+	if !strings.Contains(string(resp), "200 OK") || !strings.Contains(string(resp), "wget") {
+		t.Fatalf("response = %q", resp)
+	}
+}
+
+func TestDownloader404(t *testing.T) {
+	n, clock := newWorld()
+	NewServer(n, ServerConfig{
+		Family: FamilyMirai,
+		Addr:   simnet.AddrFrom("60.0.0.1", 23),
+		Birth:  t0, Death: t0.Add(time.Hour), AlwaysOn: true,
+		Downloader: map[string][]byte{"/x.sh": nil},
+	})
+	cli := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	var resp []byte
+	cli.DialTCP(simnet.AddrFrom("60.0.0.1", 80), simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) { c.Write([]byte("GET /missing HTTP/1.0\r\n\r\n")) },
+		Data:    func(c *simnet.Conn, b []byte) { resp = append(resp, b...) },
+	})
+	clock.RunFor(5 * time.Second)
+	if !strings.Contains(string(resp), "404") {
+		t.Fatalf("response = %q", resp)
+	}
+}
+
+func TestSessionTTLClosesIdleBots(t *testing.T) {
+	n, clock := newWorld()
+	srv := NewServer(n, ServerConfig{
+		Family: FamilyMirai,
+		Addr:   simnet.AddrFrom("60.0.0.1", 23),
+		Birth:  t0, Death: t0.Add(100 * time.Hour), AlwaysOn: true,
+		SessionTTL: time.Hour,
+	})
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	closed := false
+	bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) { c.Write(MiraiHandshake) },
+		Close:   func(c *simnet.Conn, err error) { closed = true },
+	})
+	clock.RunFor(2 * time.Hour)
+	if !closed {
+		t.Fatal("session not closed after TTL")
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("sessions = %d after TTL", srv.Sessions())
+	}
+}
+
+func TestServerDeathMidSessionBotRotates(t *testing.T) {
+	// Failure injection: the C2 goes dark while a bot session is
+	// up. The bot's engagement watchdog must notice the silence and
+	// rotate to its fallback C2.
+	n, clock := newWorld()
+	dying := NewServer(n, ServerConfig{
+		Family: FamilyMirai, Addr: simnet.AddrFrom("60.0.0.1", 23),
+		Birth: t0, Death: t0.Add(30 * time.Minute), AlwaysOn: true,
+	})
+	fallback := alwaysOnServer(n, FamilyMirai, "60.0.0.2")
+	_ = dying
+
+	// A hand-driven "bot": connect to the dying server, then after
+	// death try the fallback (the malware package owns the real
+	// rotation logic; here we assert the server side behaves).
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	var firstClosed bool
+	bot.DialTCP(simnet.AddrFrom("60.0.0.1", 23), simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) { c.Write(MiraiHandshake) },
+		Close:   func(c *simnet.Conn, err error) { firstClosed = true },
+	})
+	clock.RunUntil(t0.Add(40 * time.Minute))
+	if dying.Host().Online {
+		t.Fatal("server still online past death")
+	}
+	// Pings into the void are dropped; session data cannot arrive.
+	var echoed bool
+	bot.DialTCP(simnet.AddrFrom("60.0.0.2", 23), simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) { c.Write(MiraiHandshake); c.Write(MiraiPing) },
+		Data:    func(c *simnet.Conn, b []byte) { echoed = IsMiraiPing(b) },
+	})
+	clock.RunFor(time.Minute)
+	if !echoed {
+		t.Fatal("fallback C2 did not engage")
+	}
+	_ = firstClosed
+	if fallback.Sessions() != 1 {
+		t.Fatalf("fallback sessions = %d", fallback.Sessions())
+	}
+}
+
+func TestMalformedProtocolInputDoesNotCrashServer(t *testing.T) {
+	// Failure injection: garbage and truncated protocol input on
+	// every family's listener.
+	n, clock := newWorld()
+	payloads := [][]byte{
+		{}, {0x00}, {0xff, 0xff, 0xff, 0xff},
+		[]byte("PRIVMSG"), []byte(":::\r\n"), []byte("!* UDP notanip -1 x\n"),
+		[]byte(strings.Repeat("A", 4096)),
+	}
+	for i, family := range []string{FamilyMirai, FamilyGafgyt, FamilyDaddyl33t, FamilyTsunami, FamilyVPNFilter} {
+		srv := alwaysOnServer(n, family, fmt.Sprintf("60.0.1.%d", i+1))
+		bot := n.AddHost(netip.MustParseAddr(fmt.Sprintf("10.0.1.%d", i+1)))
+		bot.DialTCP(srv.Config().Addr, simnet.ConnFuncs{
+			Connect: func(c *simnet.Conn) {
+				for _, p := range payloads {
+					if len(p) > 0 {
+						c.Write(p)
+					}
+				}
+			},
+		})
+	}
+	clock.RunFor(time.Minute) // panics would fail the test
+}

@@ -1,0 +1,188 @@
+package c2
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Gafgyt's text protocol (bashlite lineage): newline-terminated
+// lines; the server keepalives with "PING", bots answer "PONG!";
+// attack commands look like "!* UDP <ip> <port> <secs>".
+//
+// Daddyl33t's text protocol (the QBot-derived family the authors
+// reverse-engineered): bare verbs — "UDPRAW <ip> <port> <secs>",
+// "HYDRASYN <ip> <port> <secs>", "TLS <ip> <port> <secs>",
+// "NURSE <ip> <secs>", "NFOV6 <ip> <port> <secs>".
+
+// Gafgyt wire fragments.
+const (
+	GafgytPing = "PING"
+	GafgytPong = "PONG!"
+)
+
+// Daddyl33t wire fragments.
+const (
+	DaddyPing = "!ping"
+	DaddyPong = "!pong"
+)
+
+// Text protocol errors.
+var (
+	ErrNotCommand = errors.New("c2: line is not a DDoS command")
+	ErrBadCommand = errors.New("c2: malformed DDoS command")
+)
+
+// gafgytVerb maps attack types onto Gafgyt command verbs.
+func gafgytVerb(a AttackType) (string, bool) {
+	switch a {
+	case AttackUDPFlood:
+		return "UDP", true
+	case AttackSYNFlood:
+		return "SYN", true
+	case AttackVSE:
+		return "VSE", true
+	case AttackSTD:
+		return "STD", true
+	}
+	return "", false
+}
+
+// EncodeGafgytCommand renders cmd as a "!* VERB ip port secs" line.
+func EncodeGafgytCommand(cmd Command) ([]byte, error) {
+	verb, ok := gafgytVerb(cmd.Attack)
+	if !ok {
+		return nil, fmt.Errorf("c2: %v is not a gafgyt attack", cmd.Attack)
+	}
+	return []byte(fmt.Sprintf("!* %s %s %d %d\n", verb, cmd.Target, cmd.Port, int(cmd.Duration.Seconds()))), nil
+}
+
+// ParseGafgytLine parses one protocol line. Non-command lines
+// (PING/PONG chatter) return ErrNotCommand.
+func ParseGafgytLine(line string) (*Command, error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "!* ") {
+		return nil, ErrNotCommand
+	}
+	fields := strings.Fields(line[3:])
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("%w: %q", ErrBadCommand, line)
+	}
+	var attack AttackType
+	switch fields[0] {
+	case "UDP":
+		attack = AttackUDPFlood
+	case "SYN":
+		attack = AttackSYNFlood
+	case "VSE":
+		attack = AttackVSE
+	case "STD":
+		attack = AttackSTD
+	default:
+		return nil, fmt.Errorf("%w: verb %q", ErrBadCommand, fields[0])
+	}
+	return parseIPPortSecs(attack, fields[1], fields[2], fields[3], line)
+}
+
+// daddyVerb maps attack types onto Daddyl33t verbs.
+func daddyVerb(a AttackType) (string, bool) {
+	switch a {
+	case AttackUDPFlood:
+		return "UDPRAW", true
+	case AttackSYNFlood:
+		return "HYDRASYN", true
+	case AttackTLS:
+		return "TLS", true
+	case AttackBlacknurse:
+		return "NURSE", true
+	case AttackNFO:
+		return "NFOV6", true
+	}
+	return "", false
+}
+
+// EncodeDaddyCommand renders cmd as a Daddyl33t command line.
+func EncodeDaddyCommand(cmd Command) ([]byte, error) {
+	verb, ok := daddyVerb(cmd.Attack)
+	if !ok {
+		return nil, fmt.Errorf("c2: %v is not a daddyl33t attack", cmd.Attack)
+	}
+	if cmd.Attack == AttackBlacknurse {
+		return []byte(fmt.Sprintf("%s %s %d\n", verb, cmd.Target, int(cmd.Duration.Seconds()))), nil
+	}
+	return []byte(fmt.Sprintf("%s %s %d %d\n", verb, cmd.Target, cmd.Port, int(cmd.Duration.Seconds()))), nil
+}
+
+// ParseDaddyLine parses one Daddyl33t line.
+func ParseDaddyLine(line string) (*Command, error) {
+	line = strings.TrimSpace(line)
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, ErrNotCommand
+	}
+	var attack AttackType
+	switch fields[0] {
+	case "UDPRAW":
+		attack = AttackUDPFlood
+	case "HYDRASYN":
+		attack = AttackSYNFlood
+	case "TLS":
+		attack = AttackTLS
+	case "NURSE":
+		attack = AttackBlacknurse
+	case "NFOV6":
+		attack = AttackNFO
+	default:
+		return nil, ErrNotCommand
+	}
+	if attack == AttackBlacknurse {
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%w: %q", ErrBadCommand, line)
+		}
+		return parseIPPortSecs(attack, fields[1], "0", fields[2], line)
+	}
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("%w: %q", ErrBadCommand, line)
+	}
+	return parseIPPortSecs(attack, fields[1], fields[2], fields[3], line)
+}
+
+func parseIPPortSecs(attack AttackType, ipS, portS, secS, raw string) (*Command, error) {
+	ip, err := netip.ParseAddr(ipS)
+	if err != nil {
+		return nil, fmt.Errorf("%w: target %q", ErrBadCommand, ipS)
+	}
+	port, err := strconv.ParseUint(portS, 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("%w: port %q", ErrBadCommand, portS)
+	}
+	secs, err := strconv.Atoi(secS)
+	if err != nil || secs < 0 {
+		return nil, fmt.Errorf("%w: duration %q", ErrBadCommand, secS)
+	}
+	return &Command{
+		Attack:   attack,
+		Target:   ip,
+		Port:     uint16(port),
+		Duration: time.Duration(secs) * time.Second,
+		Raw:      []byte(raw),
+	}, nil
+}
+
+// Lines splits a text-protocol buffer into complete lines,
+// returning them and any trailing partial line — protocol parsers
+// use it so they behave identically over message-preserving simnet
+// conns and real TCP streams.
+func Lines(buf []byte) (lines []string, rest []byte) {
+	start := 0
+	for i, b := range buf {
+		if b == '\n' {
+			lines = append(lines, strings.TrimRight(string(buf[start:i]), "\r"))
+			start = i + 1
+		}
+	}
+	return lines, buf[start:]
+}

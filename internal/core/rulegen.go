@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"malnet/internal/ids"
+	"malnet/internal/intel"
+	"malnet/internal/vuln"
+)
+
+// GenerateRules turns a completed study into deployable firewall /
+// IDS rules — the paper's "potential impact" pathway (§1, §6a):
+// profiles of freshly-caught binaries become (a) a C2 blocklist,
+// (b) exploit content signatures, and (c) a flood-rate tripwire.
+//
+// SID ranges: 1xxxxxx C2 blocklist, 2xxxxxx exploit signatures,
+// 3000001 the rate rule.
+func GenerateRules(st *Study) []*ids.Rule {
+	var rules []*ids.Rule
+
+	// (a) C2 blocklist: every verified C2 endpoint becomes a drop
+	// rule on its IP (DNS-based C2s block the resolved address).
+	var addrs []string
+	byAddr := map[string]*C2Record{}
+	for a, r := range st.C2s {
+		if r.Verified && r.IP.IsValid() {
+			addrs = append(addrs, a)
+			byAddr[a] = r
+		}
+	}
+	sort.Strings(addrs)
+	for i, a := range addrs {
+		r := byAddr[a]
+		kind := "IP"
+		if r.Kind == intel.KindDNS {
+			kind = "DNS"
+		}
+		rules = append(rules, &ids.Rule{
+			SID:    1000001 + i,
+			Action: ids.ActionDrop,
+			Msg:    fmt.Sprintf("MalNet C2 %s (%s, %d samples)", r.Address, kind, len(r.Samples)),
+			Proto:  "tcp",
+			DstIP:  r.IP,
+		})
+	}
+
+	// (b) Exploit signatures: one content rule per vulnerability
+	// actually observed in D-Exploits, on its target port.
+	seen := map[string]bool{}
+	var keys []string
+	for _, f := range st.Exploits {
+		for _, v := range f.Vulns {
+			if !seen[v.Key] {
+				seen[v.Key] = true
+				keys = append(keys, v.Key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	byKey := vuln.ByKey()
+	for i, key := range keys {
+		v := byKey[key]
+		rules = append(rules, &ids.Rule{
+			SID:     2000001 + i,
+			Action:  ids.ActionAlert,
+			Msg:     fmt.Sprintf("MalNet exploit %s (%s)", v.Label(), v.Device),
+			Proto:   "tcp",
+			DstPort: v.Port,
+			Content: []byte(v.Signature),
+		})
+	}
+
+	// (c) Flood tripwire at the study's detection threshold.
+	rules = append(rules, &ids.Rule{
+		SID:    3000001,
+		Action: ids.ActionAlert,
+		Msg:    "MalNet flood rate",
+		MinPPS: st.Cfg.DDoS.RateThreshold,
+	})
+	return rules
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"malnet/internal/avclass"
+	"malnet/internal/binfmt"
+	"malnet/internal/c2"
+	"malnet/internal/intel"
+	"malnet/internal/sandbox"
+	"malnet/internal/world"
+	"malnet/internal/yara"
+)
+
+// StudyConfig parameterizes the year-long measurement run.
+type StudyConfig struct {
+	// Seed drives per-run determinism.
+	Seed int64
+	// SandboxWindow is the isolated analysis window per sample.
+	SandboxWindow time.Duration
+	// LiveWindow is the restricted live window for samples with a
+	// live C2 (the paper's 2 hours).
+	LiveWindow time.Duration
+	// HandshakerThreshold is the distinct-IP port threshold
+	// (paper: 20).
+	HandshakerThreshold int
+	// MinEngines is the corroboration threshold (paper: 5).
+	MinEngines int
+	// DDoS tunes command extraction.
+	DDoS DDoSExtractorConfig
+	// Probing enables the D-PC2 study; Rounds 0 means the paper's
+	// 84.
+	Probing     bool
+	ProbeRounds int
+	// AnalysisDelayDays delays each sample's analysis past its
+	// publication day (0 = same-day, the paper's headline
+	// practice; ablations vary it).
+	AnalysisDelayDays int
+}
+
+// DefaultStudyConfig returns the paper's settings.
+func DefaultStudyConfig(seed int64) StudyConfig {
+	return StudyConfig{
+		Seed:                seed,
+		SandboxWindow:       15 * time.Minute,
+		LiveWindow:          2 * time.Hour,
+		HandshakerThreshold: 20,
+		MinEngines:          5,
+		DDoS:                DefaultDDoSExtractorConfig(),
+		Probing:             true,
+	}
+}
+
+// SampleRecord is one D-Samples row.
+type SampleRecord struct {
+	SHA  string
+	Date time.Time
+	// FamilyYARA and FamilyAVClass are the two labelers' verdicts;
+	// Family is the resolved label (YARA preferred).
+	FamilyYARA, FamilyAVClass, Family string
+	// Detections is the number of flagging engines at collection.
+	Detections int
+	// P2P marks samples excluded from D-C2s.
+	P2P bool
+	// Activated reports whether the sample passed its anti-sandbox
+	// gate in the isolated run (§6f activation rate).
+	Activated bool
+	// C2s are the detected endpoints.
+	C2s []C2Candidate
+	// LiveDay0 reports whether any C2 engaged on analysis day.
+	LiveDay0 bool
+	// Exploits are the sample's classified handshaker catches.
+	Exploits []ExploitFinding
+	// DDoS are attack commands observed during the live window.
+	DDoS []DDoSObservation
+}
+
+// C2Record is one D-C2s row: a C2 address aggregated across every
+// binary that referenced it.
+type C2Record struct {
+	Address string
+	Kind    intel.AddrKind
+	IP      netip.Addr
+	Port    uint16
+	// Samples are the SHAs of binaries using this C2, in
+	// discovery order.
+	Samples []string
+	// FirstSeen/LastSeen bound the pipeline's observations (the
+	// observed-lifespan endpoints).
+	FirstSeen, LastSeen time.Time
+	// EverLive reports engagement during any analysis window.
+	EverLive bool
+	// Signature is the protocol artifact that identified it, if
+	// any.
+	Signature string
+	// Day0Malicious / Day0Vendors: the VT query on discovery day.
+	Day0Malicious bool
+	Day0Vendors   int
+	// May7Malicious / May7Vendors: the May 7, 2022 re-query.
+	May7Malicious bool
+	May7Vendors   int
+	// Verified reports the §2.3a validation: flagged by VT
+	// (either query) or matched a known C2 protocol.
+	Verified bool
+}
+
+// LifespanDays is the observed lifespan in days, floored at one.
+func (r *C2Record) LifespanDays() float64 {
+	d := r.LastSeen.Sub(r.FirstSeen).Hours() / 24
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// Study is the full measurement output: the five datasets.
+type Study struct {
+	Cfg StudyConfig
+	W   *world.World
+
+	// Samples is D-Samples (accepted binaries only).
+	Samples []*SampleRecord
+	// Rejected counts feed binaries failing the >=5-engine bar.
+	Rejected int
+	// FilteredArch counts feed downloads skipped for not being
+	// MIPS 32B executables (§2.2's collection filter).
+	FilteredArch int
+	// C2s is D-C2s keyed by address.
+	C2s map[string]*C2Record
+	// Exploits is D-Exploits (one entry per sample-vulnerability
+	// finding).
+	Exploits []ExploitFinding
+	// DDoS is D-DDOS.
+	DDoS []DDoSObservation
+	// Probe is D-PC2 (nil when probing is disabled).
+	Probe *ProbeStudy
+	// ProbeGafgyt is the second weaponized sweep; Probe holds the
+	// Mirai one. MergedLiveC2s unions them.
+	ProbeGafgyt *ProbeStudy
+}
+
+// MergedLiveC2s unions the two weaponized sweeps' live C2 sets.
+func (st *Study) MergedLiveC2s() []*ProbeTarget {
+	seen := map[string]*ProbeTarget{}
+	for _, study := range []*ProbeStudy{st.Probe, st.ProbeGafgyt} {
+		if study == nil {
+			continue
+		}
+		for _, t := range study.LiveC2s {
+			if _, ok := seen[t.Addr.String()]; !ok {
+				seen[t.Addr.String()] = t
+			}
+		}
+	}
+	out := make([]*ProbeTarget, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.String() < out[j].Addr.String() })
+	return out
+}
+
+// RunStudy executes the full pipeline against a generated world:
+// daily collection, same-day sandbox analysis, threat-intel
+// cross-validation, exploit capture, DDoS eavesdropping, and (when
+// enabled) the two-week active-probing study.
+func RunStudy(w *world.World, cfg StudyConfig) *Study {
+	if cfg.SandboxWindow <= 0 {
+		cfg.SandboxWindow = 15 * time.Minute
+	}
+	if cfg.LiveWindow <= 0 {
+		cfg.LiveWindow = 2 * time.Hour
+	}
+	if cfg.MinEngines <= 0 {
+		cfg.MinEngines = 5
+	}
+	st := &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}}
+	clock := w.Clock
+
+	sb := sandbox.New(w.Net, sandbox.Config{
+		DNS:  w.Resolve,
+		Seed: cfg.Seed,
+	})
+
+	// Schedule the probing study; its rounds interleave with the
+	// daily loop as the clock advances.
+	if cfg.Probing {
+		rounds := cfg.ProbeRounds
+		if rounds <= 0 {
+			rounds = 84
+		}
+		// Jump the clock into place happens naturally: ProbeStart
+		// is mid-study and scheduling is absolute.
+		mkCfg := func(family string, src string) ProbeConfig {
+			return ProbeConfig{
+				Subnets:  w.ProbeSubnets,
+				Interval: 4 * time.Hour,
+				Rounds:   rounds,
+				Family:   family,
+				SourceIP: netip.MustParseAddr(src),
+			}
+		}
+		clock.Schedule(w.ProbeStart, func() {
+			st.Probe = ScheduleProbing(w.Net, mkCfg(c2.FamilyMirai, "10.98.0.2"))
+		})
+		clock.Schedule(w.ProbeStart.Add(time.Hour), func() {
+			st.ProbeGafgyt = ScheduleProbing(w.Net, mkCfg(c2.FamilyGafgyt, "10.98.0.3"))
+		})
+	}
+
+	// Daily loop.
+	for day := world.StudyStart(); day.Before(world.StudyEnd()); day = day.AddDate(0, 0, 1) {
+		analysisDay := day.AddDate(0, 0, cfg.AnalysisDelayDays)
+		if clock.Now().Before(analysisDay) {
+			clock.RunUntil(analysisDay)
+		}
+		for _, spec := range w.FeedOn(day) {
+			st.analyzeSample(sb, spec)
+		}
+	}
+	// Drain to study end (late probe rounds, timers).
+	end := world.StudyEnd().AddDate(0, 0, cfg.AnalysisDelayDays+2)
+	if cfg.Probing {
+		probeEnd := w.ProbeStart.Add(15 * 24 * time.Hour)
+		if probeEnd.After(end) {
+			end = probeEnd
+		}
+	}
+	clock.RunUntil(end)
+
+	st.finalizeC2Records()
+	return st
+}
+
+// analyzeSample runs the per-binary pipeline (§2.2–§2.5) at the
+// current virtual time.
+func (st *Study) analyzeSample(sb *sandbox.Sandbox, spec *world.SampleSpec) {
+	w := st.W
+	if err := w.PublishSample(spec); err != nil {
+		return
+	}
+	raw, err := spec.Binary()
+	if err != nil {
+		return
+	}
+	// Collection filter: the study analyzes MIPS 32B only (§2.2).
+	if arch, err := binfmt.SniffArch(raw); err != nil || arch != binfmt.ArchMIPS32BE {
+		st.FilteredArch++
+		return
+	}
+	sha, _ := spec.SHA256()
+	now := w.Clock.Now()
+
+	// Collection gate: >= MinEngines corroborating detections.
+	dets := w.Intel.ScanSample(sha, now)
+	if avclass.MaliciousCount(dets) < st.Cfg.MinEngines {
+		st.Rejected++
+		return
+	}
+	rec := &SampleRecord{SHA: sha, Date: spec.Date, Detections: len(dets)}
+	rules := yara.IoTFamilies()
+	rec.FamilyYARA = rules.FamilyOf(raw)
+	rec.FamilyAVClass, _ = avclass.Label(dets)
+	rec.Family = rec.FamilyYARA
+	if rec.Family == "" {
+		rec.Family = rec.FamilyAVClass
+	}
+	rec.P2P = rec.Family == c2.FamilyMozi || rec.Family == c2.FamilyHajime
+	st.Samples = append(st.Samples, rec)
+
+	// Isolated run: C2 detection and exploit capture.
+	isoRep, err := sb.Run(raw, sandbox.RunOptions{
+		Mode:                sandbox.ModeIsolated,
+		Duration:            st.Cfg.SandboxWindow,
+		HandshakerThreshold: st.Cfg.HandshakerThreshold,
+	})
+	if err != nil {
+		return
+	}
+	rec.Activated = isoRep.Activated
+	rec.Exploits = ClassifyExploits(isoRep)
+	st.Exploits = append(st.Exploits, rec.Exploits...)
+
+	if rec.P2P {
+		return // P2P samples are filtered out of D-C2s (§2.3a)
+	}
+	// Live check: does any C2 engage today? Restricted egress, per
+	// the containment policy (§2.6).
+	liveRep, err := sb.Run(raw, sandbox.RunOptions{
+		Mode:            sandbox.ModeLive,
+		Duration:        10 * time.Minute,
+		RestrictToC2:    true,
+		DisableScanning: true,
+	})
+	if err != nil {
+		return
+	}
+	liveCands := DetectC2(liveRep, 1)
+	// D-C2s takes the union of the isolated and live observations:
+	// anti-sandbox samples reveal their C2s only on the live path.
+	rec.C2s = mergeCandidates(DetectC2(isoRep, 2), liveCands)
+	st.recordC2s(rec)
+	rec.LiveDay0 = LiveC2(liveCands)
+	st.markLive(liveCands)
+	// Commands can land during the liveness window too; extract
+	// from it as well as from the long watch.
+	obs := ExtractDDoS(liveRep, rec.Family, rec.C2s, st.Cfg.DDoS)
+	if !rec.LiveDay0 {
+		rec.DDoS = obs
+		st.DDoS = append(st.DDoS, obs...)
+		return
+	}
+
+	// Restricted live window: watch the C2 session for DDoS
+	// commands (§2.5).
+	watchRep, err := sb.Run(raw, sandbox.RunOptions{
+		Mode:            sandbox.ModeLive,
+		Duration:        st.Cfg.LiveWindow,
+		RestrictToC2:    true,
+		DisableScanning: true,
+	})
+	if err != nil {
+		return
+	}
+	st.markLive(DetectC2(watchRep, 1))
+	obs = append(obs, ExtractDDoS(watchRep, rec.Family, rec.C2s, st.Cfg.DDoS)...)
+	rec.DDoS = obs
+	st.DDoS = append(st.DDoS, obs...)
+}
+
+// mergeCandidates unions candidate lists by address, preferring the
+// richer entry (live beats dead, signature beats none).
+func mergeCandidates(a, b []C2Candidate) []C2Candidate {
+	byAddr := map[string]int{}
+	out := append([]C2Candidate(nil), a...)
+	for i, c := range out {
+		byAddr[c.Address] = i
+	}
+	for _, c := range b {
+		if i, ok := byAddr[c.Address]; ok {
+			out[i].Attempts += c.Attempts
+			if c.Live {
+				out[i].Live = true
+			}
+			if out[i].Signature == "" {
+				out[i].Signature = c.Signature
+			}
+			continue
+		}
+		byAddr[c.Address] = len(out)
+		out = append(out, c)
+	}
+	return out
+}
+
+// recordC2s folds a sample's detected C2s into D-C2s.
+func (st *Study) recordC2s(rec *SampleRecord) {
+	now := st.W.Clock.Now()
+	for _, cand := range rec.C2s {
+		r := st.C2s[cand.Address]
+		if r == nil {
+			r = &C2Record{
+				Address:   cand.Address,
+				Kind:      cand.Kind,
+				IP:        cand.IP,
+				Port:      cand.Port,
+				FirstSeen: now,
+			}
+			st.C2s[cand.Address] = r
+			// Two-query TI validation (§2.3a): once now, once on
+			// May 7. The May-7 verdict is deterministic, so it can
+			// be asked for up front.
+			host := intelHost(cand)
+			day0 := st.W.Intel.QueryAddress(host, now)
+			r.Day0Malicious, r.Day0Vendors = day0.Malicious, len(day0.Vendors)
+			may7 := st.W.Intel.QueryAddress(host, world.May7)
+			r.May7Malicious, r.May7Vendors = may7.Malicious, len(may7.Vendors)
+		}
+		r.Samples = append(r.Samples, rec.SHA)
+		r.LastSeen = now
+		if cand.Live {
+			r.EverLive = true
+		}
+		if cand.Signature != "" && r.Signature == "" {
+			r.Signature = cand.Signature
+		}
+	}
+}
+
+// markLive upgrades records when a later window sees engagement.
+func (st *Study) markLive(cands []C2Candidate) {
+	for _, cand := range cands {
+		if r := st.C2s[cand.Address]; r != nil && cand.Live {
+			r.EverLive = true
+		}
+	}
+}
+
+// intelHost maps a candidate to its reputation key (VT rates hosts,
+// not host:port pairs).
+func intelHost(cand C2Candidate) string {
+	if cand.Kind == intel.KindDNS {
+		// Strip the port from "name:port".
+		addr := cand.Address
+		for i := len(addr) - 1; i >= 0; i-- {
+			if addr[i] == ':' {
+				return addr[:i]
+			}
+		}
+		return addr
+	}
+	return cand.IP.String()
+}
+
+// finalizeC2Records applies the validation rule: a C2 is verified if
+// either VT query flags it or its traffic matched a known protocol
+// profile (the stand-in for the paper's manual verification).
+func (st *Study) finalizeC2Records() {
+	for _, r := range st.C2s {
+		r.Verified = r.Day0Malicious || r.May7Malicious || r.Signature != ""
+	}
+}

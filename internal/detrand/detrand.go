@@ -1,0 +1,49 @@
+// Package detrand derives deterministic pseudo-random values from
+// string keys. It exists because raw FNV output has weak high-bit
+// avalanche for inputs differing only in their final bytes (e.g.
+// "seed/11" vs "seed/12"), which silently destroys the independence
+// that the simulation's generative models assume; Mix64 applies a
+// murmur3-style finalizer to fix that.
+package detrand
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Mix64 is the murmur3/splitmix finalizer: a bijective scrambler
+// with full avalanche.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Hash64 hashes the seed and key parts to a well-mixed 64-bit value.
+func Hash64(seed int64, parts ...string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", seed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return Mix64(h.Sum64())
+}
+
+// Float01 returns a uniform float64 in [0,1) derived from the seed
+// and key parts.
+func Float01(seed int64, parts ...string) float64 {
+	return float64(Hash64(seed, parts...)>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform int in [0,n) derived from the seed and key
+// parts. It panics when n <= 0.
+func Intn(seed int64, n int, parts ...string) int {
+	if n <= 0 {
+		panic("detrand: Intn with non-positive n")
+	}
+	return int(Hash64(seed, parts...) % uint64(n))
+}

@@ -1,0 +1,87 @@
+package detrand
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat01Range(t *testing.T) {
+	f := func(seed int64, key string) bool {
+		v := Float01(seed, key)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat01Deterministic(t *testing.T) {
+	if Float01(7, "a", "b") != Float01(7, "a", "b") {
+		t.Fatal("same inputs gave different values")
+	}
+}
+
+func TestPartsAreDelimited(t *testing.T) {
+	// ("ab","c") and ("a","bc") must hash differently.
+	if Hash64(1, "ab", "c") == Hash64(1, "a", "bc") {
+		t.Fatal("part boundaries not delimited")
+	}
+}
+
+func TestAdjacentKeysUncorrelated(t *testing.T) {
+	// The regression this package exists for: keys differing only
+	// in a trailing digit must produce near-uniform small-threshold
+	// hit rates.
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if Float01(4, fmt.Sprintf("slot/%d", i)) < 0.09 {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.09) > 0.01 {
+		t.Fatalf("hit rate = %.4f, want ~0.09", rate)
+	}
+}
+
+func TestUniformityBuckets(t *testing.T) {
+	const n, buckets = 50000, 10
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[int(Float01(9, fmt.Sprintf("k%d", i))*buckets)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-n/buckets) > 0.05*n/buckets {
+			t.Fatalf("bucket %d count %d deviates from %d", b, c, n/buckets)
+		}
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		v := Intn(3, 7, fmt.Sprintf("x%d", i))
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	Intn(1, 0)
+}
+
+func TestMix64Bijective(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		v := Mix64(i)
+		if seen[v] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[v] = true
+	}
+}

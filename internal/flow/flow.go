@@ -1,0 +1,158 @@
+// Package flow turns captures back into analyzable traffic: it
+// decodes LINKTYPE_RAW pcap frames into packet records, and
+// reassembles records into bidirectional sessions keyed by their
+// canonical 4-tuple — the offline counterpart of the sandbox's live
+// taps, so the pipeline's classifiers can run over stored captures.
+package flow
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"malnet/internal/packet"
+	"malnet/internal/pcap"
+	"malnet/internal/simnet"
+)
+
+// RecordFromFrame decodes one raw-IPv4 frame into a packet record —
+// the inverse of pcap.FrameFromRecord. Burst compression cannot be
+// recovered from a capture, so Count is always 1.
+func RecordFromFrame(ts time.Time, frame []byte) (simnet.PacketRecord, error) {
+	p, err := packet.Decode(frame)
+	if err != nil {
+		return simnet.PacketRecord{}, err
+	}
+	rec := simnet.PacketRecord{
+		Time:  ts,
+		Src:   simnet.Addr{IP: p.IP.SrcIP},
+		Dst:   simnet.Addr{IP: p.IP.DstIP},
+		Size:  len(frame),
+		Count: 1,
+	}
+	switch {
+	case p.TCP != nil:
+		rec.Proto = simnet.ProtoTCP
+		rec.Src.Port, rec.Dst.Port = p.TCP.SrcPort, p.TCP.DstPort
+		if p.TCP.SYN {
+			rec.Flags |= simnet.FlagSYN
+		}
+		if p.TCP.ACK {
+			rec.Flags |= simnet.FlagACK
+		}
+		if p.TCP.FIN {
+			rec.Flags |= simnet.FlagFIN
+		}
+		if p.TCP.RST {
+			rec.Flags |= simnet.FlagRST
+		}
+		if p.TCP.PSH {
+			rec.Flags |= simnet.FlagPSH
+		}
+		rec.Payload = p.Payload
+	case p.UDP != nil:
+		rec.Proto = simnet.ProtoUDP
+		rec.Src.Port, rec.Dst.Port = p.UDP.SrcPort, p.UDP.DstPort
+		rec.Payload = p.Payload
+	case p.ICMP != nil:
+		rec.Proto = simnet.ProtoICMP
+		rec.ICMPTyp, rec.ICMPCod = p.ICMP.Type, p.ICMP.Code
+		rec.Payload = p.Payload
+	default:
+		return rec, fmt.Errorf("flow: unsupported IP protocol %d", p.IP.Protocol)
+	}
+	if len(rec.Payload) == 0 {
+		rec.Payload = nil
+	}
+	return rec, nil
+}
+
+// ReadRecords decodes an entire LINKTYPE_RAW capture.
+func ReadRecords(r io.Reader) ([]simnet.PacketRecord, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	if pr.Link != pcap.LinkTypeRaw {
+		return nil, fmt.Errorf("flow: unsupported link type %d", pr.Link)
+	}
+	var out []simnet.PacketRecord
+	for {
+		frame, err := pr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		rec, err := RecordFromFrame(frame.Time, frame.Data)
+		if err != nil {
+			continue // skip undecodable frames, as analyzers do
+		}
+		out = append(out, rec)
+	}
+}
+
+// Session is one bidirectional conversation.
+type Session struct {
+	// Flow is the canonical (order-independent) key; Initiator is
+	// the side that sent first.
+	Flow      packet.Flow
+	Initiator simnet.Addr
+	Responder simnet.Addr
+	// Start and End bound the observed packets.
+	Start, End time.Time
+	// Packets is the record count (expanded bursts included).
+	Packets int
+	// ToResponder and ToInitiator are the reassembled payload
+	// streams per direction, in arrival order.
+	ToResponder []byte
+	ToInitiator []byte
+}
+
+// Duration is End minus Start.
+func (s *Session) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Sessions groups records into conversations by canonical flow.
+// Records without ports (ICMP) group per src/dst address pair.
+// Sessions are returned in order of first packet.
+func Sessions(records []simnet.PacketRecord) []*Session {
+	byKey := map[packet.Flow]*Session{}
+	var order []*Session
+	for _, rec := range records {
+		f := packet.Flow{
+			Src: packet.Endpoint{IP: rec.Src.IP, Port: rec.Src.Port, HasPort: rec.Proto != simnet.ProtoICMP},
+			Dst: packet.Endpoint{IP: rec.Dst.IP, Port: rec.Dst.Port, HasPort: rec.Proto != simnet.ProtoICMP},
+		}
+		key := f.Canonical()
+		s := byKey[key]
+		if s == nil {
+			s = &Session{
+				Flow:      key,
+				Initiator: rec.Src,
+				Responder: rec.Dst,
+				Start:     rec.Time,
+				End:       rec.Time,
+			}
+			byKey[key] = s
+			order = append(order, s)
+		}
+		if rec.Time.Before(s.Start) {
+			s.Start = rec.Time
+		}
+		if rec.Time.After(s.End) {
+			s.End = rec.Time
+		}
+		s.Packets += rec.Count
+		if len(rec.Payload) > 0 {
+			if rec.Src == s.Initiator {
+				s.ToResponder = append(s.ToResponder, rec.Payload...)
+			} else {
+				s.ToInitiator = append(s.ToInitiator, rec.Payload...)
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Start.Before(order[j].Start) })
+	return order
+}

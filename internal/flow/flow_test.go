@@ -1,0 +1,153 @@
+package flow
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"malnet/internal/binfmt"
+	"malnet/internal/pcap"
+	"malnet/internal/sandbox"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+var t0 = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(ts time.Time, src, dst simnet.Addr, proto simnet.Protocol, payload string) simnet.PacketRecord {
+	return simnet.PacketRecord{
+		Time: ts, Src: src, Dst: dst, Proto: proto,
+		Payload: []byte(payload), Size: len(payload) + 40, Count: 1,
+	}
+}
+
+func TestRecordFrameRoundTrip(t *testing.T) {
+	orig := rec(t0, simnet.AddrFrom("10.0.0.1", 4000), simnet.AddrFrom("60.0.0.9", 23), simnet.ProtoTCP, "login")
+	orig.Flags = simnet.FlagPSH | simnet.FlagACK
+	frame, err := pcap.FrameFromRecord(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecordFromFrame(t0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != orig.Src || got.Dst != orig.Dst || got.Proto != orig.Proto {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Flags != orig.Flags {
+		t.Fatalf("flags = %v, want %v", got.Flags, orig.Flags)
+	}
+	if !bytes.Equal(got.Payload, orig.Payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestSessionsReassembleBothDirections(t *testing.T) {
+	cli := simnet.AddrFrom("10.0.0.1", 4000)
+	srv := simnet.AddrFrom("60.0.0.9", 23)
+	records := []simnet.PacketRecord{
+		rec(t0, cli, srv, simnet.ProtoTCP, "hello "),
+		rec(t0.Add(time.Second), srv, cli, simnet.ProtoTCP, "PING"),
+		rec(t0.Add(2*time.Second), cli, srv, simnet.ProtoTCP, "world"),
+		// A second, unrelated conversation.
+		rec(t0.Add(3*time.Second), simnet.AddrFrom("10.0.0.1", 4001), simnet.AddrFrom("61.0.0.2", 80), simnet.ProtoTCP, "GET /"),
+	}
+	sessions := Sessions(records)
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(sessions))
+	}
+	s := sessions[0]
+	if s.Initiator != cli || s.Responder != srv {
+		t.Fatalf("roles: %v -> %v", s.Initiator, s.Responder)
+	}
+	if string(s.ToResponder) != "hello world" {
+		t.Fatalf("client stream = %q", s.ToResponder)
+	}
+	if string(s.ToInitiator) != "PING" {
+		t.Fatalf("server stream = %q", s.ToInitiator)
+	}
+	if s.Packets != 3 || s.Duration() != 2*time.Second {
+		t.Fatalf("packets=%d duration=%v", s.Packets, s.Duration())
+	}
+}
+
+func TestSessionsMergeBothDirectionsUnderOneKey(t *testing.T) {
+	a := simnet.AddrFrom("10.0.0.1", 1000)
+	b := simnet.AddrFrom("10.0.0.2", 2000)
+	sessions := Sessions([]simnet.PacketRecord{
+		rec(t0, a, b, simnet.ProtoUDP, "x"),
+		rec(t0.Add(time.Second), b, a, simnet.ProtoUDP, "y"),
+	})
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1 (canonical key)", len(sessions))
+	}
+}
+
+func TestSessionsICMPGroupsByAddressPair(t *testing.T) {
+	a := simnet.Addr{IP: simnet.AddrFrom("10.0.0.1", 0).IP}
+	b := simnet.Addr{IP: simnet.AddrFrom("70.0.0.9", 0).IP}
+	var records []simnet.PacketRecord
+	for i := 0; i < 5; i++ {
+		r := rec(t0.Add(time.Duration(i)*time.Second), a, b, simnet.ProtoICMP, "")
+		r.ICMPTyp, r.ICMPCod = 3, 3
+		records = append(records, r)
+	}
+	sessions := Sessions(records)
+	if len(sessions) != 1 || sessions[0].Packets != 5 {
+		t.Fatalf("sessions = %+v", sessions)
+	}
+}
+
+func TestReadRecordsFromSandboxCapture(t *testing.T) {
+	// End to end: run a sample, export pcap, read it back, and find
+	// the C2 conversation as a session.
+	clock := simclock.New(t0)
+	n := simnet.New(clock, simnet.DefaultConfig())
+	sb := sandbox.New(n, sandbox.Config{Seed: 1})
+	raw, err := binfmt.Encode(binfmt.BotConfig{
+		Family: "gafgyt", Variant: "v1", C2Addrs: []string{"60.0.0.9:666"},
+	}, rand.New(rand.NewSource(4)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sb.Run(raw, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WritePCAP(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no records")
+	}
+	sessions := Sessions(records)
+	found := false
+	for _, s := range sessions {
+		if s.Responder.Port == 666 && strings.Contains(string(s.ToResponder), "BUILD GAFGYT") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("C2 login not reassembled from the capture")
+	}
+}
+
+func TestReadRecordsRejectsWrongLink(t *testing.T) {
+	var buf bytes.Buffer
+	// Craft a pcap header with a different link type.
+	w := pcap.NewWriter(&buf)
+	w.Flush()
+	raw := buf.Bytes()
+	raw[20] = 1 // LINKTYPE_ETHERNET
+	if _, err := ReadRecords(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong link type accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package geo provides the Autonomous System registry the
+// measurement pipeline resolves addresses against: ASN metadata
+// (name, country, hosting type, anti-DDoS and crypto-payment
+// attributes from Table 2), prefix-to-ASN lookup, and deterministic
+// address allocation inside an AS for world generation.
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+)
+
+// ASType categorizes an autonomous system, the dimension Figure 12
+// groups DDoS targets by.
+type ASType uint8
+
+// AS categories.
+const (
+	TypeHosting ASType = iota
+	TypeISP
+	TypeBusiness
+)
+
+// String names the category.
+func (t ASType) String() string {
+	switch t {
+	case TypeHosting:
+		return "Hosting"
+	case TypeISP:
+		return "ISP"
+	case TypeBusiness:
+		return "Business"
+	}
+	return fmt.Sprintf("ASType(%d)", uint8(t))
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN     int
+	Name    string
+	Country string // ISO 3166-1 alpha-2
+	Type    ASType
+	// AntiDDoS reports whether the provider sells DDoS protection
+	// (Table 2's ironic column). Nil-equivalent "N/A" is false with
+	// Unknown set.
+	AntiDDoS bool
+	// Unknown marks providers that publish no information
+	// (AS211252 in Table 2).
+	Unknown bool
+	// AcceptsCrypto marks providers taking cryptocurrency payment.
+	AcceptsCrypto bool
+	// Gaming marks ASes specialized in the computer-gaming
+	// industry (18 % of DDoS-target ASes in §5.3).
+	Gaming bool
+	// Top100 marks ASes among the top-100 by advertised IPv4 space
+	// (Appendix A: Google, Amazon, Alibaba).
+	Top100 bool
+	// Prefixes is the address space announced by the AS.
+	Prefixes []netip.Prefix
+}
+
+// Registry maps addresses to ASes.
+type Registry struct {
+	byASN map[int]*AS
+	// sorted prefix index for lookup
+	prefixes []prefixEntry
+	sorted   bool
+}
+
+type prefixEntry struct {
+	prefix netip.Prefix
+	as     *AS
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byASN: make(map[int]*AS)}
+}
+
+// Register adds an AS. Registering an existing ASN merges prefixes.
+func (r *Registry) Register(as *AS) *AS {
+	if have, ok := r.byASN[as.ASN]; ok {
+		have.Prefixes = append(have.Prefixes, as.Prefixes...)
+		for _, p := range as.Prefixes {
+			r.prefixes = append(r.prefixes, prefixEntry{p, have})
+		}
+		r.sorted = false
+		return have
+	}
+	r.byASN[as.ASN] = as
+	for _, p := range as.Prefixes {
+		r.prefixes = append(r.prefixes, prefixEntry{p, as})
+	}
+	r.sorted = false
+	return as
+}
+
+// ByASN returns the AS with the given number, or nil.
+func (r *Registry) ByASN(asn int) *AS { return r.byASN[asn] }
+
+// All returns every registered AS ordered by ASN.
+func (r *Registry) All() []*AS {
+	out := make([]*AS, 0, len(r.byASN))
+	for _, as := range r.byASN {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// Len returns the number of registered ASes.
+func (r *Registry) Len() int { return len(r.byASN) }
+
+func (r *Registry) ensureSorted() {
+	if r.sorted {
+		return
+	}
+	sort.Slice(r.prefixes, func(i, j int) bool {
+		a, b := r.prefixes[i].prefix, r.prefixes[j].prefix
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() > b.Bits() // longer (more specific) first
+	})
+	r.sorted = true
+}
+
+// Lookup resolves ip to its announcing AS (longest prefix wins).
+func (r *Registry) Lookup(ip netip.Addr) (*AS, bool) {
+	r.ensureSorted()
+	// The registry is small (hundreds of prefixes); a linear scan
+	// preferring the most specific match is plenty and avoids a
+	// trie.
+	var best *AS
+	bestBits := -1
+	for _, e := range r.prefixes {
+		if e.prefix.Contains(ip) && e.prefix.Bits() > bestBits {
+			best, bestBits = e.as, e.prefix.Bits()
+		}
+	}
+	return best, best != nil
+}
+
+// AddrAt returns the i-th host address of the AS's address space,
+// spanning prefixes in order. It panics when the AS announces no
+// space.
+func (a *AS) AddrAt(i int) netip.Addr {
+	if len(a.Prefixes) == 0 {
+		panic(fmt.Sprintf("geo: AS%d has no prefixes", a.ASN))
+	}
+	for _, p := range a.Prefixes {
+		size := 1 << (32 - p.Bits())
+		usable := size - 2
+		if usable < 1 {
+			usable = size
+		}
+		if i < usable {
+			base := p.Masked().Addr().As4()
+			u := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+			off := uint32(i)
+			if usable != size {
+				off++ // skip network address
+			}
+			u += off
+			return netip.AddrFrom4([4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)})
+		}
+		i -= usable
+	}
+	panic(fmt.Sprintf("geo: address index out of range for AS%d", a.ASN))
+}
+
+// RandomAddr draws a deterministic random host address from the AS's
+// space.
+func (a *AS) RandomAddr(rng *rand.Rand) netip.Addr {
+	total := 0
+	for _, p := range a.Prefixes {
+		size := 1 << (32 - p.Bits())
+		if size > 2 {
+			size -= 2
+		}
+		total += size
+	}
+	return a.AddrAt(rng.Intn(total))
+}

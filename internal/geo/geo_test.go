@@ -1,0 +1,177 @@
+package geo
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	as := r.Register(&AS{ASN: 64500, Name: "Test", Country: "US", Prefixes: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")}})
+	got, ok := r.Lookup(netip.MustParseAddr("203.0.113.9"))
+	if !ok || got != as {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := r.Lookup(netip.MustParseAddr("198.51.100.1")); ok {
+		t.Fatal("lookup outside any prefix succeeded")
+	}
+}
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	r := NewRegistry()
+	big := r.Register(&AS{ASN: 1, Prefixes: []netip.Prefix{netip.MustParsePrefix("60.0.0.0/8")}})
+	small := r.Register(&AS{ASN: 2, Prefixes: []netip.Prefix{netip.MustParsePrefix("60.1.0.0/16")}})
+	if got, _ := r.Lookup(netip.MustParseAddr("60.1.2.3")); got != small {
+		t.Fatalf("got AS%d, want AS2", got.ASN)
+	}
+	if got, _ := r.Lookup(netip.MustParseAddr("60.2.2.3")); got != big {
+		t.Fatalf("got AS%d, want AS1", got.ASN)
+	}
+}
+
+func TestRegisterMergesPrefixes(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&AS{ASN: 9, Prefixes: []netip.Prefix{netip.MustParsePrefix("60.0.0.0/16")}})
+	r.Register(&AS{ASN: 9, Prefixes: []netip.Prefix{netip.MustParsePrefix("61.0.0.0/16")}})
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got, ok := r.Lookup(netip.MustParseAddr("61.0.0.5")); !ok || got.ASN != 9 {
+		t.Fatalf("merged prefix not found: %v %v", got, ok)
+	}
+}
+
+func TestAddrAtSkipsNetworkAddress(t *testing.T) {
+	as := &AS{ASN: 1, Prefixes: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")}}
+	if got := as.AddrAt(0); got != netip.MustParseAddr("203.0.113.1") {
+		t.Fatalf("AddrAt(0) = %v", got)
+	}
+	if got := as.AddrAt(253); got != netip.MustParseAddr("203.0.113.254") {
+		t.Fatalf("AddrAt(253) = %v", got)
+	}
+}
+
+func TestAddrAtSpansPrefixes(t *testing.T) {
+	as := &AS{ASN: 1, Prefixes: []netip.Prefix{
+		netip.MustParsePrefix("203.0.113.0/30"), // 2 usable
+		netip.MustParsePrefix("198.51.100.0/24"),
+	}}
+	if got := as.AddrAt(2); got != netip.MustParseAddr("198.51.100.1") {
+		t.Fatalf("AddrAt(2) = %v", got)
+	}
+}
+
+func TestRandomAddrInsideAS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	as := &AS{ASN: 1, Prefixes: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")}}
+	for i := 0; i < 100; i++ {
+		ip := as.RandomAddr(rng)
+		if !as.Prefixes[0].Contains(ip) {
+			t.Fatalf("RandomAddr %v outside prefix", ip)
+		}
+	}
+}
+
+func TestTop10MatchesTable2(t *testing.T) {
+	top := Top10C2ASes()
+	if len(top) != 10 {
+		t.Fatalf("len = %d", len(top))
+	}
+	byASN := map[int]*AS{}
+	for _, as := range top {
+		byASN[as.ASN] = as
+	}
+	if as := byASN[36352]; as == nil || as.Name != "ColoCrossing" || as.Country != "US" || !as.AntiDDoS {
+		t.Fatalf("ColoCrossing row wrong: %+v", as)
+	}
+	if as := byASN[139884]; as == nil || as.AntiDDoS {
+		t.Fatal("Apeiron Global must not offer anti-DDoS (Table 2)")
+	}
+	if as := byASN[211252]; as == nil || !as.Unknown {
+		t.Fatal("Delis LLC must be marked unknown (no website info)")
+	}
+	// 70% of the top providers are in US, RU, NL (Table 2 analysis).
+	cc := map[string]int{}
+	for _, as := range top {
+		cc[as.Country]++
+	}
+	if got := cc["US"] + cc["RU"] + cc["NL"]; got != 7 {
+		t.Fatalf("US+RU+NL = %d, want 7", got)
+	}
+	// 30% accept crypto: AS53667, AS202306, AS44812.
+	crypto := 0
+	for _, as := range top {
+		if as.AcceptsCrypto {
+			crypto++
+		}
+	}
+	if crypto != 3 {
+		t.Fatalf("crypto acceptors = %d, want 3", crypto)
+	}
+	// All are hosting providers.
+	for _, as := range top {
+		if as.Type != TypeHosting {
+			t.Fatalf("AS%d type = %v, want Hosting", as.ASN, as.Type)
+		}
+	}
+}
+
+func TestVictimASShares(t *testing.T) {
+	victims := VictimASes()
+	if len(victims) != 23 {
+		t.Fatalf("victim ASes = %d, want 23", len(victims))
+	}
+	var isp, hosting, gaming int
+	countries := map[string]bool{}
+	for _, as := range victims {
+		countries[as.Country] = true
+		switch as.Type {
+		case TypeISP:
+			isp++
+		case TypeHosting:
+			hosting++
+		}
+		if as.Gaming {
+			gaming++
+		}
+	}
+	// Paper: 45% ISP, 36% hosting, 18% gaming of 23 ASes.
+	if isp != 10 || hosting != 8 || gaming != 4 {
+		t.Fatalf("isp=%d hosting=%d gaming=%d", isp, hosting, gaming)
+	}
+	if len(countries) != 11 {
+		t.Fatalf("countries = %d, want 11", len(countries))
+	}
+}
+
+func TestStandardRegistryReaches128(t *testing.T) {
+	r := StandardRegistry(128, rand.New(rand.NewSource(1)))
+	if r.Len() != 128 {
+		t.Fatalf("Len = %d, want 128", r.Len())
+	}
+	// Every AS must have resolvable space.
+	for _, as := range r.All() {
+		ip := as.AddrAt(0)
+		got, ok := r.Lookup(ip)
+		if !ok || got.ASN != as.ASN {
+			t.Fatalf("AddrAt(0) of AS%d resolves to %v", as.ASN, got)
+		}
+	}
+}
+
+func TestQuickAddrAtAlwaysInsidePrefixes(t *testing.T) {
+	as := &AS{ASN: 1, Prefixes: []netip.Prefix{
+		netip.MustParsePrefix("60.0.0.0/24"),
+		netip.MustParsePrefix("61.0.0.0/24"),
+	}}
+	f := func(i uint16) bool {
+		idx := int(i) % 508 // 254*2 usable
+		ip := as.AddrAt(idx)
+		return as.Prefixes[0].Contains(ip) || as.Prefixes[1].Contains(ip)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// Top10C2ASes returns Table 2's ten autonomous systems that together
+// hosted 69.7 % of observed C2 servers, with the attributes the paper
+// records (country, hosting, anti-DDoS, crypto payment). Prefixes
+// are synthetic /16 allocations inside 60.0.0.0/8 and up; the study
+// only needs consistent ip->ASN resolution, not real routing data.
+func Top10C2ASes() []*AS {
+	mk := func(asn int, name, cc string, anti, unknown, crypto bool, slot int) *AS {
+		return &AS{
+			ASN: asn, Name: name, Country: cc, Type: TypeHosting,
+			AntiDDoS: anti, Unknown: unknown, AcceptsCrypto: crypto,
+			Prefixes: []netip.Prefix{synthPrefix(slot)},
+		}
+	}
+	return []*AS{
+		mk(36352, "ColoCrossing", "US", true, false, false, 0),
+		mk(211252, "Delis LLC", "US", false, true, false, 1),
+		mk(14061, "DigitalOcean", "US", true, false, false, 2),
+		mk(53667, "FranTech Solutions", "LU", true, false, true, 3),
+		mk(202306, "HOSTGLOBAL", "RU", true, false, true, 4),
+		mk(399471, "Serverion LLC", "NL", true, false, false, 5),
+		mk(16276, "OVH SAS", "FR", true, false, false, 6),
+		mk(44812, "IP SERVER LLC", "RU", true, false, true, 7),
+		mk(139884, "Apeiron Global", "IN", false, false, false, 8),
+		mk(50673, "Serverius", "NL", true, false, false, 9),
+	}
+}
+
+// BigCloudASes returns the three top-100 ASes Appendix A notes also
+// hosted C2s: Google, Amazon, Alibaba.
+func BigCloudASes() []*AS {
+	return []*AS{
+		{ASN: 15169, Name: "Google LLC", Country: "US", Type: TypeBusiness, Top100: true, Prefixes: []netip.Prefix{synthPrefix(10)}},
+		{ASN: 16509, Name: "Amazon.com Inc", Country: "US", Type: TypeBusiness, Top100: true, Prefixes: []netip.Prefix{synthPrefix(11)}},
+		{ASN: 37963, Name: "Hangzhou Alibaba Advertising", Country: "CN", Type: TypeBusiness, Top100: true, Prefixes: []netip.Prefix{synthPrefix(12)}},
+	}
+}
+
+// VictimASes returns the target-side ASes of §5.3: ISPs, hosting
+// providers (some gaming-specialized), and the named businesses
+// (Google and Amazon reuse the BigCloud entries; Roblox is added
+// here). Counts are shaped to the paper: 23 target ASes across 11
+// countries, 45 % ISP, 36 % hosting, 18 % gaming-specialized.
+func VictimASes() []*AS {
+	specs := []struct {
+		asn    int
+		name   string
+		cc     string
+		typ    ASType
+		gaming bool
+	}{
+		// 10 ISPs (45% of 23)
+		{7018, "AT&T Services", "US", TypeISP, false},
+		{3320, "Deutsche Telekom", "DE", TypeISP, false},
+		{3215, "Orange", "FR", TypeISP, false},
+		{12322, "Free SAS", "FR", TypeISP, false},
+		{6830, "Liberty Global", "NL", TypeISP, false},
+		{5089, "Virgin Media", "GB", TypeISP, false},
+		{852, "TELUS", "CA", TypeISP, false},
+		{8452, "Telecom Egypt", "EG", TypeISP, false},
+		{9121, "Turk Telekom", "TR", TypeISP, false},
+		{4766, "Korea Telecom", "KR", TypeISP, false},
+		// 8 hosting, 3 of them gaming-specialized
+		{14586, "Nuclearfallout Enterprises", "US", TypeHosting, true},
+		{9009, "M247", "RO", TypeHosting, false},
+		{24940, "Hetzner Online", "DE", TypeHosting, false},
+		{20473, "The Constant Company", "US", TypeHosting, false},
+		{62240, "Clouvider", "GB", TypeHosting, false},
+		{212317, "GSL Networks", "AU", TypeHosting, true},
+		{35913, "DediPath", "US", TypeHosting, false},
+		{64476, "GamePort Servers", "NL", TypeHosting, true},
+		// 5 businesses, 1 gaming
+		{15169, "Google LLC", "US", TypeBusiness, false},
+		{16509, "Amazon.com Inc", "US", TypeBusiness, false},
+		{22697, "Roblox", "US", TypeBusiness, true},
+		{2906, "Netflix", "US", TypeBusiness, false},
+		{32934, "Meta Platforms", "US", TypeBusiness, false},
+	}
+	out := make([]*AS, 0, len(specs))
+	for i, s := range specs {
+		out = append(out, &AS{
+			ASN: s.asn, Name: s.name, Country: s.cc, Type: s.typ,
+			Gaming:   s.gaming,
+			Top100:   s.asn == 15169 || s.asn == 16509,
+			Prefixes: []netip.Prefix{synthPrefix(20 + i)},
+		})
+	}
+	return out
+}
+
+// FillerASes generates n additional small hosting/ISP ASes so the
+// C2 long tail spans the paper's 128 total ASes.
+func FillerASes(n int, rng *rand.Rand) []*AS {
+	countries := []string{"US", "RU", "NL", "DE", "CN", "BR", "VN", "IN", "FR", "RO", "UA", "TR", "ID", "KR", "GB"}
+	out := make([]*AS, 0, n)
+	for i := 0; i < n; i++ {
+		typ := TypeHosting
+		if rng.Intn(3) == 0 {
+			typ = TypeISP
+		}
+		out = append(out, &AS{
+			ASN:      400000 + i,
+			Name:     fmt.Sprintf("Filler Networks %03d", i),
+			Country:  countries[rng.Intn(len(countries))],
+			Type:     typ,
+			AntiDDoS: rng.Intn(2) == 0,
+			Prefixes: []netip.Prefix{synthPrefix(60 + i)},
+		})
+	}
+	return out
+}
+
+// synthPrefix returns the slot-th synthetic /16. Slots 0..~12000 map
+// into 60.0.0.0/8 through 107.255.0.0/16, well clear of the
+// 10.0.0.0/8 space world generation uses for victims and sandboxes.
+func synthPrefix(slot int) netip.Prefix {
+	hi := 60 + slot/256
+	lo := slot % 256
+	if hi > 107 {
+		panic(fmt.Sprintf("geo: synthetic prefix slot %d out of space", slot))
+	}
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(hi), byte(lo), 0, 0}), 16)
+}
+
+// StandardRegistry assembles the full study registry: Table 2's top
+// ten, the big clouds, the victim ASes, and filler ASes to reach
+// total (Appendix A: 128 ASes appeared in the dataset).
+func StandardRegistry(total int, rng *rand.Rand) *Registry {
+	r := NewRegistry()
+	for _, as := range Top10C2ASes() {
+		r.Register(as)
+	}
+	for _, as := range BigCloudASes() {
+		r.Register(as)
+	}
+	for _, as := range VictimASes() {
+		r.Register(as)
+	}
+	if missing := total - r.Len(); missing > 0 {
+		for _, as := range FillerASes(missing, rng) {
+			r.Register(as)
+		}
+	}
+	return r
+}

@@ -1,0 +1,315 @@
+// Package ids is a small SNORT-style intrusion-detection engine for
+// the virtual network: content rules, address blocklist rules, and
+// packet-rate rules, matched against simnet packet records. It plays
+// two roles from the paper: the containment IDS at the sandbox
+// perimeter (§2.6 uses SNORT), and the vehicle for the study's
+// "potential impact" — turning profiles of freshly-caught binaries
+// into firewall rules (§1: "secure the network, through firewall
+// rules").
+package ids
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"malnet/internal/simnet"
+)
+
+// Action is what a matching rule does.
+type Action uint8
+
+// Rule actions.
+const (
+	// ActionAlert logs the event.
+	ActionAlert Action = iota
+	// ActionDrop blocks the traffic (egress gating).
+	ActionDrop
+)
+
+// String names the action in rule syntax.
+func (a Action) String() string {
+	if a == ActionDrop {
+		return "drop"
+	}
+	return "alert"
+}
+
+// Rule is one detection rule. Zero-valued match fields are
+// wildcards.
+type Rule struct {
+	// SID is the rule's unique id.
+	SID int
+	// Action taken on match.
+	Action Action
+	// Msg describes the event.
+	Msg string
+	// Proto restricts the transport ("tcp", "udp", "icmp", "ip" =
+	// any).
+	Proto string
+	// DstIP restricts the destination address.
+	DstIP netip.Addr
+	// DstPort restricts the destination port.
+	DstPort uint16
+	// Content must appear in the payload.
+	Content []byte
+	// MinPPS fires on burst records at or above this packet rate.
+	MinPPS float64
+}
+
+// Matches reports whether the rule matches a packet record.
+func (r *Rule) Matches(rec simnet.PacketRecord) bool {
+	switch r.Proto {
+	case "", "ip":
+	case "tcp":
+		if rec.Proto != simnet.ProtoTCP {
+			return false
+		}
+	case "udp":
+		if rec.Proto != simnet.ProtoUDP {
+			return false
+		}
+	case "icmp":
+		if rec.Proto != simnet.ProtoICMP {
+			return false
+		}
+	default:
+		return false
+	}
+	if r.DstIP.IsValid() && rec.Dst.IP != r.DstIP {
+		return false
+	}
+	if r.DstPort != 0 && rec.Dst.Port != r.DstPort {
+		return false
+	}
+	if len(r.Content) > 0 && !bytes.Contains(rec.Payload, r.Content) {
+		return false
+	}
+	if r.MinPPS > 0 && rec.PPS() < r.MinPPS {
+		return false
+	}
+	return true
+}
+
+// Render prints the rule in SNORT-like syntax.
+func (r *Rule) Render() string {
+	proto := r.Proto
+	if proto == "" {
+		proto = "ip"
+	}
+	dst := "any"
+	if r.DstIP.IsValid() {
+		dst = r.DstIP.String()
+	}
+	dport := "any"
+	if r.DstPort != 0 {
+		dport = strconv.Itoa(int(r.DstPort))
+	}
+	var opts []string
+	opts = append(opts, fmt.Sprintf("msg:%q", r.Msg))
+	if len(r.Content) > 0 {
+		opts = append(opts, fmt.Sprintf("content:%q", string(r.Content)))
+	}
+	if r.MinPPS > 0 {
+		opts = append(opts, fmt.Sprintf("rate:%g", r.MinPPS))
+	}
+	opts = append(opts, fmt.Sprintf("sid:%d", r.SID))
+	return fmt.Sprintf("%s %s any any -> %s %s (%s;)", r.Action, proto, dst, dport, strings.Join(opts, "; "))
+}
+
+// Parse reads one rule in the Render format — a 7-field header
+// "action proto srcIP srcPort -> dstIP dstPort" followed by a
+// parenthesized option block. It accepts exactly the dialect this
+// package emits (round-trip property), not full SNORT.
+func Parse(line string) (*Rule, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, fmt.Errorf("ids: empty rule")
+	}
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("ids: missing option block: %q", line)
+	}
+	head := strings.Fields(line[:open])
+	if len(head) != 7 || head[4] != "->" {
+		return nil, fmt.Errorf("ids: malformed header: %q", line)
+	}
+	r := &Rule{}
+	switch head[0] {
+	case "alert":
+		r.Action = ActionAlert
+	case "drop":
+		r.Action = ActionDrop
+	default:
+		return nil, fmt.Errorf("ids: unknown action %q", head[0])
+	}
+	r.Proto = head[1]
+	if head[1] == "ip" {
+		r.Proto = ""
+	}
+	if head[2] != "any" || head[3] != "any" {
+		return nil, fmt.Errorf("ids: unsupported source constraint: %q", line)
+	}
+	if dstIP := head[5]; dstIP != "any" {
+		ip, err := netip.ParseAddr(dstIP)
+		if err != nil {
+			return nil, fmt.Errorf("ids: bad dst ip %q", dstIP)
+		}
+		r.DstIP = ip
+	}
+	if dstPort := head[6]; dstPort != "any" {
+		p, err := strconv.ParseUint(dstPort, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("ids: bad dst port %q", dstPort)
+		}
+		r.DstPort = uint16(p)
+	}
+	opts := line[open+1 : len(line)-1]
+	for _, opt := range splitOpts(opts) {
+		k, v, ok := strings.Cut(opt, ":")
+		if !ok {
+			continue
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		switch k {
+		case "msg":
+			r.Msg = unquote(v)
+		case "content":
+			r.Content = []byte(unquote(v))
+		case "sid":
+			sid, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("ids: bad sid %q", v)
+			}
+			r.SID = sid
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ids: bad rate %q", v)
+			}
+			r.MinPPS = f
+		}
+	}
+	return r, nil
+}
+
+// splitOpts splits "k:v; k:v;" respecting quoted strings.
+func splitOpts(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ';':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(s[start:]) != "" {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func unquote(s string) string {
+	if u, err := strconv.Unquote(s); err == nil {
+		return u
+	}
+	return s
+}
+
+// Alert is one rule hit.
+type Alert struct {
+	Time time.Time
+	SID  int
+	Msg  string
+	Rec  simnet.PacketRecord
+}
+
+// Engine evaluates a rule set against traffic.
+type Engine struct {
+	rules  []*Rule
+	Alerts []Alert
+	// MaxAlerts bounds memory; 0 means 10000.
+	MaxAlerts int
+}
+
+// NewEngine builds an engine over rules.
+func NewEngine(rules []*Rule) *Engine {
+	sorted := append([]*Rule(nil), rules...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SID < sorted[j].SID })
+	return &Engine{rules: sorted}
+}
+
+// Rules returns the engine's rules ordered by SID.
+func (e *Engine) Rules() []*Rule { return e.rules }
+
+// Inspect evaluates one record, logging alerts and returning the
+// verdict: false when a drop rule matched.
+func (e *Engine) Inspect(at time.Time, rec simnet.PacketRecord) bool {
+	pass := true
+	for _, r := range e.rules {
+		if !r.Matches(rec) {
+			continue
+		}
+		max := e.MaxAlerts
+		if max == 0 {
+			max = 10000
+		}
+		if len(e.Alerts) < max {
+			e.Alerts = append(e.Alerts, Alert{Time: at, SID: r.SID, Msg: r.Msg, Rec: rec})
+		}
+		if r.Action == ActionDrop {
+			pass = false
+		}
+	}
+	return pass
+}
+
+// EgressGate adapts the engine into a simnet egress policy for a
+// host: drop-rule matches are contained at the perimeter.
+func (e *Engine) EgressGate(clock interface{ Now() time.Time }) func(dst simnet.Addr, proto simnet.Protocol) bool {
+	return func(dst simnet.Addr, proto simnet.Protocol) bool {
+		rec := simnet.PacketRecord{Dst: dst, Proto: proto, Count: 1}
+		return e.Inspect(clock.Now(), rec)
+	}
+}
+
+// RenderAll prints every rule, one per line.
+func RenderAll(rules []*Rule) string {
+	var sb strings.Builder
+	for _, r := range rules {
+		sb.WriteString(r.Render())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseAll reads rules emitted by RenderAll, skipping blank and
+// comment lines.
+func ParseAll(text string) ([]*Rule, error) {
+	var out []*Rule
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

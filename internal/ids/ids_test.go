@@ -1,0 +1,202 @@
+package ids
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+var at = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(proto simnet.Protocol, dst simnet.Addr, payload string) simnet.PacketRecord {
+	return simnet.PacketRecord{
+		Time: at, Src: simnet.AddrFrom("10.0.0.2", 4000), Dst: dst,
+		Proto: proto, Payload: []byte(payload), Size: len(payload) + 40, Count: 1,
+	}
+}
+
+func TestContentRuleMatches(t *testing.T) {
+	r := &Rule{SID: 1, Msg: "gpon", Proto: "tcp", DstPort: 80, Content: []byte("/GponForm/diag_Form")}
+	hit := rec(simnet.ProtoTCP, simnet.AddrFrom("70.0.0.1", 80), "POST /GponForm/diag_Form?images/ HTTP/1.1")
+	if !r.Matches(hit) {
+		t.Fatal("content rule missed matching payload")
+	}
+	if r.Matches(rec(simnet.ProtoTCP, simnet.AddrFrom("70.0.0.1", 80), "GET / HTTP/1.1")) {
+		t.Fatal("content rule matched benign payload")
+	}
+	if r.Matches(rec(simnet.ProtoTCP, simnet.AddrFrom("70.0.0.1", 8080), "POST /GponForm/diag_Form")) {
+		t.Fatal("content rule ignored port constraint")
+	}
+	if r.Matches(rec(simnet.ProtoUDP, simnet.AddrFrom("70.0.0.1", 80), "POST /GponForm/diag_Form")) {
+		t.Fatal("content rule ignored proto constraint")
+	}
+}
+
+func TestAddrDropRule(t *testing.T) {
+	ip := netip.MustParseAddr("60.0.0.9")
+	r := &Rule{SID: 2, Action: ActionDrop, Msg: "c2", Proto: "tcp", DstIP: ip}
+	if !r.Matches(rec(simnet.ProtoTCP, simnet.Addr{IP: ip, Port: 23}, "")) {
+		t.Fatal("blocklist rule missed its address")
+	}
+	if r.Matches(rec(simnet.ProtoTCP, simnet.AddrFrom("60.0.0.10", 23), "")) {
+		t.Fatal("blocklist rule matched a different address")
+	}
+}
+
+func TestRateRule(t *testing.T) {
+	r := &Rule{SID: 3, Msg: "flood", MinPPS: 100}
+	burst := simnet.PacketRecord{
+		Time: at, Dst: simnet.AddrFrom("70.0.0.1", 80),
+		Proto: simnet.ProtoUDP, Count: 25000, Span: time.Second, Size: 29,
+	}
+	if !r.Matches(burst) {
+		t.Fatal("rate rule missed a 25k pps burst")
+	}
+	slow := burst
+	slow.Count = 50
+	if r.Matches(slow) {
+		t.Fatal("rate rule matched a 50 pps burst")
+	}
+	single := rec(simnet.ProtoUDP, simnet.AddrFrom("70.0.0.1", 80), "x")
+	if r.Matches(single) {
+		t.Fatal("rate rule matched a single packet")
+	}
+}
+
+func TestEngineAlertsAndVerdict(t *testing.T) {
+	e := NewEngine([]*Rule{
+		{SID: 1, Action: ActionAlert, Msg: "see", Proto: "tcp", Content: []byte("evil")},
+		{SID: 2, Action: ActionDrop, Msg: "block", Proto: "tcp", DstIP: netip.MustParseAddr("60.0.0.9")},
+	})
+	if !e.Inspect(at, rec(simnet.ProtoTCP, simnet.AddrFrom("70.0.0.1", 80), "evil bytes")) {
+		t.Fatal("alert-only match must pass")
+	}
+	if e.Inspect(at, rec(simnet.ProtoTCP, simnet.AddrFrom("60.0.0.9", 23), "")) {
+		t.Fatal("drop match must not pass")
+	}
+	if len(e.Alerts) != 2 {
+		t.Fatalf("alerts = %d, want 2", len(e.Alerts))
+	}
+	if e.Alerts[0].SID != 1 || e.Alerts[1].SID != 2 {
+		t.Fatalf("alert SIDs = %d, %d", e.Alerts[0].SID, e.Alerts[1].SID)
+	}
+}
+
+func TestEngineAlertCap(t *testing.T) {
+	e := NewEngine([]*Rule{{SID: 1, Msg: "x", Proto: "tcp", Content: []byte("a")}})
+	e.MaxAlerts = 5
+	for i := 0; i < 20; i++ {
+		e.Inspect(at, rec(simnet.ProtoTCP, simnet.AddrFrom("70.0.0.1", 80), "aaa"))
+	}
+	if len(e.Alerts) != 5 {
+		t.Fatalf("alerts = %d, want capped at 5", len(e.Alerts))
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	rules := []*Rule{
+		{SID: 1000001, Action: ActionDrop, Msg: "MalNet C2 60.0.0.9:23 (IP, 4 samples)", Proto: "tcp", DstIP: netip.MustParseAddr("60.0.0.9")},
+		{SID: 2000001, Action: ActionAlert, Msg: "MalNet exploit CVE-2018-10561", Proto: "tcp", DstPort: 80, Content: []byte("/GponForm/diag_Form")},
+		{SID: 3000001, Action: ActionAlert, Msg: "MalNet flood rate", MinPPS: 100},
+	}
+	text := RenderAll(rules)
+	parsed, err := ParseAll(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(rules) {
+		t.Fatalf("parsed %d of %d", len(parsed), len(rules))
+	}
+	for i := range rules {
+		a, b := rules[i], parsed[i]
+		if a.SID != b.SID || a.Action != b.Action || a.Msg != b.Msg ||
+			a.Proto != b.Proto || a.DstIP != b.DstIP || a.DstPort != b.DstPort ||
+			string(a.Content) != string(b.Content) || a.MinPPS != b.MinPPS {
+			t.Fatalf("rule %d differs:\n %+v\n %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"", "# comment only is an error for Parse",
+		"alert tcp any any -> any 80", // no options
+		"frobnicate tcp any any -> any 80 (sid:1;)",
+		"alert tcp 1.2.3.4 any -> any 80 (sid:1;)", // src constraint
+		"alert tcp any any -> notanip 80 (sid:1;)",
+		"alert tcp any any -> any 99999 (sid:1;)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("parsed: %q", bad)
+		}
+	}
+}
+
+func TestParseAllSkipsComments(t *testing.T) {
+	text := "# MalNet rules\n\nalert tcp any any -> any 80 (msg:\"x\"; sid:7;)\n"
+	rules, err := ParseAll(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].SID != 7 {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestEgressGateBlocksListedC2(t *testing.T) {
+	clock := simclock.New(at)
+	n := simnet.New(clock, simnet.DefaultConfig())
+	c2IP := netip.MustParseAddr("60.0.0.9")
+	srv := n.AddHost(c2IP)
+	received := 0
+	srv.ListenUDP(9, func(src, dst simnet.Addr, payload []byte) { received++ })
+
+	e := NewEngine([]*Rule{{SID: 1, Action: ActionDrop, Msg: "c2", DstIP: c2IP}})
+	bot := n.AddHost(netip.MustParseAddr("10.0.0.2"))
+	bot.Egress = e.EgressGate(clock)
+	bot.SendUDP(4000, simnet.Addr{IP: c2IP, Port: 9}, []byte("call home"))
+	bot.SendUDP(4000, simnet.AddrFrom("60.0.0.10", 9), []byte("elsewhere"))
+	clock.RunFor(time.Second)
+	if received != 0 {
+		t.Fatal("blocklisted C2 received traffic")
+	}
+	if len(e.Alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(e.Alerts))
+	}
+}
+
+func TestQuickRenderParseRoundTrip(t *testing.T) {
+	f := func(sid uint16, port uint16, msgRaw, contentRaw []byte) bool {
+		// Constrain msg/content to printable non-quote bytes so the
+		// quoting path stays in the dialect we emit.
+		clean := func(b []byte) string {
+			var sb strings.Builder
+			for _, c := range b {
+				if c >= 0x20 && c < 0x7f && c != '"' && c != '\\' {
+					sb.WriteByte(c)
+				}
+			}
+			return sb.String()
+		}
+		r := &Rule{
+			SID: int(sid) + 1, Action: ActionAlert, Proto: "tcp",
+			DstPort: port, Msg: clean(msgRaw), Content: []byte(clean(contentRaw)),
+		}
+		if len(r.Content) == 0 {
+			r.Content = nil
+		}
+		got, err := Parse(r.Render())
+		if err != nil {
+			return false
+		}
+		return got.SID == r.SID && got.Msg == r.Msg && string(got.Content) == string(r.Content) && got.DstPort == r.DstPort
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package intel
+
+import (
+	"fmt"
+	"time"
+)
+
+// StandardVendors returns the 89-feed population: the top-20 feeds
+// from Table 7 with weights shaped to their reported detection
+// counts (per 1000 C2 IPs), 24 more that flag at least occasionally
+// (44 total ever flag, per Appendix D), and 45 that never flag IoT
+// C2s.
+func StandardVendors() []Vendor {
+	day := 24 * time.Hour
+	top := []struct {
+		name   string
+		weight float64
+		lag    time.Duration
+	}{
+		// Weights are the wide-tier inclusion probabilities backed
+		// out of Table 7's counts: ~(count - 44)/750 per vendor.
+		{"0xSI_f33d", 1.00, 0},
+		{"SafeToOpen", 1.00, 6 * time.Hour},
+		{"AutoShun", 1.00, 12 * time.Hour},
+		{"Lumu", 1.00, 12 * time.Hour},
+		{"Cyan", 1.00, 1 * day},
+		{"Kaspersky", 0.99, 1 * day},
+		{"PhishLabs", 0.99, 1 * day},
+		{"StopBadware", 0.99, 2 * day},
+		{"NotMining", 0.99, 2 * day},
+		{"Netcraft", 0.94, 3 * day},
+		{"Forcepoint ThreatSeeker", 0.93, 3 * day},
+		{"CRDF", 0.91, 3 * day},
+		{"Comodo Valkyrie Verdict", 0.87, 4 * day},
+		{"Fortinet", 0.85, 4 * day},
+		{"Webroot", 0.85, 4 * day},
+		{"Avira", 0.70, 5 * day},
+		{"CMC Threat Intelligence", 0.71, 5 * day},
+		{"G-Data", 0.37, 7 * day},
+		{"CyRadar", 0.46, 7 * day},
+		{"ESTsecurity", 0.25, 8 * day},
+	}
+	out := make([]Vendor, 0, 89)
+	for _, t := range top {
+		out = append(out, Vendor{Name: t.name, Weight: t.weight, ExtraLag: t.lag})
+	}
+	// 24 occasional feeds with small weights.
+	for i := 0; i < 24; i++ {
+		out = append(out, Vendor{
+			Name:     fmt.Sprintf("MinorFeed-%02d", i),
+			Weight:   0.02 + 0.006*float64(i),
+			ExtraLag: time.Duration(5+i) * day,
+		})
+	}
+	// 45 feeds that never flag IoT C2 addresses (weight 0).
+	for i := 0; i < 45; i++ {
+		out = append(out, Vendor{Name: fmt.Sprintf("SilentFeed-%02d", i)})
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// TransportChecksum computes the RFC 793/768 one's-complement
+// checksum over the IPv4 pseudo-header (src, dst, zero, protocol,
+// length) followed by the transport segment, with the segment's own
+// checksum field assumed zeroed by the caller.
+func TransportChecksum(proto uint8, src, dst netip.Addr, segment []byte) uint16 {
+	var pseudo [12]byte
+	s := src.As4()
+	d := dst.As4()
+	copy(pseudo[0:4], s[:])
+	copy(pseudo[4:8], d[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(segment)))
+
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i:]))
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(segment)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	c := ^uint16(sum)
+	if proto == IPProtoUDP && c == 0 {
+		// RFC 768: a computed zero is transmitted as all ones.
+		return 0xffff
+	}
+	return c
+}
+
+// checksum field offsets within the transport header.
+const (
+	tcpChecksumOff = 16
+	udpChecksumOff = 6
+)
+
+// FillTransportChecksum computes and writes the TCP or UDP checksum
+// into a serialized raw-IPv4 frame in place. Frames with other
+// transports are left untouched.
+func FillTransportChecksum(frame []byte) error {
+	if len(frame) < 20 || frame[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(frame[0]&0x0f) * 4
+	if len(frame) < ihl {
+		return ErrTruncated
+	}
+	proto := frame[9]
+	src := netip.AddrFrom4([4]byte(frame[12:16]))
+	dst := netip.AddrFrom4([4]byte(frame[16:20]))
+	segment := frame[ihl:]
+	var off int
+	switch proto {
+	case IPProtoTCP:
+		if len(segment) < 20 {
+			return ErrTruncated
+		}
+		off = tcpChecksumOff
+	case IPProtoUDP:
+		if len(segment) < 8 {
+			return ErrTruncated
+		}
+		off = udpChecksumOff
+	default:
+		return nil
+	}
+	segment[off] = 0
+	segment[off+1] = 0
+	binary.BigEndian.PutUint16(segment[off:], TransportChecksum(proto, src, dst, segment))
+	return nil
+}
+
+// ValidTransportChecksum reports whether a raw-IPv4 frame's TCP/UDP
+// checksum verifies. Non-TCP/UDP frames report true (nothing to
+// check); malformed frames report an error.
+func ValidTransportChecksum(frame []byte) (bool, error) {
+	if len(frame) < 20 || frame[0]>>4 != 4 {
+		return false, ErrBadVersion
+	}
+	ihl := int(frame[0]&0x0f) * 4
+	if len(frame) < ihl {
+		return false, ErrTruncated
+	}
+	proto := frame[9]
+	if proto != IPProtoTCP && proto != IPProtoUDP {
+		return true, nil
+	}
+	src := netip.AddrFrom4([4]byte(frame[12:16]))
+	dst := netip.AddrFrom4([4]byte(frame[16:20]))
+	segment := frame[ihl:]
+	off := tcpChecksumOff
+	minLen := 20
+	if proto == IPProtoUDP {
+		off, minLen = udpChecksumOff, 8
+	}
+	if len(segment) < minLen {
+		return false, ErrTruncated
+	}
+	stored := binary.BigEndian.Uint16(segment[off:])
+	if proto == IPProtoUDP && stored == 0 {
+		return true, nil // RFC 768: zero means "no checksum"
+	}
+	tmp := make([]byte, len(segment))
+	copy(tmp, segment)
+	tmp[off] = 0
+	tmp[off+1] = 0
+	want := TransportChecksum(proto, src, dst, tmp)
+	if stored != want {
+		return false, fmt.Errorf("packet: checksum %#04x, computed %#04x", stored, want)
+	}
+	return true, nil
+}

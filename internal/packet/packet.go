@@ -1,0 +1,442 @@
+// Package packet implements a small gopacket-style layer codec for
+// the protocols the MalNet traffic path uses: IPv4, TCP, UDP, ICMPv4
+// and DNS. It supports both decoding captured bytes into layers and
+// serializing layers back to wire format (prepend-style, so a packet
+// is built by serializing payload-first), plus Flow/Endpoint keys for
+// grouping traffic.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+// Layer types understood by this package.
+const (
+	LayerTypeIPv4 LayerType = iota + 1
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeICMPv4
+	LayerTypePayload
+)
+
+// String names the layer type.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeICMPv4:
+		return "ICMPv4"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(t))
+}
+
+// Layer is one decoded protocol layer.
+type Layer interface {
+	// LayerType identifies the layer's protocol.
+	LayerType() LayerType
+	// SerializeTo appends the layer's wire encoding in front of
+	// payload and returns the combined bytes.
+	SerializeTo(payload []byte) ([]byte, error)
+}
+
+// Decoding errors.
+var (
+	ErrTruncated  = errors.New("packet: truncated")
+	ErrBadVersion = errors.New("packet: not an IPv4 packet")
+)
+
+// IP protocol numbers used by the IPv4 header.
+const (
+	IPProtoICMP = 1
+	IPProtoTCP  = 6
+	IPProtoUDP  = 17
+)
+
+// Endpoint is a hashable traffic endpoint (an address, or an
+// address:port pair). Endpoints are comparable and usable as map
+// keys.
+type Endpoint struct {
+	IP   netip.Addr
+	Port uint16
+	// HasPort distinguishes a transport endpoint from a bare
+	// network endpoint with port 0.
+	HasPort bool
+}
+
+// String renders the endpoint.
+func (e Endpoint) String() string {
+	if e.HasPort {
+		return fmt.Sprintf("%s:%d", e.IP, e.Port)
+	}
+	return e.IP.String()
+}
+
+// Flow is an ordered (src, dst) pair of endpoints; it is comparable
+// and usable as a map key.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+// Reverse returns the opposite-direction flow.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// String renders "src -> dst".
+func (f Flow) String() string { return f.Src.String() + " -> " + f.Dst.String() }
+
+// Canonical returns the flow with endpoints ordered so that both
+// directions map to the same key (for bidirectional session
+// grouping).
+func (f Flow) Canonical() Flow {
+	a, b := f.Src, f.Dst
+	if b.IP.Less(a.IP) || (a.IP == b.IP && b.Port < a.Port) {
+		return Flow{Src: b, Dst: a}
+	}
+	return f
+}
+
+// IPv4 is the IPv4 header layer.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	SrcIP    netip.Addr
+	DstIP    netip.Addr
+	// Length is the total length field as decoded; Serialize
+	// computes it.
+	Length uint16
+}
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// NetworkFlow returns the src/dst address flow.
+func (ip *IPv4) NetworkFlow() Flow {
+	return Flow{Src: Endpoint{IP: ip.SrcIP}, Dst: Endpoint{IP: ip.DstIP}}
+}
+
+// SerializeTo implements Layer, prepending a 20-byte header (no
+// options) with a correct checksum.
+func (ip *IPv4) SerializeTo(payload []byte) ([]byte, error) {
+	if !ip.SrcIP.Is4() || !ip.DstIP.Is4() {
+		return nil, fmt.Errorf("packet: IPv4 serialize needs v4 addresses, have %v -> %v", ip.SrcIP, ip.DstIP)
+	}
+	total := 20 + len(payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: IPv4 payload too large (%d)", total)
+	}
+	hdr := make([]byte, 20, total)
+	hdr[0] = 0x45 // version 4, IHL 5
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[2:], uint16(total))
+	binary.BigEndian.PutUint16(hdr[4:], ip.ID)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	hdr[8] = ttl
+	hdr[9] = ip.Protocol
+	src := ip.SrcIP.As4()
+	dst := ip.DstIP.As4()
+	copy(hdr[12:16], src[:])
+	copy(hdr[16:20], dst[:])
+	binary.BigEndian.PutUint16(hdr[10:], checksum(hdr))
+	return append(hdr, payload...), nil
+}
+
+// DecodeIPv4 parses an IPv4 header, returning the layer and its
+// payload bytes.
+func DecodeIPv4(data []byte) (*IPv4, []byte, error) {
+	if len(data) < 20 {
+		return nil, nil, ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return nil, nil, ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, nil, ErrTruncated
+	}
+	total := int(binary.BigEndian.Uint16(data[2:]))
+	if total < ihl || total > len(data) {
+		total = len(data) // tolerate truncated captures
+	}
+	ip := &IPv4{
+		TOS:      data[1],
+		ID:       binary.BigEndian.Uint16(data[4:]),
+		TTL:      data[8],
+		Protocol: data[9],
+		SrcIP:    netip.AddrFrom4([4]byte(data[12:16])),
+		DstIP:    netip.AddrFrom4([4]byte(data[16:20])),
+		Length:   uint16(total),
+	}
+	return ip, data[ihl:total], nil
+}
+
+// TCP is the TCP header layer.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	SYN, ACK, FIN    bool
+	RST, PSH, URG    bool
+	Window           uint16
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// TransportFlow returns the port-level flow (IPs unset; combine with
+// the IPv4 layer for full 4-tuples).
+func (t *TCP) TransportFlow() Flow {
+	return Flow{
+		Src: Endpoint{Port: t.SrcPort, HasPort: true},
+		Dst: Endpoint{Port: t.DstPort, HasPort: true},
+	}
+}
+
+func (t *TCP) flagByte() byte {
+	var f byte
+	if t.FIN {
+		f |= 0x01
+	}
+	if t.SYN {
+		f |= 0x02
+	}
+	if t.RST {
+		f |= 0x04
+	}
+	if t.PSH {
+		f |= 0x08
+	}
+	if t.ACK {
+		f |= 0x10
+	}
+	if t.URG {
+		f |= 0x20
+	}
+	return f
+}
+
+// SerializeTo implements Layer, prepending a 20-byte header (no
+// options). The checksum field is zero: the capture path has no
+// pseudo-header context, matching what offloaded NICs record.
+func (t *TCP) SerializeTo(payload []byte) ([]byte, error) {
+	hdr := make([]byte, 20, 20+len(payload))
+	binary.BigEndian.PutUint16(hdr[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:], t.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:], t.Seq)
+	binary.BigEndian.PutUint32(hdr[8:], t.Ack)
+	hdr[12] = 5 << 4 // data offset
+	hdr[13] = t.flagByte()
+	win := t.Window
+	if win == 0 {
+		win = 65535
+	}
+	binary.BigEndian.PutUint16(hdr[14:], win)
+	return append(hdr, payload...), nil
+}
+
+// DecodeTCP parses a TCP header, returning the layer and payload.
+func DecodeTCP(data []byte) (*TCP, []byte, error) {
+	if len(data) < 20 {
+		return nil, nil, ErrTruncated
+	}
+	off := int(data[12]>>4) * 4
+	if off < 20 || len(data) < off {
+		return nil, nil, ErrTruncated
+	}
+	f := data[13]
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(data[0:]),
+		DstPort: binary.BigEndian.Uint16(data[2:]),
+		Seq:     binary.BigEndian.Uint32(data[4:]),
+		Ack:     binary.BigEndian.Uint32(data[8:]),
+		FIN:     f&0x01 != 0,
+		SYN:     f&0x02 != 0,
+		RST:     f&0x04 != 0,
+		PSH:     f&0x08 != 0,
+		ACK:     f&0x10 != 0,
+		URG:     f&0x20 != 0,
+		Window:  binary.BigEndian.Uint16(data[14:]),
+	}
+	return t, data[off:], nil
+}
+
+// UDP is the UDP header layer.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// TransportFlow returns the port-level flow.
+func (u *UDP) TransportFlow() Flow {
+	return Flow{
+		Src: Endpoint{Port: u.SrcPort, HasPort: true},
+		Dst: Endpoint{Port: u.DstPort, HasPort: true},
+	}
+}
+
+// SerializeTo implements Layer.
+func (u *UDP) SerializeTo(payload []byte) ([]byte, error) {
+	if 8+len(payload) > 0xffff {
+		return nil, fmt.Errorf("packet: UDP payload too large (%d)", len(payload))
+	}
+	hdr := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint16(hdr[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:], u.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:], uint16(8+len(payload)))
+	return append(hdr, payload...), nil
+}
+
+// DecodeUDP parses a UDP header, returning the layer and payload.
+func DecodeUDP(data []byte) (*UDP, []byte, error) {
+	if len(data) < 8 {
+		return nil, nil, ErrTruncated
+	}
+	u := &UDP{
+		SrcPort: binary.BigEndian.Uint16(data[0:]),
+		DstPort: binary.BigEndian.Uint16(data[2:]),
+		Length:  binary.BigEndian.Uint16(data[4:]),
+	}
+	return u, data[8:], nil
+}
+
+// ICMPv4 is the ICMPv4 header layer.
+type ICMPv4 struct {
+	Type, Code uint8
+	ID, Seq    uint16
+}
+
+// LayerType implements Layer.
+func (ic *ICMPv4) LayerType() LayerType { return LayerTypeICMPv4 }
+
+// SerializeTo implements Layer.
+func (ic *ICMPv4) SerializeTo(payload []byte) ([]byte, error) {
+	hdr := make([]byte, 8, 8+len(payload))
+	hdr[0] = ic.Type
+	hdr[1] = ic.Code
+	binary.BigEndian.PutUint16(hdr[4:], ic.ID)
+	binary.BigEndian.PutUint16(hdr[6:], ic.Seq)
+	full := append(hdr, payload...)
+	binary.BigEndian.PutUint16(full[2:], checksum(full))
+	return full, nil
+}
+
+// DecodeICMPv4 parses an ICMPv4 header, returning the layer and
+// payload.
+func DecodeICMPv4(data []byte) (*ICMPv4, []byte, error) {
+	if len(data) < 8 {
+		return nil, nil, ErrTruncated
+	}
+	ic := &ICMPv4{
+		Type: data[0],
+		Code: data[1],
+		ID:   binary.BigEndian.Uint16(data[4:]),
+		Seq:  binary.BigEndian.Uint16(data[6:]),
+	}
+	return ic, data[8:], nil
+}
+
+// checksum is the RFC 1071 Internet checksum with the checksum field
+// assumed zeroed.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Packet is a fully decoded IPv4 packet.
+type Packet struct {
+	IP      *IPv4
+	TCP     *TCP
+	UDP     *UDP
+	ICMP    *ICMPv4
+	Payload []byte
+}
+
+// Decode parses raw IPv4 bytes into a Packet. Unknown transport
+// protocols leave the IP payload in Payload.
+func Decode(data []byte) (*Packet, error) {
+	ip, rest, err := DecodeIPv4(data)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{IP: ip}
+	switch ip.Protocol {
+	case IPProtoTCP:
+		p.TCP, p.Payload, err = DecodeTCP(rest)
+	case IPProtoUDP:
+		p.UDP, p.Payload, err = DecodeUDP(rest)
+	case IPProtoICMP:
+		p.ICMP, p.Payload, err = DecodeICMPv4(rest)
+	default:
+		p.Payload = rest
+	}
+	if err != nil {
+		return nil, fmt.Errorf("decoding transport: %w", err)
+	}
+	return p, nil
+}
+
+// Flow returns the packet's full flow: IPs from the network layer,
+// ports from the transport layer when present.
+func (p *Packet) Flow() Flow {
+	f := p.IP.NetworkFlow()
+	switch {
+	case p.TCP != nil:
+		f.Src.Port, f.Src.HasPort = p.TCP.SrcPort, true
+		f.Dst.Port, f.Dst.HasPort = p.TCP.DstPort, true
+	case p.UDP != nil:
+		f.Src.Port, f.Src.HasPort = p.UDP.SrcPort, true
+		f.Dst.Port, f.Dst.HasPort = p.UDP.DstPort, true
+	}
+	return f
+}
+
+// Serialize builds wire bytes from the given layers in outermost-
+// first order, e.g. Serialize(ip, tcp, Raw(payload)).
+func Serialize(layers ...Layer) ([]byte, error) {
+	out := []byte(nil)
+	for i := len(layers) - 1; i >= 0; i-- {
+		var err error
+		out, err = layers[i].SerializeTo(out)
+		if err != nil {
+			return nil, fmt.Errorf("serializing %v: %w", layers[i].LayerType(), err)
+		}
+	}
+	return out, nil
+}
+
+// Raw is a terminal payload layer.
+type Raw []byte
+
+// LayerType implements Layer.
+func (Raw) LayerType() LayerType { return LayerTypePayload }
+
+// SerializeTo implements Layer.
+func (r Raw) SerializeTo(payload []byte) ([]byte, error) {
+	return append(append([]byte{}, r...), payload...), nil
+}

@@ -1,0 +1,240 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcIP = netip.MustParseAddr("192.0.2.1")
+	dstIP = netip.MustParseAddr("198.51.100.7")
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := &IPv4{TOS: 0x10, ID: 4242, TTL: 57, Protocol: IPProtoTCP, SrcIP: srcIP, DstIP: dstIP}
+	payload := []byte("the payload")
+	wire, err := ip.SerializeTo(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcIP != srcIP || got.DstIP != dstIP || got.TTL != 57 || got.ID != 4242 || got.Protocol != IPProtoTCP {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %q", rest)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	ip := &IPv4{Protocol: IPProtoUDP, SrcIP: srcIP, DstIP: dstIP}
+	wire, err := ip.SerializeTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-checksumming a header with a valid checksum yields zero.
+	if got := checksum(wire[:20]); got != 0 {
+		t.Fatalf("checksum over valid header = %#x, want 0", got)
+	}
+}
+
+func TestDecodeIPv4Truncated(t *testing.T) {
+	if _, _, err := DecodeIPv4(make([]byte, 10)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeIPv4WrongVersion(t *testing.T) {
+	b := make([]byte, 20)
+	b[0] = 0x65 // version 6
+	if _, _, err := DecodeIPv4(b); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tc := &TCP{SrcPort: 48000, DstPort: 23, Seq: 1000, Ack: 2000, SYN: true, ACK: true, Window: 29200}
+	wire, err := tc.SerializeTo([]byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeTCP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 48000 || got.DstPort != 23 || !got.SYN || !got.ACK || got.FIN || got.RST {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Seq != 1000 || got.Ack != 2000 || got.Window != 29200 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if string(rest) != "abc" {
+		t.Fatalf("payload = %q", rest)
+	}
+}
+
+func TestTCPAllFlagsRoundTrip(t *testing.T) {
+	tc := &TCP{FIN: true, SYN: true, RST: true, PSH: true, ACK: true, URG: true}
+	wire, _ := tc.SerializeTo(nil)
+	got, _, err := DecodeTCP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(got.FIN && got.SYN && got.RST && got.PSH && got.ACK && got.URG) {
+		t.Fatalf("flags lost: %+v", got)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := &UDP{SrcPort: 5353, DstPort: 53}
+	wire, err := u.SerializeTo([]byte("query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeUDP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 5353 || got.DstPort != 53 || got.Length != 13 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if string(rest) != "query" {
+		t.Fatalf("payload = %q", rest)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	ic := &ICMPv4{Type: 3, Code: 3, ID: 77, Seq: 8}
+	wire, err := ic.SerializeTo([]byte("orig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeICMPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != 3 || got.Code != 3 || got.ID != 77 || got.Seq != 8 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if string(rest) != "orig" {
+		t.Fatalf("payload = %q", rest)
+	}
+}
+
+func TestFullPacketDecodeTCP(t *testing.T) {
+	wire, err := Serialize(
+		&IPv4{Protocol: IPProtoTCP, SrcIP: srcIP, DstIP: dstIP},
+		&TCP{SrcPort: 1024, DstPort: 80, PSH: true, ACK: true},
+		Raw("GET / HTTP/1.0\r\n\r\n"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TCP == nil || p.UDP != nil || p.ICMP != nil {
+		t.Fatalf("layers: %+v", p)
+	}
+	if string(p.Payload) != "GET / HTTP/1.0\r\n\r\n" {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+	f := p.Flow()
+	if f.Src.IP != srcIP || f.Src.Port != 1024 || f.Dst.IP != dstIP || f.Dst.Port != 80 {
+		t.Fatalf("flow = %v", f)
+	}
+}
+
+func TestFullPacketDecodeUDPAndICMP(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		inner Layer
+		check func(p *Packet) bool
+	}{
+		{"udp", &UDP{SrcPort: 9, DstPort: 9}, func(p *Packet) bool { return p.UDP != nil }},
+		{"icmp", &ICMPv4{Type: 8}, func(p *Packet) bool { return p.ICMP != nil }},
+	} {
+		proto := uint8(IPProtoUDP)
+		if tc.name == "icmp" {
+			proto = IPProtoICMP
+		}
+		wire, err := Serialize(&IPv4{Protocol: proto, SrcIP: srcIP, DstIP: dstIP}, tc.inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !tc.check(p) {
+			t.Fatalf("%s: wrong layers %+v", tc.name, p)
+		}
+	}
+}
+
+func TestFlowCanonicalSymmetric(t *testing.T) {
+	f := Flow{
+		Src: Endpoint{IP: dstIP, Port: 80, HasPort: true},
+		Dst: Endpoint{IP: srcIP, Port: 1024, HasPort: true},
+	}
+	if f.Canonical() != f.Reverse().Canonical() {
+		t.Fatal("canonical flow differs across directions")
+	}
+}
+
+func TestFlowUsableAsMapKey(t *testing.T) {
+	m := map[Flow]int{}
+	f := Flow{Src: Endpoint{IP: srcIP, Port: 1, HasPort: true}, Dst: Endpoint{IP: dstIP, Port: 2, HasPort: true}}
+	m[f]++
+	m[f]++
+	if m[f] != 2 {
+		t.Fatalf("map[f] = %d", m[f])
+	}
+}
+
+func TestQuickTCPRoundTripPorts(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, payload []byte) bool {
+		tc := &TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, PSH: true}
+		wire, err := tc.SerializeTo(payload)
+		if err != nil {
+			return false
+		}
+		got, rest, err := DecodeTCP(wire)
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == sp && got.DstPort == dp && got.Seq == seq &&
+			got.Ack == ack && bytes.Equal(rest, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIPv4RoundTripAddrs(t *testing.T) {
+	f := func(a, b [4]byte, id uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		ip := &IPv4{ID: id, Protocol: IPProtoTCP, SrcIP: netip.AddrFrom4(a), DstIP: netip.AddrFrom4(b)}
+		wire, err := ip.SerializeTo(payload)
+		if err != nil {
+			return false
+		}
+		got, rest, err := DecodeIPv4(wire)
+		if err != nil {
+			return false
+		}
+		return got.SrcIP == netip.AddrFrom4(a) && got.DstIP == netip.AddrFrom4(b) &&
+			got.ID == id && bytes.Equal(rest, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

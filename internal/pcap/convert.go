@@ -1,0 +1,83 @@
+package pcap
+
+import (
+	"fmt"
+	"time"
+
+	"malnet/internal/packet"
+	"malnet/internal/simnet"
+)
+
+// FrameFromRecord renders a simnet packet record as a raw-IPv4 frame
+// suitable for a LINKTYPE_RAW capture, with a valid transport
+// checksum. Burst records are rendered as a single representative
+// frame (callers expand Count themselves if they need one frame per
+// packet).
+func FrameFromRecord(rec simnet.PacketRecord) ([]byte, error) {
+	ip := &packet.IPv4{SrcIP: rec.Src.IP, DstIP: rec.Dst.IP}
+	switch rec.Proto {
+	case simnet.ProtoTCP:
+		ip.Protocol = packet.IPProtoTCP
+		t := &packet.TCP{
+			SrcPort: rec.Src.Port, DstPort: rec.Dst.Port,
+			SYN: rec.Flags&simnet.FlagSYN != 0,
+			ACK: rec.Flags&simnet.FlagACK != 0,
+			FIN: rec.Flags&simnet.FlagFIN != 0,
+			RST: rec.Flags&simnet.FlagRST != 0,
+			PSH: rec.Flags&simnet.FlagPSH != 0,
+		}
+		return withChecksum(packet.Serialize(ip, t, packet.Raw(rec.Payload)))
+	case simnet.ProtoUDP:
+		ip.Protocol = packet.IPProtoUDP
+		u := &packet.UDP{SrcPort: rec.Src.Port, DstPort: rec.Dst.Port}
+		return withChecksum(packet.Serialize(ip, u, packet.Raw(rec.Payload)))
+	case simnet.ProtoICMP:
+		ip.Protocol = packet.IPProtoICMP
+		ic := &packet.ICMPv4{Type: rec.ICMPTyp, Code: rec.ICMPCod}
+		return packet.Serialize(ip, ic, packet.Raw(rec.Payload))
+	}
+	return nil, fmt.Errorf("pcap: unknown protocol %v", rec.Proto)
+}
+
+// withChecksum fills the transport checksum of a freshly serialized
+// frame.
+func withChecksum(frame []byte, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	if err := packet.FillTransportChecksum(frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// WriteRecords converts simnet records to frames and writes them. A
+// burst record (Count > 1) is written as up to maxPerBurst frames
+// with timestamps spread across its span, preserving the burst's
+// rate signature in the file without materializing every packet of a
+// flood; 0 means 1.
+func (pw *Writer) WriteRecords(recs []simnet.PacketRecord, maxPerBurst int) error {
+	if maxPerBurst <= 0 {
+		maxPerBurst = 1
+	}
+	for _, rec := range recs {
+		frame, err := FrameFromRecord(rec)
+		if err != nil {
+			return err
+		}
+		n := rec.Count
+		if n > maxPerBurst {
+			n = maxPerBurst
+		}
+		for i := 0; i < n; i++ {
+			ts := rec.Time
+			if n > 1 && rec.Span > 0 {
+				ts = ts.Add(rec.Span * time.Duration(i) / time.Duration(n))
+			}
+			if err := pw.WriteRecord(Record{Time: ts, Data: frame, OrigLen: rec.Size}); err != nil {
+				return err
+			}
+		}
+	}
+	return pw.Flush()
+}

@@ -1,0 +1,179 @@
+// Package realprobe runs the weaponized C2 probe over real TCP —
+// the deployment form of §2.1's second mode. It shares its protocol
+// handshakes and engagement classification with the simulated study
+// (internal/c2's probe helpers), so behavior validated against the
+// virtual network carries over to actual sockets.
+//
+// Intended use is defensive and lab-scoped, exactly as in the paper:
+// confirming whether a suspected endpoint from a malware profile is
+// a live C2 server.
+package realprobe
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"malnet/internal/c2"
+)
+
+// Verdict classifies one probe.
+type Verdict uint8
+
+// Probe verdicts, mirroring the simulated study's outcomes.
+const (
+	// VerdictNoAnswer: connection refused or timed out.
+	VerdictNoAnswer Verdict = iota
+	// VerdictAcceptedSilent: TCP accepted, no protocol engagement.
+	VerdictAcceptedSilent
+	// VerdictBanner: a well-known benign service answered.
+	VerdictBanner
+	// VerdictEngaged: the peer spoke the C2 protocol back.
+	VerdictEngaged
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAcceptedSilent:
+		return "accepted-silent"
+	case VerdictBanner:
+		return "banner"
+	case VerdictEngaged:
+		return "engaged"
+	}
+	return "no-answer"
+}
+
+// Result is one probe's outcome.
+type Result struct {
+	Target  string
+	Family  string
+	Verdict Verdict
+	// Banner holds the first bytes for banner verdicts.
+	Banner string
+	// RTT is the time to connect.
+	RTT time.Duration
+	// Err carries the dial error for no-answer verdicts.
+	Err error
+}
+
+// Prober probes endpoints with a weaponized family handshake.
+type Prober struct {
+	// Family selects the protocol (mirai, gafgyt, daddyl33t,
+	// tsunami).
+	Family string
+	// DialTimeout bounds connection establishment (default 5 s).
+	DialTimeout time.Duration
+	// EngageTimeout bounds the wait for protocol engagement after
+	// connecting (default 90 s, the study's window).
+	EngageTimeout time.Duration
+	// Dialer allows tests to interpose; nil uses net.Dialer.
+	Dialer interface {
+		DialContext(ctx context.Context, network, addr string) (net.Conn, error)
+	}
+}
+
+// Probe dials target ("host:port"), performs the weaponized
+// handshake, and classifies the response.
+func (p *Prober) Probe(ctx context.Context, target string) Result {
+	family := p.Family
+	if family == "" {
+		family = c2.FamilyMirai
+	}
+	dialTimeout := p.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	engageTimeout := p.EngageTimeout
+	if engageTimeout <= 0 {
+		engageTimeout = 90 * time.Second
+	}
+	res := Result{Target: target, Family: family}
+
+	dialer := p.Dialer
+	if dialer == nil {
+		dialer = &net.Dialer{Timeout: dialTimeout}
+	}
+	dctx, cancel := context.WithTimeout(ctx, dialTimeout)
+	defer cancel()
+	start := time.Now()
+	conn, err := dialer.DialContext(dctx, "tcp", target)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer conn.Close()
+	res.RTT = time.Since(start)
+	res.Verdict = VerdictAcceptedSilent
+
+	// Greeting pre-read: banner services (SSH, SMTP, some HTTP
+	// error paths) speak first and often close on unexpected
+	// input; writing before reading would RST away their banner.
+	pre := make([]byte, 512)
+	if err := conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond)); err == nil {
+		if n, _ := conn.Read(pre); n > 0 {
+			if c2.WellKnownBanner(pre[:n]) {
+				res.Verdict = VerdictBanner
+				res.Banner = string(pre[:min(n, 60)])
+				return res
+			}
+			if c2.ProbeEngaged(family, pre[:n]) {
+				res.Verdict = VerdictEngaged
+				return res
+			}
+		}
+	}
+
+	for _, msg := range c2.ProbeHandshake(family) {
+		if _, err := conn.Write(msg); err != nil {
+			res.Err = fmt.Errorf("realprobe: write: %w", err)
+			return res
+		}
+	}
+
+	deadline := time.Now().Add(engageTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	buf := make([]byte, 4096)
+	var acc []byte
+	for {
+		if err := conn.SetReadDeadline(deadline); err != nil {
+			return res
+		}
+		n, err := conn.Read(buf)
+		if n > 0 {
+			acc = append(acc, buf[:n]...)
+			if c2.WellKnownBanner(acc) {
+				res.Verdict = VerdictBanner
+				res.Banner = string(acc[:min(len(acc), 60)])
+				return res
+			}
+			if c2.ProbeEngaged(family, acc) {
+				res.Verdict = VerdictEngaged
+				return res
+			}
+		}
+		if err != nil {
+			return res // timeout or close: keep strongest verdict so far
+		}
+		if len(acc) > 1<<16 {
+			return res // runaway peer; classify on what we have
+		}
+	}
+}
+
+// ProbeAll sweeps a target list sequentially (deterministic, gentle
+// — the study's ethics posture), returning one result per target.
+func (p *Prober) ProbeAll(ctx context.Context, targets []string) []Result {
+	out := make([]Result, 0, len(targets))
+	for _, t := range targets {
+		out = append(out, p.Probe(ctx, t))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return out
+}

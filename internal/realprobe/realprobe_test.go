@@ -1,0 +1,165 @@
+package realprobe
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"malnet/internal/c2"
+)
+
+// serve starts a real loopback TCP listener whose connections are
+// handled by handler; it returns the address and a cleanup func.
+func serve(t *testing.T, handler func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestProbeEngagesRealMiraiStyleC2(t *testing.T) {
+	// A minimal real-socket Mirai C2: reads the 4-byte handshake,
+	// echoes 2-byte pings.
+	addr := serve(t, func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 16)
+		var got []byte
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			got = append(got, buf[:n]...)
+			for len(got) >= 4 && bytes.Equal(got[:4], c2.MiraiHandshake) {
+				got = got[4:]
+			}
+			for len(got) >= 2 && got[0] == 0 && got[1] == 0 {
+				conn.Write(c2.MiraiPing)
+				got = got[2:]
+			}
+		}
+	})
+	p := &Prober{Family: c2.FamilyMirai, EngageTimeout: 3 * time.Second}
+	res := p.Probe(context.Background(), addr)
+	if res.Verdict != VerdictEngaged {
+		t.Fatalf("verdict = %v (err %v), want engaged", res.Verdict, res.Err)
+	}
+	if res.RTT <= 0 {
+		t.Fatal("no RTT measured")
+	}
+}
+
+func TestProbeEngagesRealGafgytStyleC2(t *testing.T) {
+	addr := serve(t, func(conn net.Conn) {
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		if _, err := r.ReadString('\n'); err != nil {
+			return
+		}
+		conn.Write([]byte("PING\n"))
+		r.ReadString('\n') // PONG, ignored
+	})
+	p := &Prober{Family: c2.FamilyGafgyt, EngageTimeout: 3 * time.Second}
+	res := p.Probe(context.Background(), addr)
+	if res.Verdict != VerdictEngaged {
+		t.Fatalf("verdict = %v, want engaged", res.Verdict)
+	}
+}
+
+func TestProbeClassifiesBanner(t *testing.T) {
+	addr := serve(t, func(conn net.Conn) {
+		conn.Write([]byte("HTTP/1.1 400 Bad Request\r\nServer: nginx\r\n\r\n"))
+		conn.Close()
+	})
+	p := &Prober{Family: c2.FamilyMirai, EngageTimeout: 3 * time.Second}
+	res := p.Probe(context.Background(), addr)
+	if res.Verdict != VerdictBanner {
+		t.Fatalf("verdict = %v, want banner", res.Verdict)
+	}
+	if !strings.Contains(res.Banner, "HTTP/1.1") {
+		t.Fatalf("banner = %q", res.Banner)
+	}
+}
+
+func TestProbeSilentAcceptor(t *testing.T) {
+	addr := serve(t, func(conn net.Conn) {
+		time.Sleep(200 * time.Millisecond)
+		conn.Close()
+	})
+	p := &Prober{Family: c2.FamilyMirai, EngageTimeout: time.Second}
+	res := p.Probe(context.Background(), addr)
+	if res.Verdict != VerdictAcceptedSilent {
+		t.Fatalf("verdict = %v, want accepted-silent", res.Verdict)
+	}
+}
+
+func TestProbeNoAnswer(t *testing.T) {
+	// A port with nothing listening: grab one, close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	p := &Prober{Family: c2.FamilyMirai, DialTimeout: time.Second}
+	res := p.Probe(context.Background(), addr)
+	if res.Verdict != VerdictNoAnswer || res.Err == nil {
+		t.Fatalf("verdict = %v err = %v, want no-answer with error", res.Verdict, res.Err)
+	}
+}
+
+func TestProbeContextCancellation(t *testing.T) {
+	addr := serve(t, func(conn net.Conn) {
+		time.Sleep(5 * time.Second)
+		conn.Close()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	p := &Prober{Family: c2.FamilyMirai, EngageTimeout: 30 * time.Second}
+	start := time.Now()
+	res := p.Probe(ctx, addr)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("probe ignored context deadline (%v)", elapsed)
+	}
+	if res.Verdict == VerdictEngaged {
+		t.Fatal("silent peer classified engaged")
+	}
+}
+
+func TestProbeAllSequential(t *testing.T) {
+	engagedAddr := serve(t, func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 16)
+		conn.Read(buf)
+		conn.Write(c2.MiraiPing)
+		conn.Read(buf)
+	})
+	bannerAddr := serve(t, func(conn net.Conn) {
+		conn.Write([]byte("SSH-2.0-OpenSSH_8.9\r\n"))
+		conn.Close()
+	})
+	p := &Prober{Family: c2.FamilyMirai, EngageTimeout: 2 * time.Second}
+	results := p.ProbeAll(context.Background(), []string{engagedAddr, bannerAddr})
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Verdict != VerdictEngaged || results[1].Verdict != VerdictBanner {
+		t.Fatalf("verdicts = %v, %v", results[0].Verdict, results[1].Verdict)
+	}
+}

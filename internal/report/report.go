@@ -1,0 +1,185 @@
+// Package report renders the study's tables and figures as text:
+// aligned ASCII tables, CDF step listings, bar charts and the weekly
+// heatmap — the same rows and series the paper prints, regenerable
+// from any terminal.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"malnet/internal/analysis"
+)
+
+// Table renders rows with aligned columns under a header.
+func Table(title string, header []string, rows [][]string) string {
+	var sb strings.Builder
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CDFText renders a CDF as percentile markers plus summary stats.
+func CDFText(title string, c *analysis.CDF, unit string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d)\n", title, c.N())
+	if c.N() == 0 {
+		return sb.String()
+	}
+	for _, p := range []float64{0.10, 0.25, 0.50, 0.75, 0.80, 0.90, 0.95, 1.00} {
+		fmt.Fprintf(&sb, "  P%-3.0f <= %.1f %s\n", p*100, c.Percentile(p), unit)
+	}
+	fmt.Fprintf(&sb, "  mean = %.2f %s, max = %.1f %s\n", c.Mean(), unit, c.Max(), unit)
+	return sb.String()
+}
+
+// Bars renders a horizontal bar chart of labeled counts.
+func Bars(title string, entries []analysis.Entry, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0
+	labelW := 0
+	for _, e := range entries {
+		if e.Count > max {
+			max = e.Count
+		}
+		if len(e.Label) > labelW {
+			labelW = len(e.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, e := range entries {
+		n := 0
+		if max > 0 {
+			n = e.Count * width / max
+		}
+		fmt.Fprintf(&sb, "  %-*s %4d %s\n", labelW, e.Label, e.Count, strings.Repeat("#", n))
+	}
+	return sb.String()
+}
+
+// heatRunes maps intensity to glyphs, light to dark.
+var heatRunes = []rune(" .:-=+*#%@")
+
+// Heatmap renders a grid with single-character intensity cells
+// (Figure 1's weekly AS activity view).
+func Heatmap(title string, g *analysis.Grid) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	max := g.Max()
+	labelW := 0
+	for _, r := range g.Rows {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	for _, row := range g.Rows {
+		fmt.Fprintf(&sb, "  %-*s |", labelW, row)
+		for _, col := range g.Cols {
+			v := g.At(row, col)
+			idx := 0
+			if max > 0 && v > 0 {
+				idx = 1 + v*(len(heatRunes)-2)/max
+				if idx >= len(heatRunes) {
+					idx = len(heatRunes) - 1
+				}
+			}
+			sb.WriteRune(heatRunes[idx])
+		}
+		fmt.Fprintf(&sb, "| %d\n", g.RowTotal(row))
+	}
+	return sb.String()
+}
+
+// Raster renders a boolean matrix (Figure 4's probe responses) with
+// one row per server.
+func Raster(title string, rows [][]bool, rowLabels []string) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, row := range rows {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&sb, "  %-*s |", labelW, label)
+		for _, v := range row {
+			if v {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// KV renders aligned key: value lines for scalar findings.
+func KV(title string, pairs [][2]string) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	w := 0
+	for _, p := range pairs {
+		if len(p[0]) > w {
+			w = len(p[0])
+		}
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(&sb, "  %-*s : %s\n", w, p[0], p[1])
+	}
+	return sb.String()
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"malnet/internal/analysis"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table("T", []string{"A", "LongHeader"}, [][]string{
+		{"x", "1"},
+		{"longer-cell", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	// The second column must start at the same offset on each row.
+	idx := strings.Index(lines[1], "LongHeader")
+	if strings.Index(lines[3], "1") != idx && !strings.Contains(lines[3], "1") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}
+
+func TestCDFTextStats(t *testing.T) {
+	c := analysis.NewCDF([]float64{1, 1, 1, 1, 10})
+	out := CDFText("lifetimes", c, "days")
+	for _, want := range []string{"lifetimes (n=5)", "P50", "mean = 2.80 days", "max = 10.0 days"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCDFTextEmpty(t *testing.T) {
+	out := CDFText("empty", analysis.NewCDF(nil), "x")
+	if !strings.Contains(out, "(n=0)") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestBarsScaleToWidth(t *testing.T) {
+	out := Bars("chart", []analysis.Entry{{Label: "big", Count: 100}, {Label: "half", Count: 50}}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	big := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	if big != 20 || half != 10 {
+		t.Fatalf("bars = %d / %d, want 20 / 10\n%s", big, half, out)
+	}
+}
+
+func TestBarsZeroCounts(t *testing.T) {
+	out := Bars("z", []analysis.Entry{{Label: "none", Count: 0}}, 10)
+	if strings.Count(out, "#") != 0 {
+		t.Fatalf("zero count drew bars: %q", out)
+	}
+}
+
+func TestHeatmapIntensities(t *testing.T) {
+	g := analysis.NewGrid([]string{"r"}, []string{"a", "b", "c"})
+	g.Add("r", "a", 0)
+	g.Add("r", "b", 5)
+	g.Add("r", "c", 10)
+	out := Heatmap("h", g)
+	if !strings.Contains(out, "| 15") { // row total
+		t.Fatalf("row total missing:\n%s", out)
+	}
+	// The zero cell renders as space, the max as the darkest rune.
+	row := strings.Split(out, "\n")[1]
+	cells := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if len(cells) != 3 {
+		t.Fatalf("cells = %q", cells)
+	}
+	if cells[0] != ' ' {
+		t.Fatalf("zero cell = %q", cells[0])
+	}
+	if cells[2] != '@' {
+		t.Fatalf("max cell = %q", cells[2])
+	}
+}
+
+func TestRasterMarks(t *testing.T) {
+	out := Raster("r", [][]bool{{true, false, true}}, []string{"srv"})
+	if !strings.Contains(out, "|#.#|") {
+		t.Fatalf("raster = %q", out)
+	}
+}
+
+func TestKVAlignment(t *testing.T) {
+	out := KV("facts", [][2]string{{"a", "1"}, {"longer key", "2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "a          :") {
+		t.Fatalf("key not padded: %q", lines[1])
+	}
+}

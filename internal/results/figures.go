@@ -1,0 +1,497 @@
+package results
+
+import (
+	"fmt"
+	"strconv"
+
+	"malnet/internal/analysis"
+	"malnet/internal/c2"
+	"malnet/internal/core"
+	"malnet/internal/geo"
+	"malnet/internal/intel"
+	"malnet/internal/report"
+	"malnet/internal/world"
+)
+
+// Figure1 is the weekly C2-activity heatmap across the top ASes.
+type Figure1 struct {
+	Grid *analysis.Grid
+}
+
+// NewFigure1 counts per-week C2 observations for the ten most active
+// ASes.
+func NewFigure1(st *core.Study) Figure1 {
+	// Rank ASes by total C2 activity first.
+	totals := analysis.NewHistogram()
+	for _, s := range st.Samples {
+		for _, cand := range s.C2s {
+			if as, ok := st.W.Geo.Lookup(cand.IP); ok {
+				totals.Add(as.Name, 1)
+			}
+		}
+	}
+	var rows []string
+	for i, e := range totals.Sorted() {
+		if i == 10 {
+			break
+		}
+		rows = append(rows, e.Label)
+	}
+	var cols []string
+	for _, w := range world.Calendar() {
+		cols = append(cols, strconv.Itoa(w.Num))
+	}
+	g := analysis.NewGrid(rows, cols)
+	for _, s := range st.Samples {
+		week := world.WeekOf(s.Date)
+		if week == 0 {
+			continue
+		}
+		for _, cand := range s.C2s {
+			if as, ok := st.W.Geo.Lookup(cand.IP); ok {
+				g.Add(as.Name, strconv.Itoa(week), 1)
+			}
+		}
+	}
+	return Figure1{Grid: g}
+}
+
+// Render prints the heatmap.
+func (f Figure1) Render() string {
+	return report.Heatmap("Figure 1: weekly C2 activity across top-10 ASes (weeks 1-31)", f.Grid)
+}
+
+// lifetimeCDF builds the observed-lifespan CDF for one address kind.
+func lifetimeCDF(st *core.Study, kind intel.AddrKind) *analysis.CDF {
+	var days []float64
+	for _, r := range st.C2s {
+		if r.Kind == kind {
+			days = append(days, r.LifespanDays())
+		}
+	}
+	return analysis.NewCDF(days)
+}
+
+// Figure2 is the C2 IP lifetime CDF.
+type Figure2 struct{ CDF *analysis.CDF }
+
+// NewFigure2 builds it from D-C2s.
+func NewFigure2(st *core.Study) Figure2 {
+	return Figure2{CDF: lifetimeCDF(st, intel.KindIP)}
+}
+
+// OneDayShare is the §3.2 "80% have a one-day observed lifespan".
+func (f Figure2) OneDayShare() float64 { return f.CDF.At(1.0) }
+
+// Render prints the CDF.
+func (f Figure2) Render() string {
+	return report.CDFText("Figure 2: CDF of C2 IP observed lifetime", f.CDF, "days")
+}
+
+// Figure3 is the C2 domain lifetime CDF.
+type Figure3 struct{ CDF *analysis.CDF }
+
+// NewFigure3 builds it from DNS-kind records.
+func NewFigure3(st *core.Study) Figure3 {
+	return Figure3{CDF: lifetimeCDF(st, intel.KindDNS)}
+}
+
+// Render prints the CDF.
+func (f Figure3) Render() string {
+	return report.CDFText("Figure 3: CDF of C2 domain observed lifetime", f.CDF, "days")
+}
+
+// Figure4 is the probe-response raster.
+type Figure4 struct {
+	Targets []*core.ProbeTarget
+	// SecondProbeMiss is the §3.2 "91%" headline, measured over
+	// the merged target set.
+	SecondProbeMiss float64
+	Pairs           int
+	MaxDailyStreak  int
+}
+
+// NewFigure4 merges the two weaponized sweeps.
+func NewFigure4(st *core.Study) Figure4 {
+	f := Figure4{Targets: st.MergedLiveC2s()}
+	var after, miss int
+	perDay := 6
+	best := 0
+	for _, t := range f.Targets {
+		run := 0
+		for i := range t.Outcomes {
+			engaged := t.Outcomes[i] == core.ProbeEngaged
+			if engaged {
+				run++
+				if i%perDay == 0 {
+					run = 1
+				}
+				if run > best {
+					best = run
+				}
+			} else {
+				run = 0
+			}
+			if i+1 < len(t.Outcomes) && engaged {
+				after++
+				if t.Outcomes[i+1] != core.ProbeEngaged {
+					miss++
+				}
+			}
+		}
+	}
+	if after > 0 {
+		f.SecondProbeMiss = float64(miss) / float64(after)
+	}
+	f.Pairs = after
+	f.MaxDailyStreak = best
+	return f
+}
+
+// Render prints the raster plus the headline stats.
+func (f Figure4) Render() string {
+	rows := make([][]bool, len(f.Targets))
+	labels := make([]string, len(f.Targets))
+	for i, t := range f.Targets {
+		labels[i] = t.Addr.String()
+		rows[i] = make([]bool, len(t.Outcomes))
+		for j, o := range t.Outcomes {
+			rows[i][j] = o == core.ProbeEngaged
+		}
+	}
+	out := report.Raster("Figure 4: C2 probe responses (rows: servers, cols: probes)", rows, labels)
+	out += fmt.Sprintf("second-probe miss rate: %s over %d success pairs; max same-day streak: %d\n",
+		analysis.FmtPct(f.SecondProbeMiss), f.Pairs, f.MaxDailyStreak)
+	return out
+}
+
+// samplesPerC2CDF builds the distinct-binaries-per-C2 CDF for a
+// kind.
+func samplesPerC2CDF(st *core.Study, kind intel.AddrKind) *analysis.CDF {
+	var counts []float64
+	for _, r := range st.C2s {
+		if r.Kind == kind {
+			distinct := map[string]bool{}
+			for _, sha := range r.Samples {
+				distinct[sha] = true
+			}
+			counts = append(counts, float64(len(distinct)))
+		}
+	}
+	return analysis.NewCDF(counts)
+}
+
+// Figure5 is the binaries-per-C2-IP CDF.
+type Figure5 struct{ CDF *analysis.CDF }
+
+// NewFigure5 builds it.
+func NewFigure5(st *core.Study) Figure5 {
+	return Figure5{CDF: samplesPerC2CDF(st, intel.KindIP)}
+}
+
+// SingleShare is the share of C2 IPs used by exactly one binary.
+func (f Figure5) SingleShare() float64 { return f.CDF.At(1.0) }
+
+// Render prints the CDF.
+func (f Figure5) Render() string {
+	return report.CDFText("Figure 5: CDF of distinct binaries per C2 IP", f.CDF, "binaries")
+}
+
+// Figure6 is the binaries-per-C2-domain CDF.
+type Figure6 struct{ CDF *analysis.CDF }
+
+// NewFigure6 builds it.
+func NewFigure6(st *core.Study) Figure6 {
+	return Figure6{CDF: samplesPerC2CDF(st, intel.KindDNS)}
+}
+
+// Render prints the CDF.
+func (f Figure6) Render() string {
+	return report.CDFText("Figure 6: CDF of distinct binaries per C2 domain", f.CDF, "binaries")
+}
+
+// Figure7 is the vendors-per-C2 CDF.
+type Figure7 struct{ CDF *analysis.CDF }
+
+// NewFigure7 builds the CDF of flagging-vendor counts (May-7 query)
+// over flagged C2s.
+func NewFigure7(st *core.Study) Figure7 {
+	var counts []float64
+	for _, r := range st.C2s {
+		if r.May7Vendors > 0 {
+			counts = append(counts, float64(r.May7Vendors))
+		}
+	}
+	return Figure7{CDF: analysis.NewCDF(counts)}
+}
+
+// LowCoverageShare is the §3.3 "25% of known C2s reported by one or
+// two feeds".
+func (f Figure7) LowCoverageShare() float64 { return f.CDF.At(2.0) }
+
+// Render prints the CDF.
+func (f Figure7) Render() string {
+	return report.CDFText("Figure 7: CDF of vendors flagging a known C2", f.CDF, "vendors")
+}
+
+// Figure8 is the per-vulnerability daily exploitation series.
+type Figure8 struct {
+	// Series maps vulnerability key -> day offset (from study
+	// start) -> distinct binaries.
+	Series map[string]map[int]int
+	Days   int
+}
+
+// NewFigure8 buckets exploit findings by vulnerability and day.
+func NewFigure8(st *core.Study) Figure8 {
+	f := Figure8{Series: map[string]map[int]int{}}
+	start := world.StudyStart()
+	for _, finding := range st.Exploits {
+		day := int(finding.Date.Sub(start).Hours() / 24)
+		if day >= f.Days {
+			f.Days = day + 1
+		}
+		for _, v := range finding.Vulns {
+			if f.Series[v.Key] == nil {
+				f.Series[v.Key] = map[int]int{}
+			}
+			f.Series[v.Key][day]++
+		}
+	}
+	return f
+}
+
+// Render prints per-vulnerability activity summaries.
+func (f Figure8) Render() string {
+	out := "Figure 8: binaries per day per vulnerability\n"
+	for _, key := range sortedKeys(f.Series) {
+		days := f.Series[key]
+		total, peak, active := 0, 0, 0
+		for _, n := range days {
+			total += n
+			active++
+			if n > peak {
+				peak = n
+			}
+		}
+		out += fmt.Sprintf("  %-16s active on %3d days, %3d findings, peak %d/day\n", key, active, total, peak)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Figure9 is the loader-filename frequency chart.
+type Figure9 struct{ Loaders *analysis.Histogram }
+
+// NewFigure9 counts loader names across exploit findings (distinct
+// per sample).
+func NewFigure9(st *core.Study) Figure9 {
+	h := analysis.NewHistogram()
+	seen := map[string]bool{}
+	for _, f := range st.Exploits {
+		key := f.SHA256 + "/" + f.Loader
+		if f.Loader == "" || seen[key] {
+			continue
+		}
+		seen[key] = true
+		h.Add(f.Loader, 1)
+	}
+	return Figure9{Loaders: h}
+}
+
+// Render prints the bar chart.
+func (f Figure9) Render() string {
+	return report.Bars("Figure 9: loader filename frequency", f.Loaders.Sorted(), 30)
+}
+
+// AttackProto classifies an observation into Figure 10's buckets.
+func AttackProto(o core.DDoSObservation) string {
+	p := o.Command.Attack.TargetProto()
+	if o.Command.Attack == c2.AttackTLS && o.Command.TCPTransport {
+		p = "TCP"
+	}
+	if p == "UDP" && o.Command.Port == 53 {
+		p = "DNS"
+	}
+	return p
+}
+
+// Figure10 is the attack-protocol distribution.
+type Figure10 struct{ Protos *analysis.Histogram }
+
+// NewFigure10 buckets D-DDOS by target protocol.
+func NewFigure10(st *core.Study) Figure10 {
+	h := analysis.NewHistogram()
+	for _, o := range st.DDoS {
+		h.Add(AttackProto(o), 1)
+	}
+	return Figure10{Protos: h}
+}
+
+// UDPShare is the §5.2 headline (74 %).
+func (f Figure10) UDPShare() float64 { return f.Protos.Share("UDP") }
+
+// Render prints the distribution.
+func (f Figure10) Render() string {
+	out := report.Bars("Figure 10: DDoS attacks by target protocol", f.Protos.Sorted(), 30)
+	out += fmt.Sprintf("UDP share: %s\n", analysis.FmtPct(f.UDPShare()))
+	return out
+}
+
+// Figure11 is the attack-type x family distribution.
+type Figure11 struct {
+	// Grid rows are families, columns attack types.
+	Grid *analysis.Grid
+	// Types is the number of distinct attack types observed.
+	Types int
+}
+
+// NewFigure11 buckets D-DDOS by family and attack type.
+func NewFigure11(st *core.Study) Figure11 {
+	famOf := map[string]string{}
+	for _, s := range st.Samples {
+		famOf[s.SHA] = s.Family
+	}
+	var types []string
+	for a := c2.AttackUDPFlood; a <= c2.AttackNFO; a++ {
+		types = append(types, a.String())
+	}
+	g := analysis.NewGrid([]string{"mirai", "gafgyt", "daddyl33t"}, types)
+	seen := map[string]bool{}
+	for _, o := range st.DDoS {
+		g.Add(famOf[o.SHA256], o.Command.Attack.String(), 1)
+		seen[o.Command.Attack.String()] = true
+	}
+	return Figure11{Grid: g, Types: len(seen)}
+}
+
+// Render prints the per-family breakdown.
+func (f Figure11) Render() string {
+	rows := make([][]string, 0, len(f.Grid.Rows))
+	for _, fam := range f.Grid.Rows {
+		row := []string{fam}
+		for _, typ := range f.Grid.Cols {
+			row = append(row, strconv.Itoa(f.Grid.At(fam, typ)))
+		}
+		row = append(row, strconv.Itoa(f.Grid.RowTotal(fam)))
+		rows = append(rows, row)
+	}
+	header := append([]string{"Family"}, f.Grid.Cols...)
+	header = append(header, "Total")
+	out := report.Table("Figure 11: attack types by family", header, rows)
+	out += fmt.Sprintf("distinct attack types observed: %d\n", f.Types)
+	return out
+}
+
+// Figure12 is the DDoS-target geography.
+type Figure12 struct {
+	// ByType counts target ASes per category.
+	ByType *analysis.Histogram
+	// Countries counts distinct target countries.
+	Countries int
+	// TargetASes is the distinct AS count (paper: 23).
+	TargetASes int
+	// GamingShare is the share of gaming-specialized target ASes.
+	GamingShare float64
+	// Named lists notable business victims (Google, Amazon,
+	// Roblox).
+	Named []string
+}
+
+// NewFigure12 resolves attack targets against the AS registry.
+func NewFigure12(st *core.Study) Figure12 {
+	f := Figure12{ByType: analysis.NewHistogram()}
+	asSeen := map[int]*geo.AS{}
+	countries := map[string]bool{}
+	for _, o := range st.DDoS {
+		as, ok := st.W.Geo.Lookup(o.Command.Target)
+		if !ok {
+			continue
+		}
+		asSeen[as.ASN] = as
+		countries[as.Country] = true
+	}
+	gaming := 0
+	for _, as := range asSeen {
+		f.ByType.Add(as.Type.String(), 1)
+		if as.Gaming {
+			gaming++
+		}
+		switch as.Name {
+		case "Google LLC", "Amazon.com Inc", "Roblox":
+			f.Named = append(f.Named, as.Name)
+		}
+	}
+	f.TargetASes = len(asSeen)
+	f.Countries = len(countries)
+	if f.TargetASes > 0 {
+		f.GamingShare = float64(gaming) / float64(f.TargetASes)
+	}
+	sortStrings(f.Named)
+	return f
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Render prints the target-AS summary.
+func (f Figure12) Render() string {
+	out := report.Bars("Figure 12: DDoS target ASes by type", f.ByType.Sorted(), 30)
+	out += fmt.Sprintf("target ASes: %d across %d countries; gaming-specialized: %s; named victims: %v\n",
+		f.TargetASes, f.Countries, analysis.FmtPct(f.GamingShare), f.Named)
+	return out
+}
+
+// Figure13 is the cumulative C2 share over ranked ASes.
+type Figure13 struct {
+	// Cumulative[i] is the C2 share covered by the top i+1 ASes.
+	Cumulative []float64
+	TotalASes  int
+}
+
+// NewFigure13 ranks ASes by hosted C2s.
+func NewFigure13(st *core.Study) Figure13 {
+	counts := analysis.NewHistogram()
+	for _, r := range st.C2s {
+		if as, ok := st.W.Geo.Lookup(r.IP); ok {
+			counts.Add(as.Name, 1)
+		}
+	}
+	total := counts.Total()
+	var f Figure13
+	acc := 0
+	for _, e := range counts.Sorted() {
+		acc += e.Count
+		f.Cumulative = append(f.Cumulative, float64(acc)/float64(total))
+	}
+	f.TotalASes = len(f.Cumulative)
+	return f
+}
+
+// Render prints milestone coverage points.
+func (f Figure13) Render() string {
+	out := fmt.Sprintf("Figure 13: cumulative C2 share by AS rank (%d ASes)\n", f.TotalASes)
+	for _, k := range []int{1, 5, 10, 20, 50, 100} {
+		if k <= len(f.Cumulative) {
+			out += fmt.Sprintf("  top %-3d ASes cover %s\n", k, analysis.FmtPct(f.Cumulative[k-1]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package results
+
+import (
+	"fmt"
+
+	"malnet/internal/analysis"
+	"malnet/internal/core"
+	"malnet/internal/report"
+)
+
+// Headlines are the scalar findings the paper highlights outside its
+// tables and figures.
+type Headlines struct {
+	// DeadC2Day0Share: §3.2 "60% of the samples have a dead C2
+	// server on that day".
+	DeadC2Day0Share float64
+	// MeanLifespanDays / AttackC2MeanLifespanDays: §3.2's 4 days
+	// vs §5's ~10 days for attack-launching C2s.
+	MeanLifespanDays         float64
+	AttackC2MeanLifespanDays float64
+	// DistinctAttackC2s / AttackReceivers: §5's 17 servers and 20
+	// binaries.
+	DistinctAttackC2s int
+	AttackReceivers   int
+	// VerifiedCommands is the D-DDOS size after verification.
+	VerifiedCommands int
+	// Downloaders: §3.1's 47 distinct addresses, 12 not C2s.
+	Downloaders      int
+	DownloadersNotC2 int
+	// Port80AttackShare / Port443AttackShare: §5.2's 21% and 7%.
+	Port80AttackShare, Port443AttackShare float64
+	// DoubleAttackedShare: §5.2's 25% of target IPs hit by two
+	// attack types in one session.
+	DoubleAttackedShare float64
+	// MultiBinaryC2Share: §3.3's "60% of C2 servers are contacted
+	// by more than one distinct binaries".
+	MultiBinaryC2Share float64
+	// ActivationRate: §6f's "Our activation rate is at 90%" — the
+	// share of samples whose anti-sandbox gate the sandbox defeats.
+	ActivationRate float64
+}
+
+// NewHeadlines computes them from a study.
+func NewHeadlines(st *core.Study) Headlines {
+	var h Headlines
+
+	// Activation rate over all accepted samples.
+	activated := 0
+	for _, s := range st.Samples {
+		if s.Activated {
+			activated++
+		}
+	}
+	if len(st.Samples) > 0 {
+		h.ActivationRate = float64(activated) / float64(len(st.Samples))
+	}
+
+	// Dead-on-day-0, over samples with detected C2s.
+	var withC2, live int
+	for _, s := range st.Samples {
+		if s.P2P || len(s.C2s) == 0 {
+			continue
+		}
+		withC2++
+		if s.LiveDay0 {
+			live++
+		}
+	}
+	if withC2 > 0 {
+		h.DeadC2Day0Share = 1 - float64(live)/float64(withC2)
+	}
+
+	// Lifespans.
+	attackC2 := map[string]bool{}
+	receivers := map[string]bool{}
+	for _, o := range st.DDoS {
+		attackC2[o.C2] = true
+		receivers[o.SHA256] = true
+		if o.Verified {
+			h.VerifiedCommands++
+		}
+	}
+	h.DistinctAttackC2s = len(attackC2)
+	h.AttackReceivers = len(receivers)
+	var allSum, atkSum float64
+	var allN, atkN int
+	var multi int
+	for addr, r := range st.C2s {
+		d := r.LifespanDays()
+		allSum += d
+		allN++
+		if attackC2[addr] {
+			atkSum += d
+			atkN++
+		}
+		distinct := map[string]bool{}
+		for _, sha := range r.Samples {
+			distinct[sha] = true
+		}
+		if len(distinct) > 1 {
+			multi++
+		}
+	}
+	if allN > 0 {
+		h.MeanLifespanDays = allSum / float64(allN)
+		h.MultiBinaryC2Share = float64(multi) / float64(allN)
+	}
+	if atkN > 0 {
+		h.AttackC2MeanLifespanDays = atkSum / float64(atkN)
+	}
+
+	// Downloaders.
+	c2IPs := map[string]bool{}
+	for _, r := range st.C2s {
+		c2IPs[r.IP.String()] = true
+	}
+	downloaders := map[string]bool{}
+	for _, f := range st.Exploits {
+		if f.Downloader != "" {
+			downloaders[f.Downloader] = true
+		}
+	}
+	h.Downloaders = len(downloaders)
+	for d := range downloaders {
+		host := d
+		for i := len(host) - 1; i >= 0; i-- {
+			if host[i] == ':' {
+				host = host[:i]
+				break
+			}
+		}
+		if !c2IPs[host] {
+			h.DownloadersNotC2++
+		}
+	}
+
+	// Attack ports and double-attacked targets.
+	if len(st.DDoS) > 0 {
+		var p80, p443 int
+		byTarget := map[string]map[string]bool{}
+		for _, o := range st.DDoS {
+			switch o.Command.Port {
+			case 80:
+				p80++
+			case 443:
+				p443++
+			}
+			k := o.Command.Target.String()
+			if byTarget[k] == nil {
+				byTarget[k] = map[string]bool{}
+			}
+			byTarget[k][o.Command.Attack.String()] = true
+		}
+		h.Port80AttackShare = float64(p80) / float64(len(st.DDoS))
+		h.Port443AttackShare = float64(p443) / float64(len(st.DDoS))
+		double := 0
+		for _, types := range byTarget {
+			if len(types) >= 2 {
+				double++
+			}
+		}
+		h.DoubleAttackedShare = float64(double) / float64(len(byTarget))
+	}
+	return h
+}
+
+// Render prints the findings with the paper's values alongside.
+func (h Headlines) Render() string {
+	f := func(v float64) string { return analysis.FmtPct(v) }
+	return report.KV("Headline findings (measured vs paper)", [][2]string{
+		{"samples with dead C2 on day 0", fmt.Sprintf("%s (paper: 60%%)", f(h.DeadC2Day0Share))},
+		{"mean C2 observed lifespan", fmt.Sprintf("%.1f days (paper: 4)", h.MeanLifespanDays)},
+		{"attack-C2 mean lifespan", fmt.Sprintf("%.1f days (paper: ~10)", h.AttackC2MeanLifespanDays)},
+		{"distinct attack C2 servers", fmt.Sprintf("%d (paper: 17)", h.DistinctAttackC2s)},
+		{"binaries receiving commands", fmt.Sprintf("%d (paper: 20)", h.AttackReceivers)},
+		{"verified DDoS commands", fmt.Sprintf("%d (paper: 42)", h.VerifiedCommands)},
+		{"distinct downloaders", fmt.Sprintf("%d (paper: 47)", h.Downloaders)},
+		{"downloaders not C2s", fmt.Sprintf("%d (paper: 12)", h.DownloadersNotC2)},
+		{"attacks on port 80", fmt.Sprintf("%s (paper: 21%%)", f(h.Port80AttackShare))},
+		{"attacks on port 443", fmt.Sprintf("%s (paper: 7%%)", f(h.Port443AttackShare))},
+		{"targets hit by two attack types", fmt.Sprintf("%s (paper: 25%%)", f(h.DoubleAttackedShare))},
+		{"C2s used by >1 binary", fmt.Sprintf("%s (paper: 60%%)", f(h.MultiBinaryC2Share))},
+		{"sandbox activation rate", fmt.Sprintf("%s (paper: 90%%)", f(h.ActivationRate))},
+	})
+}

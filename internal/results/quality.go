@@ -1,0 +1,75 @@
+package results
+
+import (
+	"fmt"
+
+	"malnet/internal/analysis"
+	"malnet/internal/core"
+	"malnet/internal/report"
+)
+
+// DetectionQuality scores the pipeline's C2 classifier against the
+// world's ground truth — the counterpart of CnCHunter's reported
+// "90 % precision" (§2.1). The simulation's bots emit cleaner
+// protocol artifacts than real samples, so precision here runs
+// higher; the mechanics being scored are the paper's.
+type DetectionQuality struct {
+	// TruePositives are detected addresses present in ground truth.
+	TruePositives int
+	// FalsePositives are detected addresses with no ground-truth
+	// server behind them.
+	FalsePositives int
+	// FalseNegatives are ground-truth C2s referenced by accepted
+	// samples that the pipeline never surfaced.
+	FalseNegatives int
+}
+
+// Precision is TP / (TP + FP).
+func (q DetectionQuality) Precision() float64 {
+	if q.TruePositives+q.FalsePositives == 0 {
+		return 0
+	}
+	return float64(q.TruePositives) / float64(q.TruePositives+q.FalsePositives)
+}
+
+// Recall is TP / (TP + FN).
+func (q DetectionQuality) Recall() float64 {
+	if q.TruePositives+q.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(q.TruePositives) / float64(q.TruePositives+q.FalseNegatives)
+}
+
+// NewDetectionQuality compares D-C2s to the world's ground truth.
+func NewDetectionQuality(st *core.Study) DetectionQuality {
+	var q DetectionQuality
+	for addr := range st.C2s {
+		if st.W.C2s[addr] != nil {
+			q.TruePositives++
+		} else {
+			q.FalsePositives++
+		}
+	}
+	// Ground truth referenced by the feed, excluding the planted
+	// probe-only population.
+	for addr, cs := range st.W.C2s {
+		if cs.Elusive || len(cs.SampleIdx) == 0 {
+			continue
+		}
+		if st.C2s[addr] == nil {
+			q.FalseNegatives++
+		}
+	}
+	return q
+}
+
+// Render prints the quality summary.
+func (q DetectionQuality) Render() string {
+	return report.KV("C2 detection quality vs ground truth", [][2]string{
+		{"true positives", fmt.Sprintf("%d", q.TruePositives)},
+		{"false positives", fmt.Sprintf("%d", q.FalsePositives)},
+		{"false negatives", fmt.Sprintf("%d", q.FalseNegatives)},
+		{"precision", fmt.Sprintf("%s (CnCHunter paper: 90%%)", analysis.FmtPct(q.Precision()))},
+		{"recall", analysis.FmtPct(q.Recall())},
+	})
+}

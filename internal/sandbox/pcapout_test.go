@@ -1,0 +1,69 @@
+package sandbox
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"malnet/internal/binfmt"
+	"malnet/internal/packet"
+	"malnet/internal/pcap"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+)
+
+func TestWritePCAPRoundTrip(t *testing.T) {
+	clock := simclock.New(t0)
+	n := simnet.New(clock, simnet.DefaultConfig())
+	sb := New(n, Config{Seed: 1})
+	raw := encodeSample(t, binfmt.BotConfig{
+		Family: "mirai", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, 31)
+	rep, err := sb.Run(raw, RunOptions{Mode: ModeIsolated, Duration: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WritePCAP(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Link != pcap.LinkTypeRaw {
+		t.Fatalf("link = %d", r.Link)
+	}
+	var frames, decoded, c2Syn int
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames++
+		p, err := packet.Decode(rec.Data)
+		if err != nil {
+			continue
+		}
+		decoded++
+		// In isolated mode the sandbox NATs the C2 dial to the
+		// InetSim host, so the wire shows the redirected target on
+		// the original C2 port.
+		if p.TCP != nil && p.TCP.SYN && p.TCP.DstPort == 23 {
+			c2Syn++
+		}
+	}
+	if frames == 0 || decoded == 0 {
+		t.Fatalf("frames=%d decoded=%d", frames, decoded)
+	}
+	if float64(decoded)/float64(frames) < 0.99 {
+		t.Fatalf("only %d of %d frames decoded", decoded, frames)
+	}
+	if c2Syn == 0 {
+		t.Fatal("capture lost the C2 call-home SYNs")
+	}
+}

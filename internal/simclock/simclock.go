@@ -1,0 +1,189 @@
+// Package simclock provides a deterministic discrete-event virtual clock.
+//
+// Every time-dependent component in the simulation (hosts, bots, C2
+// servers, the measurement pipeline) schedules callbacks on a single
+// Clock instead of using the time package. Advancing the clock fires
+// callbacks in strict timestamp order, with a monotonically increasing
+// sequence number breaking ties, so a run with a fixed seed is fully
+// reproducible.
+//
+// The zero Clock starts at the Unix epoch; use New to pick a study
+// start date.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued.
+type EventID uint64
+
+// event is a single scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	id  EventID
+	fn  func()
+
+	index int // heap index, maintained by eventQueue
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event virtual clock. It is not safe for
+// concurrent use: the simulation is single-threaded by design, which
+// is what makes runs reproducible.
+type Clock struct {
+	now     time.Time
+	queue   eventQueue
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*event
+	running bool
+}
+
+// New returns a Clock whose current time is start.
+func New(start time.Time) *Clock {
+	return &Clock{now: start, live: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Schedule registers fn to run at time at. Scheduling in the past (or
+// exactly now) fires on the next Step. It returns an id usable with
+// Cancel.
+func (c *Clock) Schedule(at time.Time, fn func()) EventID {
+	if fn == nil {
+		panic("simclock: Schedule with nil callback")
+	}
+	if at.Before(c.now) {
+		at = c.now
+	}
+	c.nextSeq++
+	c.nextID++
+	e := &event{at: at, seq: c.nextSeq, id: c.nextID, fn: fn}
+	if c.live == nil {
+		c.live = make(map[EventID]*event)
+	}
+	heap.Push(&c.queue, e)
+	c.live[e.id] = e
+	return e.id
+}
+
+// After registers fn to run d from now. Negative d is treated as zero.
+func (c *Clock) After(d time.Duration, fn func()) EventID {
+	return c.Schedule(c.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was
+// still pending.
+func (c *Clock) Cancel(id EventID) bool {
+	e, ok := c.live[id]
+	if !ok {
+		return false
+	}
+	delete(c.live, id)
+	heap.Remove(&c.queue, e.index)
+	return true
+}
+
+// Pending returns the number of scheduled events.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// NextAt returns the timestamp of the earliest pending event. The
+// second result is false when the queue is empty.
+func (c *Clock) NextAt() (time.Time, bool) {
+	if len(c.queue) == 0 {
+		return time.Time{}, false
+	}
+	return c.queue[0].at, true
+}
+
+// Step fires the earliest pending event, advancing Now to its
+// timestamp. It reports whether an event fired.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*event)
+	delete(c.live, e.id)
+	c.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil fires events in order until the queue is exhausted or the
+// next event is after deadline, then advances Now to deadline. Events
+// scheduled while running are honored if they fall before deadline.
+// It returns the number of events fired.
+func (c *Clock) RunUntil(deadline time.Time) int {
+	if c.running {
+		panic("simclock: re-entrant RunUntil")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+
+	fired := 0
+	for len(c.queue) > 0 && !c.queue[0].at.After(deadline) {
+		c.Step()
+		fired++
+	}
+	if c.now.Before(deadline) {
+		c.now = deadline
+	}
+	return fired
+}
+
+// RunFor is RunUntil(Now().Add(d)).
+func (c *Clock) RunFor(d time.Duration) int { return c.RunUntil(c.now.Add(d)) }
+
+// Drain fires every pending event (including ones scheduled while
+// draining) up to limit events, returning the number fired. A limit
+// of 0 means no limit. Drain panics if limit is exceeded, which
+// indicates a runaway self-rescheduling loop.
+func (c *Clock) Drain(limit int) int {
+	fired := 0
+	for c.Step() {
+		fired++
+		if limit > 0 && fired > limit {
+			panic(fmt.Sprintf("simclock: Drain exceeded %d events", limit))
+		}
+	}
+	return fired
+}

@@ -1,0 +1,204 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNowStartsAtConstructorTime(t *testing.T) {
+	c := New(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), t0)
+	}
+}
+
+func TestScheduleFiresInTimestampOrder(t *testing.T) {
+	c := New(t0)
+	var got []int
+	c.After(3*time.Hour, func() { got = append(got, 3) })
+	c.After(1*time.Hour, func() { got = append(got, 1) })
+	c.After(2*time.Hour, func() { got = append(got, 2) })
+	c.Drain(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualTimestampsFireFIFO(t *testing.T) {
+	c := New(t0)
+	var got []int
+	at := t0.Add(time.Minute)
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(at, func() { got = append(got, i) })
+	}
+	c.Drain(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestStepAdvancesNow(t *testing.T) {
+	c := New(t0)
+	c.After(90*time.Minute, func() {})
+	if !c.Step() {
+		t.Fatal("Step returned false with pending event")
+	}
+	if want := t0.Add(90 * time.Minute); !c.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	c := New(t0)
+	fired := false
+	c.Schedule(t0.Add(-time.Hour), func() { fired = true })
+	at, ok := c.NextAt()
+	if !ok || !at.Equal(t0) {
+		t.Fatalf("NextAt() = %v, %v; want %v, true", at, ok, t0)
+	}
+	c.Step()
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if !c.Now().Equal(t0) {
+		t.Fatalf("Now moved backwards: %v", c.Now())
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := New(t0)
+	fired := false
+	id := c.After(time.Hour, func() { fired = true })
+	if !c.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if c.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	c.Drain(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
+	c := New(t0)
+	var got []int
+	ids := make([]EventID, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		ids[i] = c.After(time.Duration(i+1)*time.Minute, func() { got = append(got, i) })
+	}
+	c.Cancel(ids[2])
+	c.Drain(0)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtDeadlineAndAdvances(t *testing.T) {
+	c := New(t0)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Hour, 2 * time.Hour, 26 * time.Hour} {
+		d := d
+		c.After(d, func() { fired = append(fired, d) })
+	}
+	n := c.RunUntil(t0.Add(24 * time.Hour))
+	if n != 2 {
+		t.Fatalf("RunUntil fired %d events, want 2", n)
+	}
+	if !c.Now().Equal(t0.Add(24 * time.Hour)) {
+		t.Fatalf("Now() = %v, want deadline", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", c.Pending())
+	}
+}
+
+func TestRunUntilHonorsEventsScheduledWhileRunning(t *testing.T) {
+	c := New(t0)
+	var got []string
+	c.After(time.Hour, func() {
+		got = append(got, "a")
+		c.After(time.Hour, func() { got = append(got, "b") })
+	})
+	c.RunFor(3 * time.Hour)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v, want [a b]", got)
+	}
+}
+
+func TestDrainLimitPanicsOnRunaway(t *testing.T) {
+	c := New(t0)
+	var reschedule func()
+	reschedule = func() { c.After(time.Second, reschedule) }
+	c.After(time.Second, reschedule)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain did not panic on runaway loop")
+		}
+	}()
+	c.Drain(100)
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	c := New(t0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	c.Schedule(t0, nil)
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing timestamp order and Now never moves backwards.
+func TestQuickFiringOrderMonotonic(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		c := New(t0)
+		for _, off := range offsets {
+			c.After(time.Duration(off)*time.Second, func() {})
+		}
+		prev := c.Now()
+		for c.Step() {
+			if c.Now().Before(prev) {
+				return false
+			}
+			prev = c.Now()
+		}
+		return c.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Drain fires exactly as many events as were scheduled when
+// callbacks do not reschedule.
+func TestQuickDrainCountsAllEvents(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		c := New(t0)
+		for _, off := range offsets {
+			c.After(time.Duration(off)*time.Minute, func() {})
+		}
+		return c.Drain(0) == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package simnet
+
+import (
+	"time"
+)
+
+// connState tracks a Conn through its lifecycle.
+type connState uint8
+
+const (
+	stateConnecting connState = iota
+	stateEstablished
+	stateClosed
+)
+
+// Conn is one side of an established (or establishing) TCP-like
+// connection. All methods must be called from the event loop.
+type Conn struct {
+	net     *Network
+	host    *Host
+	local   Addr
+	remote  Addr
+	handler ConnHandler
+	peer    *Conn
+	state   connState
+	id      uint64
+
+	// Stats observed by this side.
+	bytesIn  int
+	bytesOut int
+	opened   time.Time
+}
+
+// LocalAddr returns this side's address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// Established reports whether the connection completed its handshake
+// and has not closed.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// BytesIn returns payload bytes received so far.
+func (c *Conn) BytesIn() int { return c.bytesIn }
+
+// BytesOut returns payload bytes sent so far.
+func (c *Conn) BytesOut() int { return c.bytesOut }
+
+// OpenedAt returns when the connection became established.
+func (c *Conn) OpenedAt() time.Time { return c.opened }
+
+// DialTCP opens a TCP connection from the host to addr. The returned
+// Conn is in the connecting state; handler.OnConnect fires when the
+// handshake completes, or handler.OnClose fires with ErrRefused,
+// ErrTimeout, or ErrBlocked if it cannot.
+func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
+	n := h.net
+	n.nextID++
+	c := &Conn{
+		net: n, host: h,
+		local:   Addr{IP: h.IP, Port: h.ephemeralPort()},
+		remote:  to,
+		handler: handler,
+		state:   stateConnecting,
+		id:      n.nextID,
+	}
+	now := n.Clock.Now()
+	syn := PacketRecord{
+		Time: now, Src: c.local, Dst: to, Proto: ProtoTCP,
+		Flags: FlagSYN, Size: tcpHeaderBytes, Count: 1,
+	}
+	if h.Egress != nil && !h.Egress(to, ProtoTCP) {
+		// Containment drop: the SYN is recorded at the host tap
+		// but never leaves, so the dialer sees a plain timeout.
+		n.recordLocal(syn)
+		n.Clock.After(n.cfg.SYNTimeout, func() { c.fail(ErrTimeout) })
+		return c
+	}
+	n.record(syn)
+
+	dst := n.hosts[to.IP]
+	rtt := 2 * n.Latency(h.IP, to.IP)
+	if dst == nil || !dst.Online {
+		n.Clock.After(n.cfg.SYNTimeout, func() { c.fail(ErrTimeout) })
+		return c
+	}
+	acceptor, listening := dst.tcpListeners[to.Port]
+	if !listening {
+		// RST comes back after one round trip.
+		n.record(PacketRecord{
+			Time: now.Add(n.Latency(h.IP, to.IP)), Src: to, Dst: c.local,
+			Proto: ProtoTCP, Flags: FlagRST | FlagACK, Size: tcpHeaderBytes, Count: 1,
+		})
+		n.Clock.After(rtt, func() { c.fail(ErrRefused) })
+		return c
+	}
+	n.Clock.After(rtt, func() {
+		if c.state != stateConnecting {
+			return
+		}
+		if !dst.Online {
+			// Host went dark mid-handshake.
+			c.fail(ErrTimeout)
+			return
+		}
+		serverHandler := acceptor(to, c.local)
+		if serverHandler == nil {
+			c.fail(ErrRefused)
+			return
+		}
+		n.record(PacketRecord{
+			Time: n.Clock.Now(), Src: to, Dst: c.local, Proto: ProtoTCP,
+			Flags: FlagSYN | FlagACK, Size: tcpHeaderBytes, Count: 1,
+		})
+		server := &Conn{
+			net: n, host: dst,
+			local: to, remote: c.local,
+			handler: serverHandler,
+			state:   stateEstablished,
+			id:      c.id,
+			opened:  n.Clock.Now(),
+		}
+		c.peer = server
+		server.peer = c
+		c.state = stateEstablished
+		c.opened = n.Clock.Now()
+		server.handler.OnConnect(server)
+		c.handler.OnConnect(c)
+	})
+	return c
+}
+
+// fail closes a connecting or established conn with err.
+func (c *Conn) fail(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	c.state = stateClosed
+	c.handler.OnClose(c, err)
+}
+
+// Write sends payload to the peer; the peer's OnData fires after the
+// one-way latency. Writing on a non-established connection returns
+// ErrClosed.
+func (c *Conn) Write(payload []byte) error {
+	if c.state != stateEstablished {
+		return ErrClosed
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	c.bytesOut += len(buf)
+	n := c.net
+	rec := PacketRecord{
+		Time: n.Clock.Now(), Src: c.local, Dst: c.remote, Proto: ProtoTCP,
+		Flags: FlagPSH | FlagACK, Payload: buf, Size: len(buf) + tcpHeaderBytes, Count: 1,
+	}
+	if c.host.Egress != nil && !c.host.Egress(c.remote, ProtoTCP) {
+		// Perimeter drop mid-connection: recorded, not delivered.
+		n.recordLocal(rec)
+		return nil
+	}
+	n.record(rec)
+	peer := c.peer
+	n.Clock.After(n.Latency(c.local.IP, c.remote.IP), func() {
+		if peer.state != stateEstablished || !peer.host.Online {
+			return
+		}
+		peer.bytesIn += len(buf)
+		peer.handler.OnData(peer, buf)
+	})
+	return nil
+}
+
+// Close performs an orderly FIN close. Both sides see OnClose(nil);
+// the peer's fires after the one-way latency.
+func (c *Conn) Close() {
+	c.shutdown(nil, FlagFIN|FlagACK)
+}
+
+// Abort tears the connection down with RST. The peer sees
+// OnClose(ErrReset).
+func (c *Conn) Abort() {
+	c.shutdown(ErrReset, FlagRST|FlagACK)
+}
+
+func (c *Conn) shutdown(peerErr error, flags TCPFlags) {
+	if c.state == stateClosed {
+		return
+	}
+	wasEstablished := c.state == stateEstablished
+	c.state = stateClosed
+	if wasEstablished {
+		n := c.net
+		n.record(PacketRecord{
+			Time: n.Clock.Now(), Src: c.local, Dst: c.remote, Proto: ProtoTCP,
+			Flags: flags, Size: tcpHeaderBytes, Count: 1,
+		})
+		peer := c.peer
+		n.Clock.After(n.Latency(c.local.IP, c.remote.IP), func() {
+			if peer.state != stateEstablished {
+				return
+			}
+			peer.state = stateClosed
+			peer.handler.OnClose(peer, peerErr)
+		})
+	}
+	c.handler.OnClose(c, nil)
+}

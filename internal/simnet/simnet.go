@@ -1,0 +1,499 @@
+// Package simnet is a deterministic, event-driven virtual Internet.
+//
+// It stands in for the live network the MalNet paper measured: hosts
+// with IPv4 addresses, TCP-like connections, UDP datagrams, ICMP, and
+// per-host packet taps that feed the capture pipeline. All timing
+// flows through a simclock.Clock, so a seeded run is reproducible.
+//
+// The TCP model is intentionally at segment granularity, not a full
+// sliding-window implementation: connection setup (SYN, SYN-ACK or
+// RST), ordered data delivery, FIN/RST teardown, and unreachable-host
+// timeouts are modeled because the study observes them; congestion
+// control is not, because no measurement in the paper depends on it.
+// Each Write is delivered as one OnData call (message boundaries are
+// preserved); protocol parsers elsewhere in this repository are still
+// written incrementally so they also run over real net.Conn streams.
+//
+// Flood traffic (DDoS attacks, scanning) is represented by packet
+// records carrying a Count, so a 50k pps flood costs one event per
+// burst rather than one per packet while keeping packets-per-second
+// arithmetic exact for the detection heuristics.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"malnet/internal/simclock"
+)
+
+// Sentinel connection errors, mirroring the errno a real dialer would
+// surface.
+var (
+	// ErrRefused is returned when the remote host is online but no
+	// listener is bound to the destination port (TCP RST).
+	ErrRefused = errors.New("simnet: connection refused")
+	// ErrTimeout is returned when the remote host is offline or
+	// filtered and the SYN goes unanswered.
+	ErrTimeout = errors.New("simnet: connection timed out")
+	// ErrReset is returned when an established connection is torn
+	// down with RST.
+	ErrReset = errors.New("simnet: connection reset by peer")
+	// ErrClosed is returned when writing to a closed connection.
+	ErrClosed = errors.New("simnet: connection closed")
+)
+
+// Protocol identifies the transport of a packet record.
+type Protocol uint8
+
+// Transport protocols used by the study's traffic.
+const (
+	ProtoTCP Protocol = iota
+	ProtoUDP
+	ProtoICMP
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	case ProtoICMP:
+		return "ICMP"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// TCPFlags is a bitmask of TCP control flags.
+type TCPFlags uint8
+
+// TCP control flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// String renders flags like "SYN|ACK".
+func (f TCPFlags) String() string {
+	if f == 0 {
+		return "-"
+	}
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagPSH, "PSH"}, {FlagFIN, "FIN"}, {FlagRST, "RST"}}
+	s := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	return s
+}
+
+// Addr is an IPv4 endpoint.
+type Addr struct {
+	IP   netip.Addr
+	Port uint16
+}
+
+// AddrFrom builds an Addr from a dotted-quad string; it panics on a
+// malformed literal, so it is for constants and tests.
+func AddrFrom(ip string, port uint16) Addr {
+	return Addr{IP: netip.MustParseAddr(ip), Port: port}
+}
+
+// String renders ip:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// IsValid reports whether the address has a usable IP.
+func (a Addr) IsValid() bool { return a.IP.IsValid() }
+
+// PacketRecord is one captured wire event. Count > 1 compresses a
+// burst of identical packets sent back-to-back starting at Time over
+// Span; per-second rates divide Count by Span.
+type PacketRecord struct {
+	Time    time.Time
+	Span    time.Duration // duration the burst covers; 0 for single packets
+	Src     Addr
+	Dst     Addr
+	Proto   Protocol
+	Flags   TCPFlags // TCP only
+	ICMPTyp uint8    // ICMP only
+	ICMPCod uint8    // ICMP only
+	Payload []byte   // may be nil for flood bursts
+	Size    int      // on-wire bytes of one packet, headers included
+	Count   int      // number of packets this record represents (>= 1)
+}
+
+// PPS returns the packet rate of the record in packets per second.
+// Single packets report 0 (no rate information).
+func (r PacketRecord) PPS() float64 {
+	if r.Span <= 0 {
+		return 0
+	}
+	return float64(r.Count) / r.Span.Seconds()
+}
+
+// Tap receives a copy of every packet record a host sends or
+// receives. Outbound reports the direction relative to the tapped
+// host.
+type Tap interface {
+	Packet(rec PacketRecord, outbound bool)
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(rec PacketRecord, outbound bool)
+
+// Packet implements Tap.
+func (f TapFunc) Packet(rec PacketRecord, outbound bool) { f(rec, outbound) }
+
+// ConnHandler receives events for one TCP connection. Callbacks fire
+// on the simulation event loop; they must not block.
+type ConnHandler interface {
+	// OnConnect fires when the connection is established: after the
+	// handshake for the dialing side, on accept for the listening
+	// side.
+	OnConnect(c *Conn)
+	// OnData fires once per peer Write, in order.
+	OnData(c *Conn, b []byte)
+	// OnClose fires exactly once. err is nil for a clean FIN close,
+	// ErrRefused/ErrTimeout for failed dials, ErrReset for aborts.
+	OnClose(c *Conn, err error)
+}
+
+// ConnFuncs adapts plain functions to ConnHandler; nil fields are
+// no-ops.
+type ConnFuncs struct {
+	Connect func(c *Conn)
+	Data    func(c *Conn, b []byte)
+	Close   func(c *Conn, err error)
+}
+
+// OnConnect implements ConnHandler.
+func (h ConnFuncs) OnConnect(c *Conn) {
+	if h.Connect != nil {
+		h.Connect(c)
+	}
+}
+
+// OnData implements ConnHandler.
+func (h ConnFuncs) OnData(c *Conn, b []byte) {
+	if h.Data != nil {
+		h.Data(c, b)
+	}
+}
+
+// OnClose implements ConnHandler.
+func (h ConnFuncs) OnClose(c *Conn, err error) {
+	if h.Close != nil {
+		h.Close(c, err)
+	}
+}
+
+// TCPAcceptor decides whether to accept an inbound TCP connection.
+// Returning nil refuses it (RST).
+type TCPAcceptor func(local, remote Addr) ConnHandler
+
+// UDPHandler receives inbound datagrams on a bound UDP port.
+type UDPHandler func(from, to Addr, payload []byte)
+
+// Config tunes network-wide behavior.
+type Config struct {
+	// SYNTimeout is how long a dialer waits for a SYN-ACK from an
+	// offline host before reporting ErrTimeout.
+	SYNTimeout time.Duration
+	// BaseLatency and LatencyJitter bound the deterministic
+	// per-host-pair one-way delay: Base + [0, Jitter).
+	BaseLatency   time.Duration
+	LatencyJitter time.Duration
+	// Seed drives the deterministic latency assignment.
+	Seed int64
+}
+
+// DefaultConfig returns production-shaped defaults: 21 s SYN timeout
+// (3 retries at 1+2+4+8 s, rounded to what Linux surfaces), 10–190 ms
+// one-way latency.
+func DefaultConfig() Config {
+	return Config{
+		SYNTimeout:    21 * time.Second,
+		BaseLatency:   10 * time.Millisecond,
+		LatencyJitter: 180 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// Network is the virtual Internet.
+type Network struct {
+	Clock *simclock.Clock
+
+	cfg    Config
+	hosts  map[netip.Addr]*Host
+	lat    map[[2]netip.Addr]time.Duration
+	rng    *rand.Rand
+	nextID uint64
+}
+
+// New creates an empty network driven by clock.
+func New(clock *simclock.Clock, cfg Config) *Network {
+	if cfg.SYNTimeout <= 0 {
+		cfg.SYNTimeout = DefaultConfig().SYNTimeout
+	}
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = DefaultConfig().BaseLatency
+	}
+	return &Network{
+		Clock: clock,
+		cfg:   cfg,
+		hosts: make(map[netip.Addr]*Host),
+		lat:   make(map[[2]netip.Addr]time.Duration),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// AddHost registers a host at ip. Adding an existing address returns
+// the existing host so world generation can be idempotent.
+func (n *Network) AddHost(ip netip.Addr) *Host {
+	if h, ok := n.hosts[ip]; ok {
+		return h
+	}
+	h := &Host{
+		net:          n,
+		IP:           ip,
+		Online:       true,
+		tcpListeners: make(map[uint16]TCPAcceptor),
+		udpListeners: make(map[uint16]UDPHandler),
+		nextEphem:    49152,
+	}
+	n.hosts[ip] = h
+	return h
+}
+
+// Host returns the host at ip, or nil.
+func (n *Network) Host(ip netip.Addr) *Host { return n.hosts[ip] }
+
+// NumHosts returns the number of registered hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// Latency returns the deterministic one-way delay between two
+// addresses. The pair is symmetric.
+func (n *Network) Latency(a, b netip.Addr) time.Duration {
+	key := [2]netip.Addr{a, b}
+	if b.Less(a) {
+		key = [2]netip.Addr{b, a}
+	}
+	if d, ok := n.lat[key]; ok {
+		return d
+	}
+	d := n.cfg.BaseLatency
+	if n.cfg.LatencyJitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.LatencyJitter)))
+	}
+	n.lat[key] = d
+	return d
+}
+
+// Host is one addressable machine.
+type Host struct {
+	net *Network
+	IP  netip.Addr
+	// Online gates reachability: an offline host answers nothing,
+	// so dials to it time out. C2 duty-cycle models flip this.
+	Online bool
+
+	tcpListeners map[uint16]TCPAcceptor
+	udpListeners map[uint16]UDPHandler
+	taps         []*tapEntry
+	nextEphem    uint16
+	// Egress, when set, is consulted for every outbound packet;
+	// returning false drops it at the network perimeter, SNORT
+	// style: the host's own tap still records the attempt (the
+	// sandbox's DDoS heuristic depends on seeing contained
+	// floods), but nothing reaches the destination. Contained TCP
+	// dials surface as ErrTimeout after the SYN timeout.
+	Egress func(dst Addr, proto Protocol) bool
+}
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// tapEntry wraps a Tap so registrations are identity-comparable
+// even for func-typed taps.
+type tapEntry struct{ t Tap }
+
+// AttachTap registers a packet tap on the host and returns a
+// function that detaches it.
+func (h *Host) AttachTap(t Tap) (detach func()) {
+	e := &tapEntry{t: t}
+	h.taps = append(h.taps, e)
+	return func() {
+		for i, have := range h.taps {
+			if have == e {
+				h.taps = append(h.taps[:i], h.taps[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// ListenTCP binds acceptor to a TCP port. It replaces any previous
+// listener on the port.
+func (h *Host) ListenTCP(port uint16, acceptor TCPAcceptor) {
+	h.tcpListeners[port] = acceptor
+}
+
+// CloseTCP removes the TCP listener on port.
+func (h *Host) CloseTCP(port uint16) { delete(h.tcpListeners, port) }
+
+// TCPListening reports whether a TCP listener is bound to port.
+func (h *Host) TCPListening(port uint16) bool {
+	_, ok := h.tcpListeners[port]
+	return ok
+}
+
+// ListenUDP binds handler to a UDP port.
+func (h *Host) ListenUDP(port uint16, handler UDPHandler) {
+	h.udpListeners[port] = handler
+}
+
+// CloseUDP removes the UDP listener on port.
+func (h *Host) CloseUDP(port uint16) { delete(h.udpListeners, port) }
+
+func (h *Host) ephemeralPort() uint16 {
+	p := h.nextEphem
+	h.nextEphem++
+	if h.nextEphem == 0 {
+		h.nextEphem = 49152
+	}
+	return p
+}
+
+func (h *Host) tap(rec PacketRecord, outbound bool) {
+	for _, e := range h.taps {
+		e.t.Packet(rec, outbound)
+	}
+}
+
+// recordLocal taps a record at the sender only — the path for
+// egress-contained traffic that never leaves the perimeter.
+func (n *Network) recordLocal(rec PacketRecord) {
+	if src := n.hosts[rec.Src.IP]; src != nil {
+		src.tap(rec, true)
+	}
+}
+
+// record taps a record at the sender and, if the destination host
+// exists and is online, at the receiver (after latency).
+func (n *Network) record(rec PacketRecord) {
+	if src := n.hosts[rec.Src.IP]; src != nil {
+		src.tap(rec, true)
+	}
+	dst := n.hosts[rec.Dst.IP]
+	if dst == nil || !dst.Online {
+		return
+	}
+	lat := n.Latency(rec.Src.IP, rec.Dst.IP)
+	delivered := rec
+	delivered.Time = rec.Time.Add(lat)
+	n.Clock.Schedule(delivered.Time, func() {
+		if dst.Online {
+			dst.tap(delivered, false)
+		}
+	})
+}
+
+const (
+	tcpHeaderBytes  = 40 // IPv4 + TCP, no options
+	udpHeaderBytes  = 28 // IPv4 + UDP
+	icmpHeaderBytes = 28 // IPv4 + ICMP
+)
+
+// SendUDP emits a single UDP datagram. The datagram is tapped at both
+// ends and delivered to a bound UDP handler on the destination.
+func (h *Host) SendUDP(srcPort uint16, to Addr, payload []byte) {
+	h.sendUDPBurst(srcPort, to, payload, 1, 0)
+}
+
+// SendUDPBurst emits count identical datagrams spread over span —
+// the flood primitive. Only the first datagram is delivered to the
+// destination handler (a flood victim's application behavior is not
+// modeled), but taps see the full count for rate measurement.
+func (h *Host) SendUDPBurst(srcPort uint16, to Addr, payload []byte, count int, span time.Duration) {
+	h.sendUDPBurst(srcPort, to, payload, count, span)
+}
+
+func (h *Host) sendUDPBurst(srcPort uint16, to Addr, payload []byte, count int, span time.Duration) {
+	if count < 1 {
+		return
+	}
+	src := Addr{IP: h.IP, Port: srcPort}
+	rec := PacketRecord{
+		Time: h.net.Clock.Now(), Span: span,
+		Src: src, Dst: to, Proto: ProtoUDP,
+		Payload: payload, Size: len(payload) + udpHeaderBytes, Count: count,
+	}
+	if h.Egress != nil && !h.Egress(to, ProtoUDP) {
+		h.net.recordLocal(rec)
+		return
+	}
+	h.net.record(rec)
+	dst := h.net.hosts[to.IP]
+	if dst == nil || !dst.Online {
+		return
+	}
+	if handler, ok := dst.udpListeners[to.Port]; ok {
+		lat := h.net.Latency(h.IP, to.IP)
+		h.net.Clock.After(lat, func() {
+			if dst.Online {
+				handler(src, to, payload)
+			}
+		})
+	}
+}
+
+// SendTCPRaw emits stateless TCP segments (SYN floods, STOMP junk)
+// without establishing a connection.
+func (h *Host) SendTCPRaw(srcPort uint16, to Addr, flags TCPFlags, payloadLen, count int, span time.Duration) {
+	if count < 1 {
+		return
+	}
+	rec := PacketRecord{
+		Time: h.net.Clock.Now(), Span: span,
+		Src: Addr{IP: h.IP, Port: srcPort}, Dst: to, Proto: ProtoTCP,
+		Flags: flags, Size: payloadLen + tcpHeaderBytes, Count: count,
+	}
+	if h.Egress != nil && !h.Egress(to, ProtoTCP) {
+		h.net.recordLocal(rec)
+		return
+	}
+	h.net.record(rec)
+}
+
+// SendICMP emits ICMP packets of the given type/code (BLACKNURSE is
+// type 3 code 3 floods).
+func (h *Host) SendICMP(to netip.Addr, typ, code uint8, count int, span time.Duration) {
+	if count < 1 {
+		return
+	}
+	rec := PacketRecord{
+		Time: h.net.Clock.Now(), Span: span,
+		Src: Addr{IP: h.IP}, Dst: Addr{IP: to}, Proto: ProtoICMP,
+		ICMPTyp: typ, ICMPCod: code, Size: icmpHeaderBytes + 28, Count: count,
+	}
+	if h.Egress != nil && !h.Egress(Addr{IP: to}, ProtoICMP) {
+		h.net.recordLocal(rec)
+		return
+	}
+	h.net.record(rec)
+}

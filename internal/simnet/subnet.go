@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Subnet is a contiguous IPv4 prefix, used for probing studies and
+// address-space bookkeeping.
+type Subnet struct {
+	Prefix netip.Prefix
+}
+
+// SubnetFrom parses a CIDR literal; it panics on malformed input, so
+// it is for constants and tests.
+func SubnetFrom(cidr string) Subnet {
+	return Subnet{Prefix: netip.MustParsePrefix(cidr)}
+}
+
+// String returns the CIDR form.
+func (s Subnet) String() string { return s.Prefix.String() }
+
+// Contains reports whether ip falls inside the subnet.
+func (s Subnet) Contains(ip netip.Addr) bool { return s.Prefix.Contains(ip) }
+
+// Hosts returns every usable host address in the subnet (network and
+// broadcast addresses excluded for prefixes shorter than /31).
+func (s Subnet) Hosts() []netip.Addr {
+	bits := s.Prefix.Bits()
+	if bits < 0 || !s.Prefix.Addr().Is4() {
+		return nil
+	}
+	total := 1 << (32 - bits)
+	first, last := 0, total
+	if bits < 31 {
+		first, last = 1, total-1
+	}
+	base := s.Prefix.Masked().Addr().As4()
+	baseU := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	out := make([]netip.Addr, 0, last-first)
+	for i := first; i < last; i++ {
+		u := baseU + uint32(i)
+		out = append(out, netip.AddrFrom4([4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)}))
+	}
+	return out
+}
+
+// HostAt returns the i-th usable host address (0-based), panicking if
+// out of range.
+func (s Subnet) HostAt(i int) netip.Addr {
+	hosts := s.Hosts()
+	if i < 0 || i >= len(hosts) {
+		panic(fmt.Sprintf("simnet: host index %d out of range for %s", i, s))
+	}
+	return hosts[i]
+}
+
+// ServeBanner binds a TCP listener on port that greets every
+// connection with banner and then closes — the shape of the
+// well-known-service hosts (Apache, nginx, SSH) the paper's probing
+// ethics filter skips.
+func (h *Host) ServeBanner(port uint16, banner string) {
+	h.ListenTCP(port, func(local, remote Addr) ConnHandler {
+		return ConnFuncs{
+			Connect: func(c *Conn) {
+				c.Write([]byte(banner))
+				c.Close()
+			},
+		}
+	})
+}

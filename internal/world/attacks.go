@@ -1,0 +1,281 @@
+package world
+
+import (
+	"fmt"
+
+	"malnet/internal/binfmt"
+	"net/netip"
+	"time"
+
+	"malnet/internal/c2"
+	"malnet/internal/geo"
+)
+
+// attackC2Slot fixes one attack-launching server's hosting, per
+// §5's geography: the issuing servers sit in 6 countries with the
+// USA, the Netherlands and the Czech Republic responsible for ~80 %
+// of attacks.
+type attackC2Slot struct {
+	asn    int
+	family string
+}
+
+// czASN is the Czech hosting AS registered by the world (Table 2's
+// list has no CZ member, but §5's attack issuers include CZ).
+const czASN = 197019
+
+func attackC2Slots() []attackC2Slot {
+	return []attackC2Slot{
+		// 7 US
+		{36352, "mirai"}, {36352, "daddyl33t"}, {36352, "gafgyt"}, {36352, "mirai"},
+		{14061, "daddyl33t"}, {14061, "gafgyt"}, {211252, "mirai"},
+		// 4 NL
+		{399471, "daddyl33t"}, {399471, "mirai"}, {399471, "gafgyt"}, {50673, "daddyl33t"},
+		// 3 CZ
+		{czASN, "mirai"}, {czASN, "daddyl33t"}, {czASN, "gafgyt"},
+		// 1 RU, 1 FR, 1 LU
+		{44812, "mirai"}, {16276, "daddyl33t"}, {53667, "gafgyt"},
+	}
+}
+
+// attackTypeSchedule enumerates the 42 ground-truth commands by
+// family, matching Figure 11's type mix and Figure 10's protocol
+// split (UDP 74 %, TCP 14 %, DNS 7 %, ICMP 5 %).
+type plannedAttack struct {
+	family string
+	attack c2.AttackType
+	port   uint16 // 0 = draw a high port; 53 makes it a DNS attack
+	tcpTLS bool   // the Mirai TLS variant runs over TCP
+}
+
+func plannedAttacks() []plannedAttack {
+	var out []plannedAttack
+	add := func(n int, family string, attack c2.AttackType, port uint16) {
+		for i := 0; i < n; i++ {
+			out = append(out, plannedAttack{family: family, attack: attack, port: port})
+		}
+	}
+	// Mirai: 16 attacks.
+	add(6, "mirai", c2.AttackUDPFlood, 0)
+	add(3, "mirai", c2.AttackUDPFlood, 80)
+	add(2, "mirai", c2.AttackUDPFlood, 53) // DNS bucket
+	add(1, "mirai", c2.AttackUDPFlood, 443)
+	add(2, "mirai", c2.AttackSYNFlood, 80)
+	add(1, "mirai", c2.AttackSTOMP, 61613)
+	out = append(out, plannedAttack{family: "mirai", attack: c2.AttackTLS, port: 443, tcpTLS: true})
+	// Gafgyt: 10 attacks.
+	add(4, "gafgyt", c2.AttackUDPFlood, 0)
+	add(3, "gafgyt", c2.AttackUDPFlood, 80)
+	add(1, "gafgyt", c2.AttackUDPFlood, 53) // DNS bucket
+	add(1, "gafgyt", c2.AttackVSE, 27015)
+	add(1, "gafgyt", c2.AttackSTD, 0)
+	// Daddyl33t: 16 attacks.
+	add(5, "daddyl33t", c2.AttackUDPFlood, 0)
+	add(2, "daddyl33t", c2.AttackUDPFlood, 80)
+	add(1, "daddyl33t", c2.AttackUDPFlood, 443)
+	add(2, "daddyl33t", c2.AttackSYNFlood, 80)
+	add(3, "daddyl33t", c2.AttackTLS, 0) // UDP/DTLS variant
+	add(2, "daddyl33t", c2.AttackBlacknurse, 0)
+	add(1, "daddyl33t", c2.AttackNFO, 238)
+	return out
+}
+
+// mintAttackC2 creates an attack-launching C2 anchored to a real
+// sample date, alive ~10 days (the §5 lifespan finding).
+func (ps *populationState) mintAttackC2(slot attackC2Slot, anchor time.Time) *C2Spec {
+	rng := ps.rng
+	ip := ps.allocIP(slot.asn)
+	ports := familyC2Ports[slot.family]
+	port := ports[rng.Intn(len(ports))]
+	cs := &C2Spec{
+		Address: fmt.Sprintf("%s:%d", ip, port),
+		IP:      ip, Port: port, ASN: slot.asn,
+		Family: slot.family, Variant: "v1",
+		Sticky: true, AttackLauncher: true,
+		Birth: anchor.Add(-12 * time.Hour),
+		Death: anchor.Add(time.Duration(9+rng.Intn(4)) * 24 * time.Hour),
+	}
+	if rng.Intn(2) == 1 {
+		cs.Variant = "v2"
+	}
+	ps.c2s[cs.Address] = cs
+	ps.order = append(ps.order, cs)
+	return cs
+}
+
+// planAttacks mints the attack C2s, binds them to feed samples, and
+// lays out the 42-command schedule. It returns the plans and the
+// set of target addresses used (for Figure 12's geography).
+func (ps *populationState) planAttacks(reg *geo.Registry) []AttackPlan {
+	rng := ps.rng
+	slots := attackC2Slots()
+	if ps.cfg.AttackC2s < len(slots) {
+		slots = slots[:ps.cfg.AttackC2s]
+	}
+
+	// Samples by family for binding, in date order.
+	byFamily := map[string][]*SampleSpec{}
+	for _, s := range ps.samples {
+		if !s.P2P && s.ForeignArch == binfmt.ArchMIPS32BE {
+			byFamily[s.Family] = append(byFamily[s.Family], s)
+		}
+	}
+
+	// Mint servers anchored at sample-rich dates and bind 1–2
+	// samples each: one near the anchor, one ~9–11 days later when
+	// available (driving the ~10-day observed lifespan).
+	var servers []*C2Spec
+	var cmdSamples []*SampleSpec // per server: the command-day sample
+	usedSample := map[int]bool{} // samples already bound to an attack C2
+	for i, slot := range slots {
+		pool := byFamily[slot.family]
+		if len(pool) == 0 {
+			continue
+		}
+		// Spread anchors across the study, skipping samples already
+		// claimed by another attack C2: a bot holds one C2 session,
+		// so sharing a sample would starve the second server.
+		start := (i * len(pool) / len(slots)) % len(pool)
+		anchorSample := pool[start]
+		for off := 0; off < len(pool); off++ {
+			cand := pool[(start+off)%len(pool)]
+			if !usedSample[cand.Index] {
+				anchorSample = cand
+				break
+			}
+		}
+		usedSample[anchorSample.Index] = true
+		cs := ps.mintAttackC2(slot, anchorSample.Date)
+		bindAttack := func(s *SampleSpec) {
+			s.C2Refs = append([]string{cs.Address}, s.C2Refs...)
+			if len(s.C2Refs) > ps.cfg.RefsPerSampleMax {
+				s.C2Refs = s.C2Refs[:ps.cfg.RefsPerSampleMax]
+			}
+			bind(cs, s.Index, s.Date)
+		}
+		bindAttack(anchorSample)
+		// Second binding near death-2d for the lifespan spread.
+		wantDay := anchorSample.Date.Add(cs.Death.Sub(anchorSample.Date) - 36*time.Hour)
+		var second *SampleSpec
+		for _, s := range pool {
+			if s == anchorSample || usedSample[s.Index] || s.Date.Before(anchorSample.Date) {
+				continue
+			}
+			if s.Date.After(cs.Death.Add(-24 * time.Hour)) {
+				break
+			}
+			second = s
+			if !s.Date.Before(wantDay) {
+				break
+			}
+		}
+		if second != nil {
+			usedSample[second.Index] = true
+			bindAttack(second)
+		}
+		servers = append(servers, cs)
+		cmdSamples = append(cmdSamples, anchorSample)
+		// A few servers issue on their second sample's day too,
+		// pushing distinct receivers toward the paper's 20.
+		if second != nil && i%5 == 0 {
+			cmdSamples = append(cmdSamples, second)
+			servers = append(servers, cs)
+		}
+	}
+
+	// Build the target list: 34 distinct victims over the 23
+	// victim ASes; Nuclearfallout hosts the NFO target, a gaming
+	// AS hosts the VSE one.
+	victims := geo.VictimASes()
+	targetOf := func(i int) netip.Addr {
+		as := reg.ByASN(victims[i%len(victims)].ASN)
+		return as.AddrAt(100 + i) // clear of C2 allocations
+	}
+
+	plans := make([]AttackPlan, 0, 42)
+	attacks := plannedAttacks()
+	// Group attacks by family, deal them to that family's servers
+	// round-robin.
+	srvOf := map[string][]int{}
+	for idx, cs := range servers {
+		srvOf[cs.Family] = append(srvOf[cs.Family], idx)
+	}
+	dealt := map[string]int{}
+	targetIdx := 0
+	for _, pa := range attacks {
+		idxs := srvOf[pa.family]
+		if len(idxs) == 0 {
+			continue
+		}
+		si := idxs[dealt[pa.family]%len(idxs)]
+		dealt[pa.family]++
+		cs := servers[si]
+		day := cmdSamples[si].Date
+
+		port := pa.port
+		if port == 0 && pa.attack != c2.AttackBlacknurse {
+			port = uint16(1024 + rng.Intn(60000))
+		}
+		plans = append(plans, AttackPlan{
+			C2Address: cs.Address,
+			// Early first attempt plus a dense 15-minute retry
+			// schedule spanning ~32 h, so whichever 2-hour window
+			// the pipeline opens that day overlaps an attempt.
+			When:    day.Add(time.Duration(5+rng.Intn(55)) * time.Minute),
+			Retries: 130,
+			Command: c2.Command{
+				Attack:       pa.attack,
+				Target:       targetOf(targetIdx),
+				Port:         port,
+				Duration:     time.Duration(30+rng.Intn(90)) * time.Second,
+				TCPTransport: pa.tcpTLS,
+			},
+		})
+		targetIdx++
+	}
+
+	// Fold plans into two-attacks-one-target sessions until ~25 %
+	// of targets are double-attacked (§5.2): with 42 attacks, 8
+	// pairs leave 34 distinct targets, 8 of them hit twice.
+	usedPlan := map[int]bool{}
+	byC2 := map[string][]int{}
+	for i := range plans {
+		byC2[plans[i].C2Address] = append(byC2[plans[i].C2Address], i)
+	}
+	var c2Order []string
+	seenC2 := map[string]bool{}
+	for _, p := range plans {
+		if !seenC2[p.C2Address] && len(byC2[p.C2Address]) >= 2 {
+			seenC2[p.C2Address] = true
+			c2Order = append(c2Order, p.C2Address)
+		}
+	}
+	pairsWanted := len(plans) / 5
+	made := 0
+	for _, addr := range c2Order {
+		if made >= pairsWanted {
+			break
+		}
+		idxs := byC2[addr]
+		first := -1
+		for _, i := range idxs {
+			if usedPlan[i] {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			if plans[i].Command.Attack == plans[first].Command.Attack {
+				continue
+			}
+			// Fold: same target, ten minutes apart, one session.
+			usedPlan[first], usedPlan[i] = true, true
+			plans[i].Command.Target = plans[first].Command.Target
+			plans[i].When = plans[first].When.Add(10 * time.Minute)
+			made++
+			break
+		}
+	}
+	return plans
+}

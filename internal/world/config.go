@@ -1,0 +1,79 @@
+package world
+
+import "time"
+
+// Config holds the calibration knobs. Defaults reproduce the paper's
+// population; ablation benches vary them.
+type Config struct {
+	// Seed drives all world randomness.
+	Seed int64
+	// TotalSamples is the feed size (paper: 1447).
+	TotalSamples int
+	// RefsPerSampleMin/Max bound C2 addresses per non-P2P binary.
+	RefsPerSampleMin, RefsPerSampleMax int
+	// DNSShare is the fraction of C2 addresses that are domains.
+	DNSShare float64
+	// StickyShare is the fraction of newly minted C2s that become
+	// long-lived, widely shared servers.
+	StickyShare float64
+	// StickyAliveP / FreshAliveP control day-0 liveness (calibrated
+	// so ~40 % of samples find a live C2, §3.2).
+	StickyAliveP, FreshAliveP float64
+	// ExploitShare is the fraction of eligible samples that carry
+	// working exploit kits (paper: 197 of 1447).
+	ExploitShare float64
+	// AttackC2s is the number of attack-launching servers (17).
+	AttackC2s int
+	// TotalASes is the Appendix A AS population (128).
+	TotalASes int
+	// SandboxWindow is the per-sample isolated-analysis window the
+	// study driver uses.
+	SandboxWindow time.Duration
+	// LiveWindow is the restricted live window for live-C2 samples.
+	LiveWindow time.Duration
+}
+
+// DefaultConfig returns the paper-calibrated world.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		TotalSamples:     1447,
+		RefsPerSampleMin: 2,
+		RefsPerSampleMax: 6,
+		DNSShare:         0.055,
+		StickyShare:      0.20,
+		StickyAliveP:     0.28,
+		FreshAliveP:      0.09,
+		ExploitShare:     0.145,
+		AttackC2s:        17,
+		TotalASes:        128,
+		SandboxWindow:    15 * time.Minute,
+		LiveWindow:       2 * time.Hour,
+	}
+}
+
+// familyShare is the feed's family mix. Mirai and Gafgyt dominate
+// real IoT feeds; Mozi is the big P2P family (Table 6 notes its 10x
+// growth in 2021).
+var familyShare = []struct {
+	name  string
+	share float64
+	p2p   bool
+}{
+	{"mirai", 0.36, false},
+	{"gafgyt", 0.28, false},
+	{"mozi", 0.13, true},
+	{"tsunami", 0.08, false},
+	{"daddyl33t", 0.07, false},
+	{"hajime", 0.04, true},
+	{"vpnfilter", 0.04, false},
+}
+
+// familyC2Ports are the listen ports each family's servers use.
+var familyC2Ports = map[string][]uint16{
+	"mirai":     {23, 1312, 666, 606, 1791, 9506},
+	"gafgyt":    {666, 6738, 1014, 42516, 81},
+	"tsunami":   {6667},
+	"daddyl33t": {1312, 3074, 6969},
+	"vpnfilter": {443},
+}

@@ -1,0 +1,118 @@
+package world
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Ground-truth export, in the spirit of the paper's dataset-sharing
+// commitment ("Our group is committed ... to sharing tools and our
+// data openly"). The export carries generator truth — what the
+// pipeline is supposed to rediscover — so it doubles as the answer
+// key for validating third-party analyses of the emitted datasets.
+
+// GroundTruthSample is the exported per-binary truth.
+type GroundTruthSample struct {
+	Index      int       `json:"index"`
+	SHA256     string    `json:"sha256"`
+	Date       time.Time `json:"date"`
+	Family     string    `json:"family"`
+	Variant    string    `json:"variant"`
+	P2P        bool      `json:"p2p,omitempty"`
+	C2Refs     []string  `json:"c2_refs,omitempty"`
+	ExploitIDs []string  `json:"exploits,omitempty"`
+	Loader     string    `json:"loader,omitempty"`
+	Downloader string    `json:"downloader,omitempty"`
+	Evasion    string    `json:"evasion,omitempty"`
+}
+
+// GroundTruthC2 is the exported per-server truth.
+type GroundTruthC2 struct {
+	Address        string    `json:"address"`
+	IP             string    `json:"ip"`
+	Port           uint16    `json:"port"`
+	Domain         string    `json:"domain,omitempty"`
+	ASN            int       `json:"asn"`
+	Family         string    `json:"family"`
+	Birth          time.Time `json:"birth"`
+	Death          time.Time `json:"death"`
+	Samples        int       `json:"samples"`
+	AttackLauncher bool      `json:"attack_launcher,omitempty"`
+	Elusive        bool      `json:"elusive,omitempty"`
+	Downloader     bool      `json:"downloader,omitempty"`
+}
+
+// GroundTruthAttack is the exported per-command truth.
+type GroundTruthAttack struct {
+	C2     string    `json:"c2"`
+	When   time.Time `json:"when"`
+	Attack string    `json:"attack"`
+	Target string    `json:"target"`
+	Port   uint16    `json:"port"`
+}
+
+// GroundTruth is the full answer key.
+type GroundTruth struct {
+	Seed    int64               `json:"seed"`
+	Samples []GroundTruthSample `json:"samples"`
+	C2s     []GroundTruthC2     `json:"c2s"`
+	Attacks []GroundTruthAttack `json:"attacks"`
+}
+
+// ExportGroundTruth assembles the answer key. Sample hashes are
+// computed on demand (encoding any binaries not yet materialized).
+func (w *World) ExportGroundTruth() (*GroundTruth, error) {
+	gt := &GroundTruth{Seed: w.Cfg.Seed}
+	for _, s := range w.Samples {
+		sha, err := s.SHA256()
+		if err != nil {
+			return nil, err
+		}
+		gt.Samples = append(gt.Samples, GroundTruthSample{
+			Index: s.Index, SHA256: sha, Date: s.Date,
+			Family: s.Family, Variant: s.Variant, P2P: s.P2P,
+			C2Refs: s.C2Refs, ExploitIDs: s.ExploitIDs,
+			Loader: s.LoaderName, Downloader: s.DownloaderAddr,
+			Evasion: s.Evasion,
+		})
+	}
+	var addrs []string
+	for a := range w.C2s {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		cs := w.C2s[a]
+		if len(cs.SampleIdx) == 0 && !cs.Elusive {
+			continue
+		}
+		gt.C2s = append(gt.C2s, GroundTruthC2{
+			Address: cs.Address, IP: cs.IP.String(), Port: cs.Port,
+			Domain: cs.Domain, ASN: cs.ASN, Family: cs.Family,
+			Birth: cs.Birth, Death: cs.Death, Samples: len(cs.SampleIdx),
+			AttackLauncher: cs.AttackLauncher, Elusive: cs.Elusive,
+			Downloader: cs.Downloader,
+		})
+	}
+	for _, p := range w.Attacks {
+		gt.Attacks = append(gt.Attacks, GroundTruthAttack{
+			C2: p.C2Address, When: p.When,
+			Attack: p.Command.Attack.String(),
+			Target: p.Command.Target.String(), Port: p.Command.Port,
+		})
+	}
+	return gt, nil
+}
+
+// WriteGroundTruth writes the answer key as indented JSON.
+func (w *World) WriteGroundTruth(out io.Writer) error {
+	gt, err := w.ExportGroundTruth()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(gt)
+}

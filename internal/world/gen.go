@@ -1,0 +1,603 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"malnet/internal/binfmt"
+	"malnet/internal/geo"
+	"malnet/internal/vuln"
+)
+
+// dayKey buckets times by UTC day.
+func dayKey(t time.Time) string { return t.Format("2006-01-02") }
+
+// plannedC2 is a minted server with a binding plan: how many more
+// binaries will reference it and across what span. Planning the
+// multiplicity up front is what lets the generated population hit
+// Figure 5's heavy-tailed samples-per-C2 histogram and Figure 2's
+// one-day-dominated observed lifespans at the same time.
+type plannedC2 struct {
+	spec  *C2Spec
+	quota int
+	// mintDay anchors the reference window.
+	mintDay time.Time
+	// span is how far past mintDay references may land; 0 keeps
+	// the C2's observed lifespan at one day.
+	span time.Duration
+}
+
+// populationState threads the generation loop.
+type populationState struct {
+	cfg Config
+	rng *rand.Rand
+	reg *geo.Registry
+
+	samples []*SampleSpec
+	c2s     map[string]*C2Spec
+	order   []*C2Spec // creation order
+	dns     map[string]netip.Addr
+
+	// open C2s with remaining binding quota, per family.
+	open map[string][]*plannedC2
+	// campaigns: operators re-pack one C2 config into many
+	// binaries; samples of the same family and day mostly share a
+	// config, and sticky-backed configs recur across days.
+	campaigns map[string][]*campaign
+
+	asCursor   map[int]int // ASN -> next address index
+	fillerASNs []int       // registered long-tail ASes
+	dnsSerial  int
+
+	// downloader pools (§3.1: 47 distinct, 35 co-located with C2s)
+	coloDownloaders  []string
+	aloneDownloaders []string
+}
+
+// sampleDates spreads cfg.TotalSamples across the study calendar
+// with the Figure 1 volume shape.
+func sampleDates(cfg Config, rng *rand.Rand) []time.Time {
+	weeks := Calendar()
+	weights := make([]float64, len(weeks))
+	var total float64
+	for i, w := range weeks {
+		weights[i] = weekWeight(w.Num)
+		total += weights[i]
+	}
+	counts := make([]int, len(weeks))
+	assigned := 0
+	for i := range weeks {
+		counts[i] = int(float64(cfg.TotalSamples) * weights[i] / total)
+		assigned += counts[i]
+	}
+	for i := 0; assigned < cfg.TotalSamples; i, assigned = (i+1)%len(weeks), assigned+1 {
+		counts[i]++
+	}
+	var dates []time.Time
+	for i, w := range weeks {
+		for j := 0; j < counts[i]; j++ {
+			dates = append(dates, w.Start.AddDate(0, 0, rng.Intn(7)))
+		}
+	}
+	sort.Slice(dates, func(i, j int) bool { return dates[i].Before(dates[j]) })
+	return dates
+}
+
+// pickFamily draws a family by share.
+func pickFamily(rng *rand.Rand) (name string, p2p bool) {
+	r := rng.Float64()
+	acc := 0.0
+	for _, f := range familyShare {
+		acc += f.share
+		if r < acc {
+			return f.name, f.p2p
+		}
+	}
+	last := familyShare[len(familyShare)-1]
+	return last.name, last.p2p
+}
+
+// asWeightsAt returns the C2-hosting AS selection table at a date:
+// Table 2's top ten carry 69.7 % combined, the big clouds a sliver,
+// and the long tail the rest. From week 28 the IP SERVER LLC and
+// Apeiron weights surge (§3.1's Figure 1 observation).
+func (ps *populationState) asWeightsAt(date time.Time) ([]int, []float64) {
+	week := WeekOf(date)
+	boost := 1.0
+	if week >= 28 {
+		boost = 4.0
+	}
+	asns := []int{36352, 211252, 14061, 53667, 202306, 399471, 16276, 44812, 139884, 50673}
+	weights := []float64{0.115, 0.055, 0.095, 0.07, 0.06, 0.065, 0.09, 0.055 * boost, 0.035 * boost, 0.057}
+	// Big clouds (Appendix A).
+	asns = append(asns, 15169, 16509, 37963)
+	weights = append(weights, 0.006, 0.006, 0.004)
+	// Long tail: whatever filler ASes the registry actually holds.
+	tail := len(ps.fillerASNs)
+	for _, asn := range ps.fillerASNs {
+		asns = append(asns, asn)
+		weights = append(weights, 0.31/float64(tail))
+	}
+	return asns, weights
+}
+
+func pickWeighted(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// allocIP hands out the next unused address of an AS.
+func (ps *populationState) allocIP(asn int) netip.Addr {
+	as := ps.reg.ByASN(asn)
+	idx := ps.asCursor[asn]
+	ps.asCursor[asn] = idx + 1
+	return as.AddrAt(idx)
+}
+
+// drawMultiplicity rolls one C2's planned binding count per the
+// Figure 5 tiers: ~40 % single-binary, ~45 % with 2–8, ~15 % with
+// 11–16.
+func drawMultiplicity(rng *rand.Rand) (quota int, span time.Duration) {
+	day := 24 * time.Hour
+	r := rng.Float64()
+	switch {
+	case r < 0.38:
+		return 1, 0
+	case r < 0.78:
+		quota = 2 + rng.Intn(7)
+		// Most shared C2s are single-campaign, same-day artifacts;
+		// a fifth stay referenced across days.
+		if rng.Float64() < 0.15 {
+			span = time.Duration(2+rng.Intn(6)) * day
+		}
+		return quota, span
+	default:
+		quota = 11 + rng.Intn(6)
+		// The heavy tail rides long-lived infrastructure; a third
+		// still burn out within a day.
+		if rng.Float64() < 0.67 {
+			span = time.Duration(2+rng.Intn(9)) * day
+		}
+		return quota, span
+	}
+}
+
+// newC2 mints a C2 spec anchored at date.
+func (ps *populationState) newC2(family, variant string, date time.Time) *plannedC2 {
+	rng := ps.rng
+	asns, weights := ps.asWeightsAt(date)
+	asn := asns[pickWeighted(rng, weights)]
+	ip := ps.allocIP(asn)
+	ports := familyC2Ports[family]
+	port := ports[rng.Intn(len(ports))]
+
+	cs := &C2Spec{
+		IP: ip, Port: port, ASN: asn,
+		Family: family, Variant: variant,
+	}
+	if rng.Float64() < ps.cfg.DNSShare {
+		ps.dnsSerial++
+		tlds := []string{"xyz", "top", "cc", "net", "online"}
+		cs.IsDNS = true
+		cs.Domain = fmt.Sprintf("cnc%03d.botnet-%s.%s", ps.dnsSerial, family, tlds[rng.Intn(len(tlds))])
+		cs.Address = fmt.Sprintf("%s:%d", cs.Domain, port)
+		ps.dns[cs.Domain] = ip
+	} else {
+		cs.Address = fmt.Sprintf("%s:%d", ip, port)
+	}
+
+	quota, span := drawMultiplicity(rng)
+	day := 24 * time.Hour
+	rd := func(lo, hi float64) time.Duration {
+		return time.Duration((lo + rng.Float64()*(hi-lo)) * float64(day))
+	}
+	cs.Sticky = span > 0
+	if cs.Sticky {
+		if rng.Float64() < ps.cfg.StickyAliveP {
+			cs.Birth = date.Add(-rd(0, 1))
+			cs.Death = date.Add(span + rd(0.5, 3))
+		} else {
+			cs.Birth = date.Add(-rd(10, 20))
+			cs.Death = date.Add(-rd(0, 5))
+		}
+	} else {
+		if rng.Float64() < ps.cfg.FreshAliveP {
+			cs.Birth = date.Add(-rd(0, 2))
+			cs.Death = date.Add(rd(0.5, 2))
+		} else {
+			cs.Birth = date.Add(-rd(3, 6))
+			cs.Death = cs.Birth.Add(rd(0.5, 2))
+		}
+	}
+	ps.c2s[cs.Address] = cs
+	ps.order = append(ps.order, cs)
+	p := &plannedC2{spec: cs, quota: quota, mintDay: date, span: span}
+	ps.open[family] = append(ps.open[family], p)
+	return p
+}
+
+// pickC2 selects a C2 address for one ref slot: an open planned C2
+// whose reference window covers the date, else a fresh mint.
+func (ps *populationState) pickC2(family, variant string, date time.Time, used map[string]bool) *C2Spec {
+	open := ps.open[family]
+	// Compact the pool: drop exhausted or expired entries.
+	kept := open[:0]
+	var candidates []*plannedC2
+	for _, p := range open {
+		if p.quota <= 0 {
+			continue
+		}
+		if date.Sub(p.mintDay) > p.span {
+			// Window closed; surplus quota is abandoned (servers
+			// fall out of fashion).
+			continue
+		}
+		kept = append(kept, p)
+		if !used[p.spec.Address] {
+			candidates = append(candidates, p)
+		}
+	}
+	ps.open[family] = kept
+	if len(candidates) > 0 {
+		// Weight by remaining quota so big-multiplicity C2s fill.
+		weights := make([]float64, len(candidates))
+		for i, p := range candidates {
+			weights[i] = float64(p.quota * p.quota)
+		}
+		p := candidates[pickWeighted(ps.rng, weights)]
+		p.quota--
+		return p.spec
+	}
+	p := ps.newC2(family, variant, date)
+	p.quota--
+	return p.spec
+}
+
+// campaign is one reusable C2 configuration.
+type campaign struct {
+	born  time.Time
+	c2s   []*C2Spec
+	packs int
+}
+
+// pickCampaign returns a campaign to re-pack for a family sample, or
+// nil. Same-day campaigns dominate; older ones stay eligible only
+// while backed by a long-lived (sticky) server, which is what pushes
+// those servers past ten binaries.
+func (ps *populationState) pickCampaign(family string, date time.Time) *campaign {
+	var pool []*campaign
+	var weights []float64
+	for _, c := range ps.campaigns[family] {
+		age := date.Sub(c.born)
+		if age < 0 || age > 40*24*time.Hour {
+			continue
+		}
+		w := float64(c.packs + 1)
+		if age >= 24*time.Hour {
+			stickyBacked := false
+			for _, cs := range c.c2s {
+				if cs.Sticky {
+					stickyBacked = true
+				}
+			}
+			if !stickyBacked {
+				continue
+			}
+			w *= 0.22
+		}
+		pool = append(pool, c)
+		weights = append(weights, w)
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[pickWeighted(ps.rng, weights)]
+}
+
+// bind records that sample idx (published at date) references cs.
+func bind(cs *C2Spec, idx int, date time.Time) {
+	cs.SampleIdx = append(cs.SampleIdx, idx)
+	if cs.FirstRef.IsZero() || date.Before(cs.FirstRef) {
+		cs.FirstRef = date
+	}
+	if date.After(cs.LastRef) {
+		cs.LastRef = date
+	}
+}
+
+// exploitKit draws 2–4 vulnerabilities weighted by Table 4's sample
+// counts.
+func exploitKit(rng *rand.Rand) []string {
+	catalog := vuln.Catalog()
+	weights := make([]float64, len(catalog))
+	for i, v := range catalog {
+		weights[i] = float64(v.PaperSamples)
+	}
+	n := 2 + rng.Intn(3)
+	picked := map[string]bool{}
+	var kit []string
+	for len(kit) < n {
+		v := catalog[pickWeighted(rng, weights)]
+		if picked[v.Key] {
+			continue
+		}
+		picked[v.Key] = true
+		kit = append(kit, v.Key)
+	}
+	return kit
+}
+
+// loaderName draws per Figure 9's frequencies.
+func loaderName(rng *rand.Rand) string {
+	names := vuln.LoaderNames()
+	weights := make([]float64, len(names))
+	for i, n := range names {
+		weights[i] = float64(n.Count)
+	}
+	return names[pickWeighted(rng, weights)].Name
+}
+
+// downloaderFor assigns an exploit sample its stage-one server,
+// keeping the global pools at the paper's 35 co-located + 12
+// standalone.
+func (ps *populationState) downloaderFor(firstC2 *C2Spec) string {
+	rng := ps.rng
+	colo := rng.Float64() < 0.75
+	if colo {
+		if len(ps.coloDownloaders) < 35 && firstC2 != nil {
+			addr := firstC2.IP.String() + ":80"
+			firstC2.Downloader = true
+			ps.coloDownloaders = append(ps.coloDownloaders, addr)
+			return addr
+		}
+		if len(ps.coloDownloaders) > 0 {
+			return ps.coloDownloaders[rng.Intn(len(ps.coloDownloaders))]
+		}
+	}
+	if len(ps.aloneDownloaders) < 12 {
+		// Standalone loader host in the filler space.
+		asn := ps.fillerASNs[rng.Intn(len(ps.fillerASNs))]
+		addr := ps.allocIP(asn).String() + ":80"
+		ps.aloneDownloaders = append(ps.aloneDownloaders, addr)
+		return addr
+	}
+	return ps.aloneDownloaders[rng.Intn(len(ps.aloneDownloaders))]
+}
+
+// generatePopulation builds the feed and C2 ground truth.
+func generatePopulation(cfg Config, reg *geo.Registry, rng *rand.Rand) *populationState {
+	ps := &populationState{
+		cfg: cfg, rng: rng, reg: reg,
+		c2s:      map[string]*C2Spec{},
+		dns:      map[string]netip.Addr{},
+		open:     map[string][]*plannedC2{},
+		asCursor: map[int]int{},
+	}
+	for _, as := range reg.All() {
+		if as.ASN >= 400000 {
+			ps.fillerASNs = append(ps.fillerASNs, as.ASN)
+		}
+	}
+	dates := sampleDates(cfg, rng)
+	for idx, date := range dates {
+		family, p2p := pickFamily(rng)
+		variant := "v1"
+		if rng.Intn(2) == 1 {
+			variant = "v2"
+		}
+		s := &SampleSpec{
+			Index: idx, Date: date,
+			Family: family, Variant: variant, P2P: p2p,
+			Seed: cfg.Seed*1_000_003 + int64(idx),
+		}
+		// Anti-sandbox gates (§6f): ~8 % of samples defeat even
+		// InetSim (capping the sandbox activation rate near the
+		// paper's 90 %), another ~5 % are connectivity-checkers
+		// InetSim wins against.
+		if !p2p {
+			switch r := rng.Float64(); {
+			case r < 0.08:
+				s.Evasion = "strict"
+			case r < 0.13:
+				s.Evasion = "connectivity"
+			}
+		}
+		if !p2p {
+			var firstC2 *C2Spec
+			if camp := ps.pickCampaign(family, date); camp != nil && rng.Float64() < 0.60 {
+				// Re-pack an existing config. Across days only the
+				// long-lived servers carry over (burned one-day
+				// infra drops out of rebuilt configs, preserving
+				// its one-day observed lifespan).
+				camp.packs++
+				sameDay := date.Sub(camp.born) < 24*time.Hour
+				for _, c := range camp.c2s {
+					if !sameDay && !c.Sticky {
+						continue
+					}
+					bind(c, idx, date)
+					s.C2Refs = append(s.C2Refs, c.Address)
+					if firstC2 == nil {
+						firstC2 = c
+					}
+				}
+			} else {
+				nRefs := cfg.RefsPerSampleMin + rng.Intn(cfg.RefsPerSampleMax-cfg.RefsPerSampleMin+1)
+				used := map[string]bool{}
+				camp := &campaign{born: date}
+				for i := 0; i < nRefs; i++ {
+					c := ps.pickC2(family, variant, date, used)
+					if used[c.Address] {
+						continue
+					}
+					used[c.Address] = true
+					bind(c, idx, date)
+					s.C2Refs = append(s.C2Refs, c.Address)
+					camp.c2s = append(camp.c2s, c)
+					if firstC2 == nil {
+						firstC2 = c
+					}
+				}
+				if ps.campaigns == nil {
+					ps.campaigns = map[string][]*campaign{}
+				}
+				ps.campaigns[family] = append(ps.campaigns[family], camp)
+			}
+			// Proliferation behavior.
+			if (family == "mirai" || family == "gafgyt") && rng.Float64() < cfg.ExploitShare/0.64 {
+				// 0.64 = combined mirai+gafgyt share, so the overall
+				// exploit-armed rate lands at ExploitShare.
+				kit := exploitKit(rng)
+				s.ExploitIDs = kit
+				byKey := vuln.ByKey()
+				portSet := map[uint16]bool{23: true}
+				for _, k := range kit {
+					portSet[byKey[k].Port] = true
+				}
+				for p := range portSet {
+					s.ScanPorts = append(s.ScanPorts, p)
+				}
+				sort.Slice(s.ScanPorts, func(i, j int) bool { return s.ScanPorts[i] < s.ScanPorts[j] })
+				s.LoaderName = loaderName(rng)
+				s.DownloaderAddr = ps.downloaderFor(firstC2)
+			} else if rng.Float64() < 0.5 {
+				s.ScanPorts = []uint16{23, 2323}
+			}
+		} else {
+			s.ScanPorts = []uint16{23}
+		}
+		ps.samples = append(ps.samples, s)
+	}
+	ps.rebalanceSharing()
+	// Decoy feed entries for other architectures (~8 % on top of
+	// the MIPS population): real feeds are mixed and the collection
+	// filter (§2.2) must skip non-MIPS 32B downloads.
+	decoys := cfg.TotalSamples * 8 / 100
+	for i := 0; i < decoys; i++ {
+		date := dates[rng.Intn(len(dates))]
+		arch := binfmt.ArchARM32LE
+		if rng.Intn(2) == 1 {
+			arch = binfmt.ArchX86_64
+		}
+		ps.samples = append(ps.samples, &SampleSpec{
+			Index: len(ps.samples), Date: date,
+			Family: "gafgyt", Variant: "v1",
+			ForeignArch: arch,
+			Seed:        cfg.Seed*1_000_003 + int64(len(ps.samples)),
+		})
+	}
+	return ps
+}
+
+// rebalanceSharing is a repair pass enforcing Figure 5's
+// samples-per-C2 histogram: the emergent campaign/pool process gets
+// the right scale, and this pass moves the tier shares onto the
+// paper's ~40 % singles / ~20 % >10 split by adding same-day (and,
+// for sticky C2s, in-window) bindings. It never removes bindings,
+// so every other invariant (lifespans, AS mix, liveness) survives.
+func (ps *populationState) rebalanceSharing() {
+	rng := ps.rng
+	// Index samples by family and day for binding additions.
+	byFamDay := map[string]map[string][]*SampleSpec{}
+	for _, s := range ps.samples {
+		if s.P2P || s.ForeignArch != binfmt.ArchMIPS32BE {
+			continue
+		}
+		if byFamDay[s.Family] == nil {
+			byFamDay[s.Family] = map[string][]*SampleSpec{}
+		}
+		dk := dayKey(s.Date)
+		byFamDay[s.Family][dk] = append(byFamDay[s.Family][dk], s)
+	}
+	hasRef := func(s *SampleSpec, addr string) bool {
+		for _, r := range s.C2Refs {
+			if r == addr {
+				return true
+			}
+		}
+		return false
+	}
+	// addBindings grows cs to target multiplicity using samples
+	// published within [FirstRef, FirstRef+window].
+	addBindings := func(cs *C2Spec, target int, window time.Duration) {
+		for day := 0; day <= int(window/(24*time.Hour)); day++ {
+			date := cs.FirstRef.AddDate(0, 0, day)
+			for _, s := range byFamDay[cs.Family][dayKey(date)] {
+				if len(cs.SampleIdx) >= target {
+					return
+				}
+				if len(s.C2Refs) >= ps.cfg.RefsPerSampleMax+1 || hasRef(s, cs.Address) {
+					continue
+				}
+				s.C2Refs = append(s.C2Refs, cs.Address)
+				bind(cs, s.Index, s.Date)
+			}
+		}
+	}
+
+	var singles, total int
+	for _, cs := range ps.c2s {
+		if k := len(cs.SampleIdx); k > 0 {
+			total++
+			if k == 1 {
+				singles++
+			}
+		}
+	}
+	wantSingles := int(0.40 * float64(total))
+	wantBig := int(0.17 * float64(total))
+
+	// Pass 1: convert excess singles into the 2-8 tier (same-day
+	// additions keep their one-day observed lifespan).
+	for _, cs := range ps.order {
+		if singles <= wantSingles {
+			break
+		}
+		if len(cs.SampleIdx) != 1 || cs.AttackLauncher || cs.Elusive {
+			continue
+		}
+		before := len(cs.SampleIdx)
+		addBindings(cs, 2+rng.Intn(6), 0)
+		if len(cs.SampleIdx) > before {
+			singles--
+		}
+	}
+	// Pass 2: promote sticky mid-tier C2s into the >10 tier using
+	// their in-window days.
+	big := 0
+	for _, cs := range ps.c2s {
+		if len(cs.SampleIdx) > 10 {
+			big++
+		}
+	}
+	for _, cs := range ps.order {
+		if big >= wantBig {
+			break
+		}
+		k := len(cs.SampleIdx)
+		if k < 2 || k > 10 || !cs.Sticky || cs.AttackLauncher || cs.Elusive {
+			continue
+		}
+		window := cs.Death.Sub(cs.FirstRef)
+		if window < 24*time.Hour {
+			window = 5 * 24 * time.Hour
+		}
+		addBindings(cs, 11+rng.Intn(6), window)
+		if len(cs.SampleIdx) > 10 {
+			big++
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package yara implements a minimal YARA-style rule engine: named
+// rules with text/hex string patterns and an "any / all / N of them"
+// condition, matched over raw sample bytes. The pipeline uses it the
+// way the paper uses crowd-sourced VirusTotal YARA rules: assigning a
+// malware family label to a binary.
+package yara
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Pattern is one string definition inside a rule.
+type Pattern struct {
+	// ID is the $name of the pattern (informational).
+	ID string
+	// Bytes is the literal byte sequence to search for.
+	Bytes []byte
+	// NoCase matches ASCII case-insensitively.
+	NoCase bool
+}
+
+// Text builds a case-sensitive text pattern.
+func Text(id, s string) Pattern { return Pattern{ID: id, Bytes: []byte(s)} }
+
+// TextNoCase builds a case-insensitive text pattern.
+func TextNoCase(id, s string) Pattern { return Pattern{ID: id, Bytes: []byte(s), NoCase: true} }
+
+// Hex builds a pattern from a hex literal like "7f454c46".
+func Hex(id, h string) (Pattern, error) {
+	b, err := hex.DecodeString(strings.ReplaceAll(h, " ", ""))
+	if err != nil {
+		return Pattern{}, fmt.Errorf("yara: bad hex pattern %s: %w", id, err)
+	}
+	return Pattern{ID: id, Bytes: b}, nil
+}
+
+// MustHex is Hex for static rule tables; it panics on bad input.
+func MustHex(id, h string) Pattern {
+	p, err := Hex(id, h)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Condition tells how many patterns must match.
+type Condition struct {
+	// MinMatches is the required number of matching patterns;
+	// 0 means all patterns.
+	MinMatches int
+}
+
+// Any requires at least one pattern.
+func Any() Condition { return Condition{MinMatches: 1} }
+
+// All requires every pattern.
+func All() Condition { return Condition{} }
+
+// AtLeast requires n patterns.
+func AtLeast(n int) Condition { return Condition{MinMatches: n} }
+
+// Rule is one named detection rule.
+type Rule struct {
+	// Name identifies the rule (e.g. "mirai_generic").
+	Name string
+	// Tags carry metadata; the family tag is what the pipeline
+	// consumes.
+	Tags []string
+	// Patterns are the rule's string definitions.
+	Patterns []Pattern
+	// Cond is the match condition over Patterns.
+	Cond Condition
+}
+
+// Match reports whether the rule matches data.
+func (r *Rule) Match(data []byte) bool {
+	need := r.Cond.MinMatches
+	if need <= 0 || need > len(r.Patterns) {
+		need = len(r.Patterns)
+	}
+	matched := 0
+	for _, p := range r.Patterns {
+		if matchPattern(data, p) {
+			matched++
+			if matched >= need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func matchPattern(data []byte, p Pattern) bool {
+	if len(p.Bytes) == 0 {
+		return false
+	}
+	if !p.NoCase {
+		return bytes.Contains(data, p.Bytes)
+	}
+	lower := bytes.ToLower(data)
+	return bytes.Contains(lower, bytes.ToLower(p.Bytes))
+}
+
+// Set is an ordered collection of rules.
+type Set struct {
+	rules []Rule
+}
+
+// NewSet builds a rule set.
+func NewSet(rules ...Rule) *Set { return &Set{rules: rules} }
+
+// Add appends a rule.
+func (s *Set) Add(r Rule) { s.rules = append(s.rules, r) }
+
+// Len returns the number of rules.
+func (s *Set) Len() int { return len(s.rules) }
+
+// Match returns the names of every matching rule, in rule order.
+func (s *Set) Match(data []byte) []string {
+	var out []string
+	for i := range s.rules {
+		if s.rules[i].Match(data) {
+			out = append(out, s.rules[i].Name)
+		}
+	}
+	return out
+}
+
+// FamilyOf returns the family tag of the first matching rule that
+// has one, or "".
+func (s *Set) FamilyOf(data []byte) string {
+	for i := range s.rules {
+		r := &s.rules[i]
+		if len(r.Tags) == 0 || !r.Match(data) {
+			continue
+		}
+		for _, t := range r.Tags {
+			if f, ok := strings.CutPrefix(t, "family:"); ok {
+				return f
+			}
+		}
+	}
+	return ""
+}
+
+// IoTFamilies returns the crowd-sourced-style rule set covering the
+// seven families of the study (Table 6), keyed on the artifacts real
+// samples of each family carry.
+func IoTFamilies() *Set {
+	elf := MustHex("elf_magic", "7f454c46")
+	return NewSet(
+		Rule{
+			Name: "mirai_generic", Tags: []string{"family:mirai"},
+			Patterns: []Pattern{elf, Text("busybox", "/bin/busybox MIRAI"), Text("tun0", "listening tun0")},
+			Cond:     AtLeast(2),
+		},
+		Rule{
+			Name: "gafgyt_generic", Tags: []string{"family:gafgyt"},
+			Patterns: []Pattern{elf, Text("pong", "PONG!"), Text("report", "REPORT %s:%s"), Text("infect", "gafgyt.infect")},
+			Cond:     AtLeast(2),
+		},
+		Rule{
+			Name: "tsunami_irc", Tags: []string{"family:tsunami"},
+			Patterns: []Pattern{elf, Text("nick", "NICK %s"), Text("notice", "NOTICE %s :TSUNAMI"), Text("kaiten", "kaiten.c")},
+			Cond:     AtLeast(2),
+		},
+		Rule{
+			Name: "daddyl33t_qbotmod", Tags: []string{"family:daddyl33t"},
+			Patterns: []Pattern{elf, Text("udpraw", "UDPRAW"), Text("hydra", "HYDRASYN"), Text("army", "daddyl33t-army")},
+			Cond:     AtLeast(2),
+		},
+		Rule{
+			Name: "mozi_p2p", Tags: []string{"family:mozi"},
+			Patterns: []Pattern{elf, Text("dht", "dht.transmissionbt.com"), Text("cfgkey", "Mozi.m")},
+			Cond:     AtLeast(2),
+		},
+		Rule{
+			Name: "hajime_p2p", Tags: []string{"family:hajime"},
+			Patterns: []Pattern{elf, Text("atk", "atk.airdropmalware"), Text("stage2", "stage2.bin")},
+			Cond:     AtLeast(2),
+		},
+		Rule{
+			Name: "vpnfilter_apt", Tags: []string{"family:vpnfilter"},
+			Patterns: []Pattern{elf, Text("run", "/var/run/vpnfilterw"), Text("stage1", "vpnfilter-stage1")},
+			Cond:     AtLeast(2),
+		},
+	)
+}

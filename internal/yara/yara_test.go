@@ -1,0 +1,134 @@
+package yara
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"malnet/internal/binfmt"
+)
+
+func TestTextPatternMatches(t *testing.T) {
+	r := Rule{Name: "r", Patterns: []Pattern{Text("a", "busybox")}, Cond: Any()}
+	if !r.Match([]byte("xx /bin/busybox MIRAI yy")) {
+		t.Fatal("text pattern did not match")
+	}
+	if r.Match([]byte("nothing here")) {
+		t.Fatal("text pattern matched absent string")
+	}
+}
+
+func TestNoCasePattern(t *testing.T) {
+	r := Rule{Name: "r", Patterns: []Pattern{TextNoCase("a", "MiRaI")}, Cond: Any()}
+	if !r.Match([]byte("this is mirai malware")) {
+		t.Fatal("nocase pattern did not match")
+	}
+}
+
+func TestCaseSensitiveByDefault(t *testing.T) {
+	r := Rule{Name: "r", Patterns: []Pattern{Text("a", "MIRAI")}, Cond: Any()}
+	if r.Match([]byte("mirai lowercase")) {
+		t.Fatal("case-sensitive pattern matched different case")
+	}
+}
+
+func TestHexPattern(t *testing.T) {
+	p, err := Hex("elf", "7f 45 4c 46")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Rule{Name: "r", Patterns: []Pattern{p}, Cond: Any()}
+	if !r.Match([]byte{0x00, 0x7f, 'E', 'L', 'F', 0x01}) {
+		t.Fatal("hex pattern did not match")
+	}
+}
+
+func TestHexPatternBadInput(t *testing.T) {
+	if _, err := Hex("bad", "zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+func TestAllConditionRequiresEveryPattern(t *testing.T) {
+	r := Rule{
+		Name:     "r",
+		Patterns: []Pattern{Text("a", "one"), Text("b", "two")},
+		Cond:     All(),
+	}
+	if !r.Match([]byte("one and two")) {
+		t.Fatal("all-condition failed with both present")
+	}
+	if r.Match([]byte("only one")) {
+		t.Fatal("all-condition matched with one missing")
+	}
+}
+
+func TestAtLeastCondition(t *testing.T) {
+	r := Rule{
+		Name:     "r",
+		Patterns: []Pattern{Text("a", "aa"), Text("b", "bb"), Text("c", "cc")},
+		Cond:     AtLeast(2),
+	}
+	if !r.Match([]byte("aa bb")) {
+		t.Fatal("2 of 3 did not satisfy AtLeast(2)")
+	}
+	if r.Match([]byte("aa only")) {
+		t.Fatal("1 of 3 satisfied AtLeast(2)")
+	}
+}
+
+func TestEmptyPatternNeverMatches(t *testing.T) {
+	r := Rule{Name: "r", Patterns: []Pattern{{ID: "empty"}}, Cond: Any()}
+	if r.Match([]byte("anything")) {
+		t.Fatal("empty pattern matched")
+	}
+}
+
+func TestSetMatchOrder(t *testing.T) {
+	s := NewSet(
+		Rule{Name: "first", Patterns: []Pattern{Text("a", "x")}, Cond: Any()},
+		Rule{Name: "second", Patterns: []Pattern{Text("a", "y")}, Cond: Any()},
+	)
+	got := s.Match([]byte("x and y"))
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIoTFamiliesClassifyEncodedSamples(t *testing.T) {
+	rules := IoTFamilies()
+	for _, family := range []string{"mirai", "gafgyt", "tsunami", "daddyl33t", "mozi", "hajime", "vpnfilter"} {
+		cfg := binfmt.BotConfig{Family: family, Variant: "v1", C2Addrs: []string{"192.0.2.1:1"}}
+		if family == "mozi" || family == "hajime" {
+			cfg.P2P = true
+			cfg.C2Addrs = nil
+		}
+		raw, err := binfmt.Encode(cfg, rand.New(rand.NewSource(42)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rules.FamilyOf(raw); got != family {
+			t.Errorf("FamilyOf(%s sample) = %q", family, got)
+		}
+	}
+}
+
+func TestIoTFamiliesNoFalsePositiveOnBenign(t *testing.T) {
+	rules := IoTFamilies()
+	benign := []byte("#!/bin/sh\necho hello world\n")
+	if got := rules.FamilyOf(benign); got != "" {
+		t.Fatalf("benign classified as %q", got)
+	}
+}
+
+func TestQuickPatternAlwaysFindsEmbedded(t *testing.T) {
+	f := func(prefix, suffix []byte) bool {
+		needle := []byte("NEEDLE-7f")
+		data := append(append(append([]byte{}, prefix...), needle...), suffix...)
+		r := Rule{Name: "r", Patterns: []Pattern{Text("n", string(needle))}, Cond: Any()}
+		return r.Match(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

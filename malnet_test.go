@@ -1,0 +1,122 @@
+package malnet_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"malnet"
+	"malnet/internal/binfmt"
+	"malnet/internal/simclock"
+	"malnet/internal/simnet"
+	"malnet/internal/world"
+)
+
+// TestPublicAPISmoke drives the façade the way README's snippet
+// does: generate a world, run the study, inspect the datasets.
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := malnet.DefaultWorldConfig(13)
+	cfg.TotalSamples = 80
+	w := malnet.GenerateWorld(cfg)
+	scfg := malnet.DefaultStudyConfig(13)
+	scfg.Probing = false
+	st := malnet.RunStudy(w, scfg)
+	if len(st.Samples) == 0 || len(st.C2s) == 0 {
+		t.Fatalf("samples=%d c2s=%d", len(st.Samples), len(st.C2s))
+	}
+}
+
+// TestPublicSandboxAPI exercises the sandbox aliases end to end.
+func TestPublicSandboxAPI(t *testing.T) {
+	clock := simclock.New(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
+	net := simnet.New(clock, simnet.DefaultConfig())
+	sb := malnet.NewSandbox(net, malnet.SandboxConfig{Seed: 1})
+	raw, err := binfmt.Encode(binfmt.BotConfig{
+		Family: "mirai", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sb.Run(raw, malnet.RunOptions{Mode: malnet.ModeIsolated, Duration: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := malnet.DetectC2(rep, 2)
+	if len(cands) != 1 || cands[0].Address != "60.0.0.9:23" {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	if got := malnet.ClassifyExploits(rep); len(got) != 0 {
+		t.Fatalf("unexpected exploits: %d", len(got))
+	}
+}
+
+// TestTimelinessDelayDegradesLiveRate is the unit-level counterpart
+// of the analysis-delay ablation: with one-day C2 lifespans, a
+// week's delay destroys day-0 liveness.
+func TestTimelinessDelayDegradesLiveRate(t *testing.T) {
+	liveRate := func(delay int) float64 {
+		wcfg := world.DefaultConfig(17)
+		wcfg.TotalSamples = 120
+		w := world.Generate(wcfg)
+		scfg := malnet.DefaultStudyConfig(17)
+		scfg.Probing = false
+		scfg.AnalysisDelayDays = delay
+		st := malnet.RunStudy(w, scfg)
+		var withC2, live int
+		for _, s := range st.Samples {
+			if s.P2P || len(s.C2s) == 0 {
+				continue
+			}
+			withC2++
+			if s.LiveDay0 {
+				live++
+			}
+		}
+		if withC2 == 0 {
+			t.Fatal("no C2 samples")
+		}
+		return float64(live) / float64(withC2)
+	}
+	sameDay := liveRate(0)
+	week := liveRate(7)
+	if sameDay < 0.25 {
+		t.Fatalf("same-day live rate = %.3f, want ~0.40", sameDay)
+	}
+	if week >= sameDay/2 {
+		t.Fatalf("7-day-delay live rate %.3f did not collapse vs same-day %.3f", week, sameDay)
+	}
+}
+
+func TestRenderSurface(t *testing.T) {
+	cfg := malnet.DefaultWorldConfig(19)
+	cfg.TotalSamples = 80
+	w := malnet.GenerateWorld(cfg)
+	scfg := malnet.DefaultStudyConfig(19)
+	scfg.ProbeRounds = 6
+	st := malnet.RunStudy(w, scfg)
+	for n := 1; n <= 7; n++ {
+		out, err := malnet.RenderTable(st, n)
+		if err != nil || len(out) < 10 {
+			t.Fatalf("table %d: %v %q", n, err, out)
+		}
+	}
+	for n := 1; n <= 13; n++ {
+		out, err := malnet.RenderFigure(st, n)
+		if err != nil || len(out) < 10 {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+	}
+	if _, err := malnet.RenderTable(st, 99); err == nil {
+		t.Fatal("table 99 rendered")
+	}
+	if _, err := malnet.RenderFigure(st, 0); err == nil {
+		t.Fatal("figure 0 rendered")
+	}
+	all := malnet.RenderAll(st)
+	for _, want := range []string{"Table 1", "Figure 13", "Headline findings", "detection quality"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("RenderAll missing %q", want)
+		}
+	}
+}
