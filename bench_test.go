@@ -10,6 +10,7 @@
 package malnet_test
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -317,6 +318,27 @@ func BenchmarkSandboxIsolatedRun(b *testing.B) {
 		if _, err := sb.Run(raw, sandbox.RunOptions{Mode: sandbox.ModeIsolated, Duration: 15 * time.Minute}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStudyWorkers measures the parallel executor's scaling on
+// the default paper-scale world. Worker counts beyond the machine's
+// core count cannot buy wall-clock time (the study is CPU-bound), so
+// on an N-core machine expect speedup to flatten at N; the rendered
+// datasets are byte-identical at every worker count either way.
+func BenchmarkStudyWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := world.Generate(world.DefaultConfig(42))
+				cfg := core.DefaultStudyConfig(42)
+				cfg.Workers = workers
+				b.StartTimer()
+				st := core.RunStudy(w, cfg)
+				b.ReportMetric(float64(len(st.Samples)), "samples")
+			}
+		})
 	}
 }
 

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-samples N] [-probe-rounds N] [-short]
-//	            [-table N] [-figure N] [-headlines] [-all]
+//	experiments [-seed N] [-samples N] [-probe-rounds N] [-workers N]
+//	            [-short] [-table N] [-figure N] [-headlines] [-all]
 //
 // With no selector it prints everything. -short runs a scaled-down
 // study (150 samples, 12 probe rounds) in a few seconds; the default
@@ -27,6 +27,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "world and pipeline seed")
 		samples     = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
 		probeRounds = flag.Int("probe-rounds", 0, "probing rounds (0 = paper's 84)")
+		workers     = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
 		short       = flag.Bool("short", false, "scaled-down study (fast)")
 		table       = flag.Int("table", 0, "print only table N (1-7)")
 		figure      = flag.Int("figure", 0, "print only figure N (1-13)")
@@ -52,6 +53,7 @@ func main() {
 	if *probeRounds > 0 {
 		scfg.ProbeRounds = *probeRounds
 	}
+	scfg.Workers = *workers
 
 	fmt.Fprintf(os.Stderr, "generating world (seed=%d, samples=%d)...\n", *seed, wcfg.TotalSamples)
 	start := time.Now()

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	malnet [-seed N] [-samples N] [-short] [-out DIR]
+//	malnet [-seed N] [-samples N] [-workers N] [-short] [-out DIR]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 42, "world and pipeline seed")
 		samples = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
+		workers = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
 		short   = flag.Bool("short", false, "scaled-down study")
 		out     = flag.String("out", "malnet-out", "output directory")
 	)
@@ -32,6 +33,7 @@ func main() {
 
 	wcfg := world.DefaultConfig(*seed)
 	scfg := core.DefaultStudyConfig(*seed)
+	scfg.Workers = *workers
 	if *short {
 		wcfg.TotalSamples = 150
 		scfg.ProbeRounds = 12

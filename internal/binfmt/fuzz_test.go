@@ -1,0 +1,81 @@
+package binfmt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeedCorpus builds representative encoder outputs: the shapes
+// the collection filter actually downloads, which the mutator then
+// truncates and corrupts.
+func fuzzSeedCorpus(f *testing.F) [][]byte {
+	f.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var corpus [][]byte
+	for _, cfg := range []BotConfig{
+		{Family: "mirai", Variant: "v1", C2Addrs: []string{"cnc.example.net:23"},
+			ScanPorts: []uint16{23, 2323}, ExploitIDs: []string{"gpon-8080"},
+			LoaderName: "mips.bot", DownloaderAddr: "203.0.113.9:80"},
+		{Family: "gafgyt", Variant: "v2", C2Addrs: []string{"198.51.100.7:443"},
+			Evasion: "strict"},
+		{Family: "mozi", Variant: "v1", P2P: true, ScanPorts: []uint16{23}},
+	} {
+		raw, err := Encode(cfg, rng, []string{"/tmp/loader.sh"})
+		if err != nil {
+			f.Fatalf("encoding corpus sample: %v", err)
+		}
+		corpus = append(corpus, raw)
+	}
+	foreign, err := EncodeForeign(ArchARM32LE, rng)
+	if err != nil {
+		f.Fatalf("encoding foreign corpus sample: %v", err)
+	}
+	return append(corpus, foreign)
+}
+
+// FuzzParseELF asserts the feed-facing parsing surface never panics:
+// the collection filter runs SniffArch and Parse on every downloaded
+// blob, and the sandbox runs ExtractConfig on everything Parse
+// accepts, so all three must degrade to errors on hostile bytes.
+func FuzzParseELF(f *testing.F) {
+	for _, raw := range fuzzSeedCorpus(f) {
+		f.Add(raw)
+		// Truncations at structure boundaries: mid-ident,
+		// mid-header, mid-section-table.
+		for _, n := range []int{0, 3, 17, 51, 52, 100, len(raw) / 2, len(raw) - 1} {
+			if n >= 0 && n < len(raw) {
+				f.Add(raw[:n])
+			}
+		}
+		// Header corruptions: section counts, offsets, and the
+		// string-table index live in the first 52 bytes.
+		for off := 0; off < 52; off += 7 {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Errors are fine — panics and runaway allocations are not.
+		if _, err := SniffArch(raw); err != nil {
+			// A blob the sniffer rejects is dropped by the
+			// collection filter; Parse must still be safe on it
+			// because other tools call Parse directly.
+			_ = err
+		}
+		bin, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		if bin.SHA256 == "" {
+			t.Fatal("parsed binary without SHA256")
+		}
+		// Section lookups and config extraction over whatever
+		// section table survived parsing.
+		_ = bin.Section(".botcfg")
+		if _, err := ExtractConfig(bin); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"malnet/internal/avclass"
+	"malnet/internal/binfmt"
+	"malnet/internal/c2"
+	"malnet/internal/sandbox"
+	"malnet/internal/simclock"
+	"malnet/internal/world"
+	"malnet/internal/yara"
+)
+
+// The parallel study executor.
+//
+// analyzeSample used to be one sequential function; it is now split
+// into three stages with different sharing requirements:
+//
+//   - prepare (serial, feed order): encode the binary and publish it
+//     to the intel feed. Registration mutates the intel DB, so it
+//     stays on the merge goroutine; encoding is pure per-sample and
+//     runs in the pool first.
+//   - static + isolated (parallel): arch sniff, intel gate,
+//     YARA/AVClass labeling, and the isolated sandbox run. Every
+//     worker owns a private shard — its own simclock.Clock and
+//     simnet.Network — so nothing here touches the world clock or
+//     net. Isolated-mode runs never needed the rest of the world:
+//     InetSim answers everything and scanned addresses are dead air.
+//   - merge + live (serial, feed order): fold counters and records
+//     into the Study and run the day-0 liveness / DDoS-watch windows
+//     on the shared sandbox, advancing the shared world clock exactly
+//     as the sequential pipeline did.
+//
+// Determinism at any worker count follows from three properties:
+// every parallel stage is a pure function of (world seed, sample),
+// shards are rebuilt from seed state per sample so no cross-sample
+// state survives, and all mutation of shared state happens on one
+// goroutine in stable feed order.
+
+// shard is one worker's private sandbox slot: a clock the worker owns
+// plus the seed state to rebuild a fresh network and sandbox around
+// it for every sample.
+type shard struct {
+	clock *simclock.Clock
+	seed  int64
+	dns   world.Resolver
+}
+
+// run executes one isolated activation at virtual time `at` on a
+// freshly built sandbox, so no scheduled event, latency cache entry,
+// or ephemeral-port cursor can leak between samples.
+func (sh *shard) run(at time.Time, raw []byte, opts sandbox.RunOptions) (*sandbox.Report, error) {
+	sh.clock.Reset(at)
+	return sandbox.NewShard(sh.clock, sh.seed, sh.dns).Run(raw, opts)
+}
+
+// sampleOutcome carries one feed entry through the pipeline stages.
+// Parallel stages write only their own outcome; the merge stage reads
+// them in feed order.
+type sampleOutcome struct {
+	spec *world.SampleSpec
+	// at is the shared-clock time the batch started; shard clocks
+	// anchor here so reports are timestamped identically at any
+	// worker count.
+	at  time.Time
+	raw []byte // nil: encode/publish failed, skip silently
+
+	filtered bool           // non-MIPS, counted in FilteredArch
+	rejected bool           // under the MinEngines bar
+	rec      *SampleRecord  // accepted sample, pending merge
+	isoOK    bool           // isolated run completed
+	isoCands []C2Candidate  // DetectC2 over the isolated report
+}
+
+// executor owns the worker pool. One executor serves a whole study;
+// each daily batch dispatches into it twice (encode, then
+// static+isolated) and merges in between on the caller's goroutine.
+type executor struct {
+	ctx     context.Context
+	tasks   chan func(*shard)
+	batch   sync.WaitGroup // outstanding tasks of the current dispatch
+	workers sync.WaitGroup // live worker goroutines
+}
+
+// resolveWorkers maps the StudyConfig.Workers knob to a pool size:
+// 0 means GOMAXPROCS, anything below 1 is clamped to 1.
+func resolveWorkers(n int) int {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// newExecutor starts n workers, each owning one shard. The shard
+// clock's anchor is reset per sample, so the start value is
+// irrelevant; the world's start keeps timestamps plausible if a bug
+// ever leaks one.
+func newExecutor(ctx context.Context, n int, seed int64, dns world.Resolver, start time.Time) *executor {
+	ex := &executor{
+		ctx:   ctx,
+		tasks: make(chan func(*shard), n),
+	}
+	ex.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer ex.workers.Done()
+			sh := &shard{clock: simclock.New(start), seed: seed, dns: dns}
+			for fn := range ex.tasks {
+				fn(sh)
+				ex.batch.Done()
+			}
+		}()
+	}
+	return ex
+}
+
+// close shuts the pool down and waits for every worker to exit, so a
+// finished (or cancelled) study leaves no goroutines behind.
+func (ex *executor) close() {
+	close(ex.tasks)
+	ex.workers.Wait()
+}
+
+// dispatch fans fn out over n indices and waits for all of them.
+// On cancellation it stops feeding the pool, waits for in-flight
+// tasks, and returns the context error; tasks already queued see the
+// cancelled context and return without working.
+func (ex *executor) dispatch(n int, fn func(sh *shard, i int)) error {
+	ex.batch.Add(n)
+	sent := 0
+	for i := 0; i < n && ex.ctx.Err() == nil; i++ {
+		i := i
+		select {
+		case ex.tasks <- func(sh *shard) {
+			if ex.ctx.Err() == nil {
+				fn(sh, i)
+			}
+		}:
+			sent++
+		case <-ex.ctx.Done():
+		}
+	}
+	for j := sent; j < n; j++ {
+		ex.batch.Done()
+	}
+	ex.batch.Wait()
+	return ex.ctx.Err()
+}
+
+// runBatch pushes one day's feed through the staged pipeline.
+func (st *Study) runBatch(ex *executor, sb *sandbox.Sandbox, specs []*world.SampleSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	at := st.W.Clock.Now()
+	outs := make([]*sampleOutcome, len(specs))
+	for i, spec := range specs {
+		outs[i] = &sampleOutcome{spec: spec, at: at}
+	}
+
+	// Encode (parallel, pure per-sample: SampleSpec memoization is
+	// single-writer here).
+	if err := ex.dispatch(len(outs), func(_ *shard, i int) {
+		if raw, err := outs[i].spec.Binary(); err == nil {
+			outs[i].raw = raw
+		}
+	}); err != nil {
+		return err
+	}
+
+	// Publish (serial, feed order: intel registration mutates the
+	// shared DB and must precede this batch's scans).
+	for _, out := range outs {
+		if out.raw == nil {
+			continue
+		}
+		if err := st.W.PublishSample(out.spec); err != nil {
+			out.raw = nil
+		}
+	}
+
+	// Static analysis + isolated activation (parallel, per-worker
+	// shards).
+	if err := ex.dispatch(len(outs), func(sh *shard, i int) {
+		st.analyzeStatic(sh, outs[i])
+	}); err != nil {
+		return err
+	}
+
+	// Merge + live windows (serial, feed order, shared clock).
+	for _, out := range outs {
+		st.mergeOutcome(sb, out)
+	}
+	return nil
+}
+
+// analyzeStatic is the parallel stage: collection filters, labeling,
+// and the isolated sandbox run (§2.2–§2.4), all pure per-sample.
+func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
+	raw := out.raw
+	if raw == nil {
+		return
+	}
+	// Collection filter: the study analyzes MIPS 32B only (§2.2).
+	if arch, err := binfmt.SniffArch(raw); err != nil || arch != binfmt.ArchMIPS32BE {
+		out.filtered = true
+		return
+	}
+	sha, _ := out.spec.SHA256()
+
+	// Collection gate: >= MinEngines corroborating detections.
+	dets := st.W.Intel.ScanSample(sha, out.at)
+	if avclass.MaliciousCount(dets) < st.Cfg.MinEngines {
+		out.rejected = true
+		return
+	}
+	rec := &SampleRecord{SHA: sha, Date: out.spec.Date, Detections: len(dets)}
+	rules := yara.IoTFamilies()
+	rec.FamilyYARA = rules.FamilyOf(raw)
+	rec.FamilyAVClass, _ = avclass.Label(dets)
+	rec.Family = rec.FamilyYARA
+	if rec.Family == "" {
+		rec.Family = rec.FamilyAVClass
+	}
+	rec.P2P = rec.Family == c2.FamilyMozi || rec.Family == c2.FamilyHajime
+	out.rec = rec
+
+	// Isolated run: C2 detection and exploit capture.
+	isoRep, err := sh.run(out.at, raw, sandbox.RunOptions{
+		Mode:                sandbox.ModeIsolated,
+		Duration:            st.Cfg.SandboxWindow,
+		HandshakerThreshold: st.Cfg.HandshakerThreshold,
+	})
+	if err != nil {
+		return
+	}
+	out.isoOK = true
+	rec.Activated = isoRep.Activated
+	rec.Exploits = ClassifyExploits(isoRep)
+	out.isoCands = DetectC2(isoRep, 2)
+}
+
+// mergeOutcome folds one outcome into the Study and, for accepted
+// non-P2P samples, runs the live windows on the shared sandbox.
+func (st *Study) mergeOutcome(sb *sandbox.Sandbox, out *sampleOutcome) {
+	switch {
+	case out.filtered:
+		st.FilteredArch++
+	case out.rejected:
+		st.Rejected++
+	case out.rec != nil:
+		rec := out.rec
+		st.Samples = append(st.Samples, rec)
+		st.Exploits = append(st.Exploits, rec.Exploits...)
+		if !out.isoOK {
+			return
+		}
+		if rec.P2P {
+			return // P2P samples are filtered out of D-C2s (§2.3a)
+		}
+		st.liveStage(sb, rec, out.raw, out.isoCands)
+	}
+}

@@ -1,17 +1,15 @@
 package core
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 	"time"
 
-	"malnet/internal/avclass"
-	"malnet/internal/binfmt"
 	"malnet/internal/c2"
 	"malnet/internal/intel"
 	"malnet/internal/sandbox"
 	"malnet/internal/world"
-	"malnet/internal/yara"
 )
 
 // StudyConfig parameterizes the year-long measurement run.
@@ -38,6 +36,11 @@ type StudyConfig struct {
 	// publication day (0 = same-day, the paper's headline
 	// practice; ablations vary it).
 	AnalysisDelayDays int
+	// Workers sizes the worker pool for the parallel static +
+	// isolated-sandbox stage. 0 means GOMAXPROCS; values below 0
+	// are clamped to 1. Study output is byte-identical at every
+	// worker count (see TestParallelStudyEquivalence).
+	Workers int
 }
 
 // DefaultStudyConfig returns the paper's settings.
@@ -167,6 +170,16 @@ func (st *Study) MergedLiveC2s() []*ProbeTarget {
 // cross-validation, exploit capture, DDoS eavesdropping, and (when
 // enabled) the two-week active-probing study.
 func RunStudy(w *world.World, cfg StudyConfig) *Study {
+	st, _ := RunStudyContext(context.Background(), w, cfg)
+	return st
+}
+
+// RunStudyContext is RunStudy with cancellation: when ctx is
+// cancelled the executor stops dispatching, waits for in-flight
+// sandbox runs, shuts the worker pool down, and returns the partial
+// study together with ctx's error. A nil error means the study ran
+// to completion.
+func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Study, error) {
 	if cfg.SandboxWindow <= 0 {
 		cfg.SandboxWindow = 15 * time.Minute
 	}
@@ -210,14 +223,18 @@ func RunStudy(w *world.World, cfg StudyConfig) *Study {
 		})
 	}
 
-	// Daily loop.
+	// Daily loop: each day's feed runs through the staged executor
+	// (encode → publish → parallel static+isolated → serial
+	// merge+live; see executor.go).
+	ex := newExecutor(ctx, resolveWorkers(cfg.Workers), cfg.Seed, w.Resolve, clock.Now())
+	defer ex.close()
 	for day := world.StudyStart(); day.Before(world.StudyEnd()); day = day.AddDate(0, 0, 1) {
 		analysisDay := day.AddDate(0, 0, cfg.AnalysisDelayDays)
 		if clock.Now().Before(analysisDay) {
 			clock.RunUntil(analysisDay)
 		}
-		for _, spec := range w.FeedOn(day) {
-			st.analyzeSample(sb, spec)
+		if err := st.runBatch(ex, sb, w.FeedOn(day)); err != nil {
+			return st, err
 		}
 	}
 	// Drain to study end (late probe rounds, timers).
@@ -231,61 +248,13 @@ func RunStudy(w *world.World, cfg StudyConfig) *Study {
 	clock.RunUntil(end)
 
 	st.finalizeC2Records()
-	return st
+	return st, nil
 }
 
-// analyzeSample runs the per-binary pipeline (§2.2–§2.5) at the
-// current virtual time.
-func (st *Study) analyzeSample(sb *sandbox.Sandbox, spec *world.SampleSpec) {
-	w := st.W
-	if err := w.PublishSample(spec); err != nil {
-		return
-	}
-	raw, err := spec.Binary()
-	if err != nil {
-		return
-	}
-	// Collection filter: the study analyzes MIPS 32B only (§2.2).
-	if arch, err := binfmt.SniffArch(raw); err != nil || arch != binfmt.ArchMIPS32BE {
-		st.FilteredArch++
-		return
-	}
-	sha, _ := spec.SHA256()
-	now := w.Clock.Now()
-
-	// Collection gate: >= MinEngines corroborating detections.
-	dets := w.Intel.ScanSample(sha, now)
-	if avclass.MaliciousCount(dets) < st.Cfg.MinEngines {
-		st.Rejected++
-		return
-	}
-	rec := &SampleRecord{SHA: sha, Date: spec.Date, Detections: len(dets)}
-	rules := yara.IoTFamilies()
-	rec.FamilyYARA = rules.FamilyOf(raw)
-	rec.FamilyAVClass, _ = avclass.Label(dets)
-	rec.Family = rec.FamilyYARA
-	if rec.Family == "" {
-		rec.Family = rec.FamilyAVClass
-	}
-	rec.P2P = rec.Family == c2.FamilyMozi || rec.Family == c2.FamilyHajime
-	st.Samples = append(st.Samples, rec)
-
-	// Isolated run: C2 detection and exploit capture.
-	isoRep, err := sb.Run(raw, sandbox.RunOptions{
-		Mode:                sandbox.ModeIsolated,
-		Duration:            st.Cfg.SandboxWindow,
-		HandshakerThreshold: st.Cfg.HandshakerThreshold,
-	})
-	if err != nil {
-		return
-	}
-	rec.Activated = isoRep.Activated
-	rec.Exploits = ClassifyExploits(isoRep)
-	st.Exploits = append(st.Exploits, rec.Exploits...)
-
-	if rec.P2P {
-		return // P2P samples are filtered out of D-C2s (§2.3a)
-	}
+// liveStage runs the day-0 liveness check and, when a C2 engages, the
+// restricted live watch (§2.5–§2.6) — serialized in feed order on the
+// shared world clock, which these windows advance.
+func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, isoCands []C2Candidate) {
 	// Live check: does any C2 engage today? Restricted egress, per
 	// the containment policy (§2.6).
 	liveRep, err := sb.Run(raw, sandbox.RunOptions{
@@ -300,7 +269,7 @@ func (st *Study) analyzeSample(sb *sandbox.Sandbox, spec *world.SampleSpec) {
 	liveCands := DetectC2(liveRep, 1)
 	// D-C2s takes the union of the isolated and live observations:
 	// anti-sandbox samples reveal their C2s only on the live path.
-	rec.C2s = mergeCandidates(DetectC2(isoRep, 2), liveCands)
+	rec.C2s = mergeCandidates(isoCands, liveCands)
 	st.recordC2s(rec)
 	rec.LiveDay0 = LiveC2(liveCands)
 	st.markLive(liveCands)

@@ -47,3 +47,12 @@ func Intn(seed int64, n int, parts ...string) int {
 	}
 	return int(Hash64(seed, parts...) % uint64(n))
 }
+
+// Seed derives a child RNG seed from a parent seed and key parts.
+// Unlike linear schemes (parent*K + index), nearby keys yield
+// unrelated child streams, so feed order or population size cannot
+// correlate per-sample randomness — the property the parallel
+// executor depends on.
+func Seed(seed int64, parts ...string) int64 {
+	return int64(Hash64(seed, parts...))
+}

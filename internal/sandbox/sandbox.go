@@ -215,6 +215,20 @@ func New(n *simnet.Network, cfg Config) *Sandbox {
 // Host returns the sandbox's infected-device host.
 func (sb *Sandbox) Host() *simnet.Host { return sb.host }
 
+// NewShard installs a sandbox on a private, freshly built network
+// driven by clock — the isolation unit of the parallel study
+// executor. The network is seeded like the shared world net, and
+// since simnet latency is a pure function of (seed, address pair),
+// the shard observes the same delays the world would. It only ever
+// hosts the sandbox trio, which is all an isolated-mode run can
+// reach: InetSim impersonates every C2 and scanned addresses are
+// dead air either way.
+func NewShard(clock *simclock.Clock, seed int64, dns func(name string) (netip.Addr, bool)) *Sandbox {
+	netCfg := simnet.DefaultConfig()
+	netCfg.Seed = seed
+	return New(simnet.New(clock, netCfg), Config{DNS: dns, Seed: seed})
+}
+
 // Run activates raw as a sample for opts.Duration of virtual time
 // and returns the analysis report. The caller drives the clock; Run
 // itself advances it (it is synchronous in virtual time).

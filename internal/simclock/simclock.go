@@ -9,6 +9,14 @@
 //
 // The zero Clock starts at the Unix epoch; use New to pick a study
 // start date.
+//
+// A Clock is owned by exactly one goroutine at a time. The simulation
+// may contain many clocks — the study executor gives every sandbox
+// shard a private clock next to the shared world clock — but each one
+// must only ever be advanced by its owning goroutine. Ownership may
+// move between goroutines (a worker hands its shard's results back to
+// the merger) provided the handoff itself synchronizes, e.g. via a
+// channel send or WaitGroup.
 package simclock
 
 import (
@@ -168,6 +176,20 @@ func (c *Clock) RunUntil(deadline time.Time) int {
 		c.now = deadline
 	}
 	return fired
+}
+
+// Reset discards every pending event and rewinds (or advances) Now to
+// start, returning the clock to its freshly-constructed state. Shard
+// owners use it to re-anchor a private clock between sandbox runs so
+// stale callbacks from an earlier sample can never fire into a later
+// one. Resetting while RunUntil is on the stack panics.
+func (c *Clock) Reset(start time.Time) {
+	if c.running {
+		panic("simclock: Reset during RunUntil")
+	}
+	c.now = start
+	c.queue = nil
+	c.live = make(map[EventID]*event)
 }
 
 // RunFor is RunUntil(Now().Add(d)).

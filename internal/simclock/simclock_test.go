@@ -202,3 +202,55 @@ func TestQuickDrainCountsAllEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Reset must return the clock to a clean slate: no pending events, no
+// surviving callbacks, Now moved to the new anchor even when that is
+// backwards — exactly what shard reuse between sandbox runs needs.
+func TestResetClearsQueueAndRewinds(t *testing.T) {
+	c := New(t0)
+	fired := 0
+	c.After(time.Minute, func() { fired++ })
+	c.After(2*time.Minute, func() { fired++ })
+	c.RunFor(90 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d before reset, want 1", fired)
+	}
+
+	c.Reset(t0.Add(-24 * time.Hour))
+	if got := c.Now(); !got.Equal(t0.Add(-24 * time.Hour)) {
+		t.Fatalf("Now after reset = %v, want %v", got, t0.Add(-24*time.Hour))
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after reset, want 0", c.Pending())
+	}
+	c.RunFor(time.Hour)
+	if fired != 1 {
+		t.Fatalf("stale event fired after reset (fired = %d)", fired)
+	}
+
+	// The reset clock schedules and cancels like a fresh one.
+	id := c.After(time.Minute, func() { fired += 10 })
+	if !c.Cancel(id) {
+		t.Fatal("cancel after reset failed")
+	}
+	c.After(time.Minute, func() { fired += 100 })
+	c.RunFor(2 * time.Minute)
+	if fired != 101 {
+		t.Fatalf("fired = %d after reset schedule, want 101", fired)
+	}
+}
+
+// Resetting mid-run would yank events out from under the dispatch
+// loop; the clock must refuse.
+func TestResetDuringRunPanics(t *testing.T) {
+	c := New(t0)
+	c.After(time.Minute, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset during RunUntil did not panic")
+			}
+		}()
+		c.Reset(t0)
+	})
+	c.RunFor(2 * time.Minute)
+}

@@ -23,10 +23,10 @@ package simnet
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"time"
 
+	"malnet/internal/detrand"
 	"malnet/internal/simclock"
 )
 
@@ -241,7 +241,6 @@ type Network struct {
 	cfg    Config
 	hosts  map[netip.Addr]*Host
 	lat    map[[2]netip.Addr]time.Duration
-	rng    *rand.Rand
 	nextID uint64
 }
 
@@ -258,7 +257,6 @@ func New(clock *simclock.Clock, cfg Config) *Network {
 		cfg:   cfg,
 		hosts: make(map[netip.Addr]*Host),
 		lat:   make(map[[2]netip.Addr]time.Duration),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -287,7 +285,12 @@ func (n *Network) Host(ip netip.Addr) *Host { return n.hosts[ip] }
 func (n *Network) NumHosts() int { return len(n.hosts) }
 
 // Latency returns the deterministic one-way delay between two
-// addresses. The pair is symmetric.
+// addresses. The pair is symmetric, and the delay is a pure function
+// of (network seed, address pair): two networks built from the same
+// seed agree on every pair's latency regardless of traffic order.
+// That pair-local determinism is what lets the study executor give
+// each sandbox shard its own Network and still merge byte-identical
+// results.
 func (n *Network) Latency(a, b netip.Addr) time.Duration {
 	key := [2]netip.Addr{a, b}
 	if b.Less(a) {
@@ -298,7 +301,8 @@ func (n *Network) Latency(a, b netip.Addr) time.Duration {
 	}
 	d := n.cfg.BaseLatency
 	if n.cfg.LatencyJitter > 0 {
-		d += time.Duration(n.rng.Int63n(int64(n.cfg.LatencyJitter)))
+		jitter := detrand.Hash64(n.cfg.Seed, "latency", key[0].String(), key[1].String())
+		d += time.Duration(jitter % uint64(n.cfg.LatencyJitter))
 	}
 	n.lat[key] = d
 	return d

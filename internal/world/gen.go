@@ -8,9 +8,18 @@ import (
 	"time"
 
 	"malnet/internal/binfmt"
+	"malnet/internal/detrand"
 	"malnet/internal/geo"
 	"malnet/internal/vuln"
 )
+
+// sampleSeed derives the per-sample RNG seed. Hash-derived (rather
+// than linear in the feed index) so a sample's binary content is a
+// pure function of (world seed, index) with no correlation between
+// neighboring indices.
+func sampleSeed(worldSeed int64, idx int) int64 {
+	return detrand.Seed(worldSeed, "sample", fmt.Sprintf("%d", idx))
+}
 
 // dayKey buckets times by UTC day.
 func dayKey(t time.Time) string { return t.Format("2006-01-02") }
@@ -401,7 +410,7 @@ func generatePopulation(cfg Config, reg *geo.Registry, rng *rand.Rand) *populati
 		s := &SampleSpec{
 			Index: idx, Date: date,
 			Family: family, Variant: variant, P2P: p2p,
-			Seed: cfg.Seed*1_000_003 + int64(idx),
+			Seed: sampleSeed(cfg.Seed, idx),
 		}
 		// Anti-sandbox gates (§6f): ~8 % of samples defeat even
 		// InetSim (capping the sandbox activation rate near the
@@ -496,7 +505,7 @@ func generatePopulation(cfg Config, reg *geo.Registry, rng *rand.Rand) *populati
 			Index: len(ps.samples), Date: date,
 			Family: "gafgyt", Variant: "v1",
 			ForeignArch: arch,
-			Seed:        cfg.Seed*1_000_003 + int64(len(ps.samples)),
+			Seed:        sampleSeed(cfg.Seed, len(ps.samples)),
 		})
 	}
 	return ps

@@ -123,6 +123,11 @@ type World struct {
 	PlantedElusive int
 }
 
+// Resolver is the signature of a DNS lookup against the world's zone.
+// The zone is immutable once the world is generated, so a Resolver
+// may be called from any number of goroutines concurrently.
+type Resolver func(name string) (netip.Addr, bool)
+
 // Resolve is the world's DNS: the resolver the sandbox consults in
 // live mode.
 func (w *World) Resolve(name string) (netip.Addr, bool) {
