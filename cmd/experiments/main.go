@@ -33,6 +33,8 @@ func main() {
 		figure      = flag.Int("figure", 0, "print only figure N (1-13)")
 		headlines   = flag.Bool("headlines", false, "print only the headline findings")
 		seeds       = flag.Int("seeds", 0, "run a robustness sweep over N seeds and report headline spreads")
+		faults      = flag.Bool("faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
+		faultSeed   = flag.Int64("fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
 	)
 	flag.Parse()
 
@@ -54,6 +56,8 @@ func main() {
 		scfg.ProbeRounds = *probeRounds
 	}
 	scfg.Workers = *workers
+	scfg.Faults = *faults
+	scfg.FaultSeed = *faultSeed
 
 	fmt.Fprintf(os.Stderr, "generating world (seed=%d, samples=%d)...\n", *seed, wcfg.TotalSamples)
 	start := time.Now()
@@ -115,6 +119,9 @@ func main() {
 		}
 		fmt.Println(results.NewHeadlines(st).Render())
 		fmt.Println(results.NewDetectionQuality(st).Render())
+	}
+	if *faults {
+		fmt.Println(results.NewFaultSummary(st).Render())
 	}
 }
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	malnet [-seed N] [-samples N] [-workers N] [-short] [-out DIR]
+//	       [-faults] [-fault-seed N]
 package main
 
 import (
@@ -23,17 +24,21 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 42, "world and pipeline seed")
-		samples = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
-		workers = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
-		short   = flag.Bool("short", false, "scaled-down study")
-		out     = flag.String("out", "malnet-out", "output directory")
+		seed      = flag.Int64("seed", 42, "world and pipeline seed")
+		samples   = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
+		workers   = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
+		short     = flag.Bool("short", false, "scaled-down study")
+		out       = flag.String("out", "malnet-out", "output directory")
+		faults    = flag.Bool("faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
 	)
 	flag.Parse()
 
 	wcfg := world.DefaultConfig(*seed)
 	scfg := core.DefaultStudyConfig(*seed)
 	scfg.Workers = *workers
+	scfg.Faults = *faults
+	scfg.FaultSeed = *faultSeed
 	if *short {
 		wcfg.TotalSamples = 150
 		scfg.ProbeRounds = 12
@@ -58,11 +63,12 @@ func main() {
 
 	// D-Samples.
 	var sb strings.Builder
-	sb.WriteString("sha256,date,family,family_avclass,p2p,detections,c2s,live_day0,exploits\n")
+	sb.WriteString("sha256,date,family,family_avclass,p2p,detections,c2s,live_day0,exploits,disposition,c2_retries,faults\n")
 	for _, s := range st.Samples {
-		fmt.Fprintf(&sb, "%s,%s,%s,%s,%v,%d,%d,%v,%d\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%v,%d,%d,%v,%d,%s,%d,%d\n",
 			s.SHA, s.Date.Format("2006-01-02"), s.Family, s.FamilyAVClass,
-			s.P2P, s.Detections, len(s.C2s), s.LiveDay0, len(s.Exploits))
+			s.P2P, s.Detections, len(s.C2s), s.LiveDay0, len(s.Exploits),
+			s.Disposition, s.C2Retries, s.Faults.Total())
 	}
 	write("d-samples.csv", sb.String())
 
@@ -142,6 +148,9 @@ func main() {
 
 	// Summary report.
 	summary := results.NewTable1(st).Render() + "\n" + results.NewHeadlines(st).Render()
+	if *faults {
+		summary += "\n" + results.NewFaultSummary(st).Render()
+	}
 	write("summary.txt", summary)
 	fmt.Printf("generated %d firewall/IDS rules\n\n", len(rules))
 	fmt.Print(summary)

@@ -1,0 +1,116 @@
+package c2
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"malnet/internal/simnet"
+)
+
+// checkBackoffInvariants asserts the three properties the retry layer
+// depends on: delays never shrink, never exceed the cap, and are a
+// pure function of the Backoff's fields.
+func checkBackoffInvariants(t *testing.T, b Backoff, attempts int) {
+	t.Helper()
+	_, cap := b.backoffDefaults()
+	twin := Backoff{Base: b.Base, Cap: b.Cap, Seed: b.Seed, Key: b.Key}
+	prev := time.Duration(-1)
+	for n := 0; n < attempts; n++ {
+		d := b.Delay(n)
+		if d < 0 {
+			t.Fatalf("Delay(%d) = %v, negative (base=%v cap=%v seed=%d)", n, d, b.Base, b.Cap, b.Seed)
+		}
+		if d > cap {
+			t.Fatalf("Delay(%d) = %v exceeds cap %v (base=%v seed=%d)", n, d, cap, b.Base, b.Seed)
+		}
+		if d < prev {
+			t.Fatalf("Delay(%d) = %v < Delay(%d) = %v: schedule not monotone (base=%v cap=%v seed=%d key=%q)",
+				n, d, n-1, prev, b.Base, b.Cap, b.Seed, b.Key)
+		}
+		if d2 := twin.Delay(n); d2 != d {
+			t.Fatalf("identical Backoffs disagree at attempt %d: %v vs %v", n, d, d2)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	cases := []Backoff{
+		{},
+		{Base: time.Second, Cap: 60 * time.Second, Seed: 1, Key: "60.0.0.9:23"},
+		{Base: 250 * time.Millisecond, Cap: 8 * time.Second, Seed: 99, Key: "round-3"},
+		{Base: time.Minute, Cap: time.Second, Seed: 5}, // cap below base clamps up
+		{Base: -1, Cap: -1, Seed: 7},                   // degenerate inputs take defaults
+	}
+	for _, b := range cases {
+		checkBackoffInvariants(t, b, 64)
+	}
+}
+
+// TestBackoffDifferentKeysDiffer: the jitter stream must actually use
+// the key, or every probe in a round retries in lockstep.
+func TestBackoffDifferentKeysDiffer(t *testing.T) {
+	a := Backoff{Base: time.Second, Cap: time.Hour, Seed: 1, Key: "a"}
+	b := Backoff{Base: time.Second, Cap: time.Hour, Seed: 1, Key: "b"}
+	for n := 0; n < 16; n++ {
+		if a.Delay(n) != b.Delay(n) {
+			return
+		}
+	}
+	t.Fatal("keys a and b produced identical 16-step schedules; jitter ignores Key")
+}
+
+// FuzzBackoffSchedule fuzzes the schedule parameters and re-asserts
+// the invariants; go test runs the seed corpus as ordinary cases.
+func FuzzBackoffSchedule(f *testing.F) {
+	f.Add(int64(1000), int64(60000), int64(1), "c2")
+	f.Add(int64(0), int64(0), int64(0), "")
+	f.Add(int64(-5), int64(1), int64(123), "x")
+	f.Add(int64(1), int64(1<<50), int64(7), "huge-cap")
+	f.Fuzz(func(t *testing.T, baseMS, capMS, seed int64, key string) {
+		// Clamp to the sane ranges callers use; the type defends the
+		// degenerate ones itself and TestBackoffSchedule covers those.
+		if baseMS > int64(24*time.Hour/time.Millisecond) {
+			baseMS %= int64(24 * time.Hour / time.Millisecond)
+		}
+		if capMS > int64(24*time.Hour/time.Millisecond) {
+			capMS %= int64(24 * time.Hour / time.Millisecond)
+		}
+		b := Backoff{
+			Base: time.Duration(baseMS) * time.Millisecond,
+			Cap:  time.Duration(capMS) * time.Millisecond,
+			Seed: seed,
+			Key:  key,
+		}
+		checkBackoffInvariants(t, b, 48)
+	})
+}
+
+func TestAliveOnReset(t *testing.T) {
+	if !AliveOnReset(simnet.ErrReset) {
+		t.Fatal("simnet.ErrReset should read as alive-but-rude")
+	}
+	if !AliveOnReset(syscall.ECONNRESET) {
+		t.Fatal("ECONNRESET should read as alive-but-rude")
+	}
+	for _, err := range []error{nil, simnet.ErrTimeout, simnet.ErrRefused, errors.New("boom")} {
+		if AliveOnReset(err) {
+			t.Fatalf("AliveOnReset(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestTransientProbeError(t *testing.T) {
+	for _, err := range []error{simnet.ErrTimeout, simnet.ErrReset, syscall.ECONNRESET, syscall.ETIMEDOUT} {
+		if !TransientProbeError(err) {
+			t.Fatalf("TransientProbeError(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{nil, simnet.ErrRefused, simnet.ErrClosed} {
+		if TransientProbeError(err) {
+			t.Fatalf("TransientProbeError(%v) = true, want false", err)
+		}
+	}
+}

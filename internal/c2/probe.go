@@ -1,6 +1,14 @@
 package c2
 
-import "bytes"
+import (
+	"bytes"
+	"errors"
+	"syscall"
+	"time"
+
+	"malnet/internal/detrand"
+	"malnet/internal/simnet"
+)
 
 // Weaponized-probe protocol helpers (§2.1's second mode): the
 // messages a probing client sends to elicit C2 engagement, and the
@@ -55,4 +63,112 @@ func WellKnownBanner(data []byte) bool {
 		}
 	}
 	return false
+}
+
+// AliveOnReset reports whether a session-ending error still proves a
+// live host at the far end. An RST mid-read (during the banner wait,
+// say) means SOMETHING completed a handshake and then tore the
+// connection down — "alive but rude", per the paper's liveness
+// definition, not dead. Timeouts and refusals stay inconclusive /
+// dead. Covers both the simulated transport and real sockets.
+func AliveOnReset(err error) bool {
+	return errors.Is(err, simnet.ErrReset) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// TransientProbeError reports whether a probe failure is worth a
+// retry: timeouts (host momentarily dark, SYN eaten) and resets
+// (half-dead server mid-teardown) are transient under a flaky
+// network; an active refusal is a conclusive "no listener" and is
+// not retried.
+func TransientProbeError(err error) bool {
+	return errors.Is(err, simnet.ErrTimeout) || AliveOnReset(err) ||
+		errors.Is(err, syscall.ETIMEDOUT)
+}
+
+// Backoff is a deterministic bounded-exponential retry schedule with
+// seed-derived jitter. It is pure arithmetic — no wall clock, no
+// mutable state — so the simulated probing study can drive it from a
+// simclock and reproduce the exact same delays at any worker count,
+// and a fuzzer can assert its invariants directly:
+//
+//   - Delay(n) is monotone non-decreasing in n,
+//   - Delay(n) never exceeds Cap,
+//   - two Backoffs with equal fields agree on every delay.
+//
+// Jitter multiplies the raw exponential step by [1, 2) before the
+// cap, which preserves monotonicity: the uncapped steps double, so a
+// jittered step can never overtake its successor.
+type Backoff struct {
+	// Base is the first delay; zero or negative defaults to 1 s.
+	Base time.Duration
+	// Cap bounds every delay; zero or negative defaults to 60 s.
+	Cap time.Duration
+	// Seed and Key derive the jitter stream; probes use the target
+	// address and round so each probe's schedule is independent.
+	Seed int64
+	Key  string
+}
+
+// backoffDefaults returns base and cap with degenerate zero values
+// replaced.
+func (b Backoff) backoffDefaults() (base, cap time.Duration) {
+	base, cap = b.Base, b.Cap
+	if base <= 0 {
+		base = time.Second
+	}
+	if cap <= 0 {
+		cap = 60 * time.Second
+	}
+	if cap < base {
+		cap = base
+	}
+	return base, cap
+}
+
+// Delay returns the wait before retry attempt (0-indexed: attempt 0
+// is the delay after the first failure).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, cap := b.backoffDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	// Raw exponential step with overflow guard: once the doubling
+	// passes the cap the jittered value is capped anyway.
+	raw := base
+	for i := 0; i < attempt; i++ {
+		raw *= 2
+		if raw >= cap || raw < 0 {
+			return cap
+		}
+	}
+	frac := detrand.Float01(b.Seed, "backoff", b.Key, itoa(attempt))
+	jittered := raw + time.Duration(frac*float64(raw))
+	if jittered > cap || jittered < 0 {
+		return cap
+	}
+	return jittered
+}
+
+// itoa is strconv.Itoa without the import (this file is otherwise
+// free of it); attempts are small.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
 }

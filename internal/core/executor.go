@@ -9,6 +9,7 @@ import (
 	"malnet/internal/avclass"
 	"malnet/internal/binfmt"
 	"malnet/internal/c2"
+	"malnet/internal/faultinject"
 	"malnet/internal/sandbox"
 	"malnet/internal/simclock"
 	"malnet/internal/world"
@@ -45,17 +46,26 @@ import (
 // plus the seed state to rebuild a fresh network and sandbox around
 // it for every sample.
 type shard struct {
-	clock *simclock.Clock
-	seed  int64
-	dns   world.Resolver
+	clock  *simclock.Clock
+	seed   int64
+	dns    world.Resolver
+	faults *faultinject.Plan
 }
 
 // run executes one isolated activation at virtual time `at` on a
 // freshly built sandbox, so no scheduled event, latency cache entry,
-// or ephemeral-port cursor can leak between samples.
+// or ephemeral-port cursor can leak between samples. The study's
+// fault plan (if any) is re-installed on every fresh network; since
+// the plan is a pure function and per-connection sequence counters
+// restart with the network, the same sample draws the same fault
+// schedule on every worker.
 func (sh *shard) run(at time.Time, raw []byte, opts sandbox.RunOptions) (*sandbox.Report, error) {
 	sh.clock.Reset(at)
-	return sandbox.NewShard(sh.clock, sh.seed, sh.dns).Run(raw, opts)
+	sb := sandbox.NewShard(sh.clock, sh.seed, sh.dns)
+	if sh.faults != nil {
+		sb.Network().InstallFaults(sh.faults)
+	}
+	return sb.Run(raw, opts)
 }
 
 // sampleOutcome carries one feed entry through the pipeline stages.
@@ -69,11 +79,11 @@ type sampleOutcome struct {
 	at  time.Time
 	raw []byte // nil: encode/publish failed, skip silently
 
-	filtered bool           // non-MIPS, counted in FilteredArch
-	rejected bool           // under the MinEngines bar
-	rec      *SampleRecord  // accepted sample, pending merge
-	isoOK    bool           // isolated run completed
-	isoCands []C2Candidate  // DetectC2 over the isolated report
+	filtered bool          // non-MIPS, counted in FilteredArch
+	rejected bool          // under the MinEngines bar
+	rec      *SampleRecord // accepted sample, pending merge
+	isoOK    bool          // isolated run completed
+	isoCands []C2Candidate // DetectC2 over the isolated report
 }
 
 // executor owns the worker pool. One executor serves a whole study;
@@ -102,7 +112,7 @@ func resolveWorkers(n int) int {
 // clock's anchor is reset per sample, so the start value is
 // irrelevant; the world's start keeps timestamps plausible if a bug
 // ever leaks one.
-func newExecutor(ctx context.Context, n int, seed int64, dns world.Resolver, start time.Time) *executor {
+func newExecutor(ctx context.Context, n int, seed int64, dns world.Resolver, start time.Time, faults *faultinject.Plan) *executor {
 	ex := &executor{
 		ctx:   ctx,
 		tasks: make(chan func(*shard), n),
@@ -111,7 +121,7 @@ func newExecutor(ctx context.Context, n int, seed int64, dns world.Resolver, sta
 	for i := 0; i < n; i++ {
 		go func() {
 			defer ex.workers.Done()
-			sh := &shard{clock: simclock.New(start), seed: seed, dns: dns}
+			sh := &shard{clock: simclock.New(start), seed: seed, dns: dns, faults: faults}
 			for fn := range ex.tasks {
 				fn(sh)
 				ex.batch.Done()
@@ -237,12 +247,17 @@ func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
 		Mode:                sandbox.ModeIsolated,
 		Duration:            st.Cfg.SandboxWindow,
 		HandshakerThreshold: st.Cfg.HandshakerThreshold,
+		EventBudget:         st.Cfg.EventBudget,
 	})
 	if err != nil {
 		return
 	}
 	out.isoOK = true
 	rec.Activated = isoRep.Activated
+	rec.Faults = rec.Faults.Add(isoRep.Faults)
+	if isoRep.TimedOut {
+		rec.Disposition = DispTimedOut
+	}
 	rec.Exploits = ClassifyExploits(isoRep)
 	out.isoCands = DetectC2(isoRep, 2)
 }

@@ -42,8 +42,9 @@ func renderDatasets(st *Study) string {
 
 	b.WriteString("== D-Samples ==\n")
 	for _, s := range st.Samples {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%t,%t,%t", s.SHA, s.Date.Format(time.RFC3339),
-			s.FamilyYARA, s.FamilyAVClass, s.Family, s.Detections, s.P2P, s.Activated, s.LiveDay0)
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%t,%t,%t,%s,%d,%d", s.SHA, s.Date.Format(time.RFC3339),
+			s.FamilyYARA, s.FamilyAVClass, s.Family, s.Detections, s.P2P, s.Activated, s.LiveDay0,
+			s.Disposition, s.C2Retries, s.Faults.Total())
 		for _, c := range s.C2s {
 			fmt.Fprintf(&b, ",%s/%d/%t/%s", c.Address, c.Attempts, c.Live, c.Signature)
 		}
@@ -81,6 +82,20 @@ func renderDatasets(st *Study) string {
 		fmt.Fprintf(&b, "%s,%s,%s,%s,%v,%v,%s,%d,%t\n", o.Time.Format(time.RFC3339),
 			o.SHA256, o.C2, o.C2IP, o.Method,
 			o.Command.Attack, o.Command.Target, o.Command.Port, o.Verified)
+	}
+
+	b.WriteString("== D-PC2 ==\n")
+	for _, tgt := range st.MergedLiveC2s() {
+		marks := make([]byte, len(tgt.Outcomes))
+		for i, o := range tgt.Outcomes {
+			marks[i] = "0123"[o]
+		}
+		fmt.Fprintf(&b, "%s,%s\n", tgt.Addr, marks)
+	}
+	for _, ps := range []*ProbeStudy{st.Probe, st.ProbeGafgyt} {
+		if ps != nil {
+			fmt.Fprintf(&b, "probes=%d retries=%d\n", ps.ProbesSent, ps.Retries)
+		}
 	}
 
 	fmt.Fprintf(&b, "rejected=%d filtered=%d\n", st.Rejected, st.FilteredArch)

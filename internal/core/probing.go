@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
 	"time"
@@ -36,6 +37,17 @@ type ProbeConfig struct {
 	// EngageTimeout bounds how long a probe waits for protocol
 	// engagement after connecting.
 	EngageTimeout time.Duration
+	// Retries is the per-probe budget of additional attempts after a
+	// transient failure (timeout or reset). 0 disables retrying, which
+	// keeps the clean-network schedule identical to the historical one.
+	Retries int
+	// RetryBase and RetryCap shape the exponential backoff between
+	// attempts; defaults are 2s and 30s when Retries > 0. Delays are
+	// simclock-driven — retrying never touches wall time.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Seed feeds the deterministic backoff jitter.
+	Seed int64
 }
 
 // ProbeOutcome is one probe's verdict.
@@ -93,8 +105,11 @@ type ProbeStudy struct {
 	// LiveC2s are targets that engaged at least once and never
 	// bannered, sorted by address. Populated at finalization.
 	LiveC2s []*ProbeTarget
-	// ProbesSent counts every probe attempt.
+	// ProbesSent counts every probe attempt, including retries.
 	ProbesSent int
+	// Retries counts attempts that were re-dials after a transient
+	// failure (so ProbesSent - Retries is the first-attempt count).
+	Retries int
 	// Done reports finalization (the clock passed the last round).
 	Done bool
 }
@@ -190,6 +205,14 @@ func ScheduleProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
 	if cfg.Family == "" {
 		cfg.Family = c2.FamilyMirai
 	}
+	if cfg.Retries > 0 {
+		if cfg.RetryBase <= 0 {
+			cfg.RetryBase = 2 * time.Second
+		}
+		if cfg.RetryCap <= 0 {
+			cfg.RetryCap = 30 * time.Second
+		}
+	}
 	if !cfg.SourceIP.IsValid() {
 		cfg.SourceIP = netip.MustParseAddr("10.98.0.2")
 	}
@@ -214,36 +237,63 @@ func ScheduleProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
 	}
 
 	probeOne := func(addr simnet.Addr, round int) {
-		study.ProbesSent++
 		handshake := c2.ProbeHandshake(cfg.Family)
+		bo := c2.Backoff{
+			Base: cfg.RetryBase, Cap: cfg.RetryCap,
+			Seed: cfg.Seed, Key: fmt.Sprintf("%s#%d", addr, round),
+		}
 		engaged := false
-		var conn *simnet.Conn
-		conn = prober.DialTCP(addr, simnet.ConnFuncs{
-			Connect: func(cn *simnet.Conn) {
-				for _, msg := range handshake {
-					cn.Write(msg)
-				}
-				record(addr, round, ProbeAcceptedSilent, "")
-				n.Clock.After(cfg.EngageTimeout, func() {
-					if cn.Established() {
+		var try func(attempt int)
+		try = func(attempt int) {
+			study.ProbesSent++
+			if attempt > 0 {
+				study.Retries++
+			}
+			connected := false
+			prober.DialTCP(addr, simnet.ConnFuncs{
+				Connect: func(cn *simnet.Conn) {
+					connected = true
+					for _, msg := range handshake {
+						cn.Write(msg)
+					}
+					record(addr, round, ProbeAcceptedSilent, "")
+					n.Clock.After(cfg.EngageTimeout, func() {
+						if cn.Established() {
+							cn.Close()
+						}
+					})
+				},
+				Data: func(cn *simnet.Conn, b []byte) {
+					if c2.WellKnownBanner(b) {
+						record(addr, round, ProbeBanner, string(b[:min(len(b), 40)]))
+						cn.Close()
+						return
+					}
+					if !engaged && c2.ProbeEngaged(cfg.Family, b) {
+						engaged = true
+						record(addr, round, ProbeEngaged, "")
 						cn.Close()
 					}
-				})
-			},
-			Data: func(cn *simnet.Conn, b []byte) {
-				if c2.WellKnownBanner(b) {
-					record(addr, round, ProbeBanner, string(b[:min(len(b), 40)]))
-					cn.Close()
-					return
-				}
-				if !engaged && c2.ProbeEngaged(cfg.Family, b) {
-					engaged = true
-					record(addr, round, ProbeEngaged, "")
-					cn.Close()
-				}
-			},
-		})
-		_ = conn
+				},
+				Close: func(cn *simnet.Conn, err error) {
+					if err == nil || engaged {
+						return
+					}
+					if connected && c2.AliveOnReset(err) {
+						// RST during the banner wait: something spoke
+						// TCP and hung up on us — alive but rude, not
+						// dead air.
+						record(addr, round, ProbeAcceptedSilent, "")
+					}
+					// Under a flaky network a timeout or reset is worth
+					// re-dialing, within the per-probe budget.
+					if attempt < cfg.Retries && c2.TransientProbeError(err) {
+						n.Clock.After(bo.Delay(attempt), func() { try(attempt + 1) })
+					}
+				},
+			})
+		}
+		try(0)
 	}
 
 	for round := 0; round < cfg.Rounds; round++ {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"malnet/internal/c2"
+	"malnet/internal/faultinject"
 	"malnet/internal/simclock"
 	"malnet/internal/simnet"
 )
@@ -180,5 +181,51 @@ func TestRasterShape(t *testing.T) {
 	raster := study.Raster()
 	if len(raster) != 1 || len(raster[0]) != 4 {
 		t.Fatalf("raster dims = %dx%d", len(raster), len(raster[0]))
+	}
+}
+
+// TestProbingRetriesRecoverUnderFaults: with injected SYN loss a
+// retry-less study misses rounds; the bounded-backoff retry layer
+// recovers them, and the retry counter records the extra dials.
+func TestProbingRetriesRecoverUnderFaults(t *testing.T) {
+	run := func(retries int) *ProbeStudy {
+		n, subnet := probeWorld(t, c2.DutyCycle{}, true)
+		n.InstallFaults(faultinject.New(faultinject.Config{Seed: 21, SYNLossRate: 0.45}))
+		return RunProbing(n, ProbeConfig{
+			Subnets:  []simnet.Subnet{subnet},
+			Ports:    []uint16{1312},
+			Interval: 4 * time.Hour,
+			Rounds:   6,
+			Family:   c2.FamilyMirai,
+			Retries:  retries,
+			Seed:     21,
+		})
+	}
+	bare := run(0)
+	retried := run(4)
+
+	bareHits, retriedHits := 0, 0
+	if len(bare.LiveC2s) == 1 {
+		bareHits = bare.LiveC2s[0].Engagements()
+	}
+	if len(retried.LiveC2s) != 1 {
+		t.Fatalf("retried study found %d live C2s, want 1", len(retried.LiveC2s))
+	}
+	retriedHits = retried.LiveC2s[0].Engagements()
+
+	if bareHits >= 6 {
+		t.Fatalf("45%% SYN loss but retry-less study engaged all %d rounds; faults not biting", bareHits)
+	}
+	if retriedHits < 5 {
+		t.Fatalf("retried engagements = %d, want >= 5 (bare study had %d)", retriedHits, bareHits)
+	}
+	if retriedHits <= bareHits {
+		t.Fatalf("retries did not help: %d vs %d engagements", retriedHits, bareHits)
+	}
+	if retried.Retries == 0 {
+		t.Fatal("retry counter stayed zero under 45% SYN loss")
+	}
+	if bare.Retries != 0 {
+		t.Fatalf("retry-less study counted %d retries", bare.Retries)
 	}
 }

@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"malnet/internal/c2"
+	"malnet/internal/faultinject"
 	"malnet/internal/intel"
 	"malnet/internal/sandbox"
+	"malnet/internal/simnet"
 	"malnet/internal/world"
 )
 
@@ -41,6 +43,33 @@ type StudyConfig struct {
 	// are clamped to 1. Study output is byte-identical at every
 	// worker count (see TestParallelStudyEquivalence).
 	Workers int
+	// Faults installs a deterministic fault-injection plan (packet
+	// loss, resets, latency spikes, blackouts, slow drips) on the
+	// world network and on every worker shard, arms probe retries,
+	// and bounds activations with the sandbox watchdog. The fault
+	// schedule is a pure function of FaultSeed, so a faulted study is
+	// still byte-identical at any worker count (the chaos equivalence
+	// suite asserts this).
+	Faults bool
+	// FaultSeed seeds the fault plan; 0 means Seed.
+	FaultSeed int64
+	// EventBudget arms the per-activation watchdog (events per
+	// sandbox run before a hung emulation is aborted as TimedOut).
+	// 0 with Faults on picks a generous default; 0 without Faults
+	// leaves the watchdog off, the historical behavior.
+	EventBudget int
+}
+
+// faultPlan derives the study's fault plan; nil when faults are off.
+func (cfg *StudyConfig) faultPlan() *faultinject.Plan {
+	if !cfg.Faults {
+		return nil
+	}
+	seed := cfg.FaultSeed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	return faultinject.New(faultinject.DefaultConfig(seed))
 }
 
 // DefaultStudyConfig returns the paper's settings.
@@ -54,6 +83,41 @@ func DefaultStudyConfig(seed int64) StudyConfig {
 		DDoS:                DefaultDDoSExtractorConfig(),
 		Probing:             true,
 	}
+}
+
+// Disposition classifies how a sample's day-0 C2 liveness resolved
+// under the fault-aware pipeline.
+type Disposition uint8
+
+// Dispositions, in the order the pipeline can strengthen them.
+const (
+	// DispNone: the sample never reached the liveness stage (P2P,
+	// failed isolated run, or not analyzed).
+	DispNone Disposition = iota
+	// DispDead: no C2 engaged during the day-0 window.
+	DispDead
+	// DispAlive: a C2 engaged on the first attempt.
+	DispAlive
+	// DispRetriedThenAlive: a C2 engaged, but only after the bot
+	// re-dialed through injected faults.
+	DispRetriedThenAlive
+	// DispTimedOut: the activation watchdog aborted a hung window.
+	DispTimedOut
+)
+
+// String names the disposition for dataset rows.
+func (d Disposition) String() string {
+	switch d {
+	case DispDead:
+		return "dead"
+	case DispAlive:
+		return "alive"
+	case DispRetriedThenAlive:
+		return "retried-then-alive"
+	case DispTimedOut:
+		return "timed-out"
+	}
+	return "none"
 }
 
 // SampleRecord is one D-Samples row.
@@ -78,6 +142,15 @@ type SampleRecord struct {
 	Exploits []ExploitFinding
 	// DDoS are attack commands observed during the live window.
 	DDoS []DDoSObservation
+	// Disposition summarizes the day-0 liveness path (alive on the
+	// first dial, alive only after retries, dead, or watchdog-aborted).
+	Disposition Disposition
+	// C2Retries counts failed C2 dial attempts the sample burned
+	// before (or without) establishing a session in the day-0 window.
+	C2Retries int
+	// Faults totals the network faults injected across the sample's
+	// sandbox windows (isolated and live); zero in clean studies.
+	Faults simnet.FaultStats
 }
 
 // C2Record is one D-C2s row: a C2 address aggregated across every
@@ -189,6 +262,16 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 	if cfg.MinEngines <= 0 {
 		cfg.MinEngines = 5
 	}
+	plan := cfg.faultPlan()
+	if plan != nil {
+		if cfg.EventBudget <= 0 {
+			// Generous per-activation ceiling: orders of magnitude
+			// above a healthy run, small enough that a retry storm
+			// cannot wedge a worker.
+			cfg.EventBudget = 1 << 20
+		}
+		w.Net.InstallFaults(plan)
+	}
 	st := &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}}
 	clock := w.Clock
 
@@ -207,13 +290,22 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 		// Jump the clock into place happens naturally: ProbeStart
 		// is mid-study and scheduling is absolute.
 		mkCfg := func(family string, src string) ProbeConfig {
-			return ProbeConfig{
+			pc := ProbeConfig{
 				Subnets:  w.ProbeSubnets,
 				Interval: 4 * time.Hour,
 				Rounds:   rounds,
 				Family:   family,
 				SourceIP: netip.MustParseAddr(src),
 			}
+			if cfg.Faults {
+				// Under injected faults, probes get a bounded retry
+				// budget; on a clean network retries would also fire
+				// on dead space, so they stay off there to keep the
+				// historical schedule.
+				pc.Retries = 3
+				pc.Seed = cfg.Seed
+			}
+			return pc
 		}
 		clock.Schedule(w.ProbeStart, func() {
 			st.Probe = ScheduleProbing(w.Net, mkCfg(c2.FamilyMirai, "10.98.0.2"))
@@ -226,7 +318,7 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 	// Daily loop: each day's feed runs through the staged executor
 	// (encode → publish → parallel static+isolated → serial
 	// merge+live; see executor.go).
-	ex := newExecutor(ctx, resolveWorkers(cfg.Workers), cfg.Seed, w.Resolve, clock.Now())
+	ex := newExecutor(ctx, resolveWorkers(cfg.Workers), cfg.Seed, w.Resolve, clock.Now(), plan)
 	defer ex.close()
 	for day := world.StudyStart(); day.Before(world.StudyEnd()); day = day.AddDate(0, 0, 1) {
 		analysisDay := day.AddDate(0, 0, cfg.AnalysisDelayDays)
@@ -262,10 +354,13 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 		Duration:        10 * time.Minute,
 		RestrictToC2:    true,
 		DisableScanning: true,
+		EventBudget:     st.Cfg.EventBudget,
 	})
 	if err != nil {
 		return
 	}
+	rec.Faults = rec.Faults.Add(liveRep.Faults)
+	rec.C2Retries += failedDials(liveRep)
 	liveCands := DetectC2(liveRep, 1)
 	// D-C2s takes the union of the isolated and live observations:
 	// anti-sandbox samples reveal their C2s only on the live path.
@@ -273,6 +368,19 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 	st.recordC2s(rec)
 	rec.LiveDay0 = LiveC2(liveCands)
 	st.markLive(liveCands)
+	// Disposition: the watchdog verdict sticks (set by the isolated
+	// run or here); otherwise classify on liveness and whether the
+	// bot needed extra dials to get there.
+	switch {
+	case rec.Disposition == DispTimedOut || liveRep.TimedOut:
+		rec.Disposition = DispTimedOut
+	case rec.LiveDay0 && rec.C2Retries > 0:
+		rec.Disposition = DispRetriedThenAlive
+	case rec.LiveDay0:
+		rec.Disposition = DispAlive
+	default:
+		rec.Disposition = DispDead
+	}
 	// Commands can land during the liveness window too; extract
 	// from it as well as from the long watch.
 	obs := ExtractDDoS(liveRep, rec.Family, rec.C2s, st.Cfg.DDoS)
@@ -289,14 +397,33 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 		Duration:        st.Cfg.LiveWindow,
 		RestrictToC2:    true,
 		DisableScanning: true,
+		EventBudget:     st.Cfg.EventBudget,
 	})
 	if err != nil {
 		return
+	}
+	rec.Faults = rec.Faults.Add(watchRep.Faults)
+	if watchRep.TimedOut {
+		rec.Disposition = DispTimedOut
 	}
 	st.markLive(DetectC2(watchRep, 1))
 	obs = append(obs, ExtractDDoS(watchRep, rec.Family, rec.C2s, st.Cfg.DDoS)...)
 	rec.DDoS = obs
 	st.DDoS = append(st.DDoS, obs...)
+}
+
+// failedDials counts dial attempts in a report that never established
+// — under restricted live mode every dial is C2-bound, so this is the
+// number of re-dials the bot's own retry loop burned against injected
+// faults before (or without) reaching its C2.
+func failedDials(rep *sandbox.Report) int {
+	n := 0
+	for _, d := range rep.Dials {
+		if !d.Established {
+			n++
+		}
+	}
+	return n
 }
 
 // mergeCandidates unions candidate lists by address, preferring the

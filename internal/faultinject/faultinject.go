@@ -1,0 +1,232 @@
+// Package faultinject is a seed-deterministic fault plan for the
+// virtual network: packet loss, mid-stream resets, latency spikes,
+// temporary host blackouts, and slow-drip (chunked-delivery)
+// connections, each decided as a pure function of
+// (seed, address pair, connection sequence).
+//
+// Purity is the whole point. The study executor gives every sandbox
+// shard a private simnet.Network rebuilt per sample; because a fault
+// decision depends only on the plan seed and on identifiers that are
+// themselves deterministic per sample (addresses, the per-pair
+// connection sequence, segment indices), a given seed reproduces the
+// same fault schedule at any worker count. There is no mutable state
+// in a Plan — two Plans built from the same Config agree on every
+// decision, in any order of consultation, from any goroutine.
+//
+// The rates model the degraded-world conditions the MalNet pipeline
+// had to survive: C2 servers going dark mid-handshake, probes timing
+// out, half-dead servers that accept and then stall or reset. The
+// chaos test suite runs the whole study under a Plan and demands the
+// same byte-identical datasets the clean equivalence suite does.
+package faultinject
+
+import (
+	"time"
+
+	"malnet/internal/detrand"
+)
+
+// Config parameterizes a fault plan. All rates are probabilities in
+// [0, 1]; zero disables that fault class.
+type Config struct {
+	// Seed drives every decision. Two plans with equal configs make
+	// identical decisions.
+	Seed int64
+
+	// SYNLossRate is the probability a connection's handshake is
+	// swallowed entirely: the dialer sees a plain SYN timeout even
+	// though the destination is up.
+	SYNLossRate float64
+
+	// SegmentLossRate is the per-segment probability a data write is
+	// lost in flight: the sender's tap records it, the receiver
+	// never sees it.
+	SegmentLossRate float64
+
+	// ResetRate is the probability a connection is torn down with
+	// RST mid-stream. The reset replaces the Nth data segment, with
+	// N drawn uniformly from [0, ResetMaxSegment].
+	ResetRate float64
+	// ResetMaxSegment bounds how deep into a connection an injected
+	// reset can land. Defaults to 4 (resets land early, where they
+	// hurt handshakes and banner reads).
+	ResetMaxSegment int
+
+	// SpikeRate is the probability a connection suffers a latency
+	// spike: every packet of that connection carries extra one-way
+	// delay drawn uniformly from (0, SpikeMax].
+	SpikeRate float64
+	// SpikeMax bounds the extra one-way delay of a spiked
+	// connection.
+	SpikeMax time.Duration
+
+	// BlackoutRate is the per-window probability a host goes dark:
+	// for BlackoutDuration from the start of an affected window,
+	// dials to it time out and datagrams to it vanish.
+	BlackoutRate float64
+	// BlackoutWindow quantizes time for blackout decisions; each
+	// (host, window index) pair is an independent draw.
+	BlackoutWindow time.Duration
+	// BlackoutDuration is how long an affected host stays dark from
+	// the start of its window. Clamped to BlackoutWindow.
+	BlackoutDuration time.Duration
+
+	// DripRate is the probability a connection is slow-drip: each
+	// write is delivered to the peer in DripChunk-byte pieces spaced
+	// DripDelay apart, breaking message-boundary assumptions exactly
+	// the way a congested real-world path does.
+	DripRate float64
+	// DripChunk is the delivery chunk size for slow-drip
+	// connections; defaults to 5 bytes.
+	DripChunk int
+	// DripDelay is the inter-chunk delivery spacing; defaults to
+	// 200 ms.
+	DripDelay time.Duration
+}
+
+// DefaultConfig returns a degraded-but-survivable Internet: a few
+// percent of handshakes and segments lost, early resets on ~8 % of
+// connections, occasional multi-second latency spikes, rare ten-minute
+// host blackouts, and a sprinkle of slow-drip connections.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		SYNLossRate:      0.04,
+		SegmentLossRate:  0.02,
+		ResetRate:        0.08,
+		ResetMaxSegment:  4,
+		SpikeRate:        0.10,
+		SpikeMax:         3 * time.Second,
+		BlackoutRate:     0.03,
+		BlackoutWindow:   time.Hour,
+		BlackoutDuration: 10 * time.Minute,
+		DripRate:         0.05,
+		DripChunk:        5,
+		DripDelay:        200 * time.Millisecond,
+	}
+}
+
+// ConnFaults is the fault schedule of one connection, fully decided
+// at dial time. The zero value means "no faults".
+type ConnFaults struct {
+	// DropSYN: the handshake never completes; the dialer times out.
+	DropSYN bool
+	// ResetAfterSegment, when >= 0, injects an RST in place of the
+	// Nth data segment either side attempts to send.
+	ResetAfterSegment int
+	// ExtraLatency is added to every one-way delay of the
+	// connection (both directions).
+	ExtraLatency time.Duration
+	// DripChunk/DripDelay, when DripChunk > 0, chunk every delivery.
+	DripChunk int
+	DripDelay time.Duration
+}
+
+// None reports whether the connection carries no faults at all.
+func (cf ConnFaults) None() bool {
+	return !cf.DropSYN && cf.ResetAfterSegment < 0 && cf.ExtraLatency == 0 && cf.DripChunk == 0
+}
+
+// Plan answers fault queries for one configured seed. The zero-value
+// and nil Plans inject nothing, so call sites need no guards.
+type Plan struct {
+	cfg Config
+}
+
+// New builds a plan, applying Config defaults for zero fields whose
+// zero value would be degenerate.
+func New(cfg Config) *Plan {
+	if cfg.ResetMaxSegment <= 0 {
+		cfg.ResetMaxSegment = 4
+	}
+	if cfg.DripChunk <= 0 {
+		cfg.DripChunk = 5
+	}
+	if cfg.DripDelay <= 0 {
+		cfg.DripDelay = 200 * time.Millisecond
+	}
+	if cfg.BlackoutWindow <= 0 {
+		cfg.BlackoutWindow = time.Hour
+	}
+	if cfg.BlackoutDuration <= 0 || cfg.BlackoutDuration > cfg.BlackoutWindow {
+		cfg.BlackoutDuration = cfg.BlackoutWindow / 6
+	}
+	return &Plan{cfg: cfg}
+}
+
+// Config returns the plan's (defaulted) configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// seqKey renders the connection sequence number for hashing.
+func seqKey(seq uint64) string {
+	// Fixed-width so nearby sequences differ in every digit position
+	// detrand sees; Mix64 would cope anyway, but cheap insurance.
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[seq&0xf]
+		seq >>= 4
+	}
+	return string(b[:])
+}
+
+// ConnPlan decides every per-connection fault for the seq-th
+// connection from src to dst. src and dst are the stable endpoint
+// identities (the dialing host's IP and the dialed ip:port — not the
+// ephemeral port, which is incidental state).
+func (p *Plan) ConnPlan(src, dst string, seq uint64) ConnFaults {
+	cf := ConnFaults{ResetAfterSegment: -1}
+	if p == nil {
+		return cf
+	}
+	key := seqKey(seq)
+	if p.cfg.SYNLossRate > 0 && detrand.Float01(p.cfg.Seed, "syn", src, dst, key) < p.cfg.SYNLossRate {
+		cf.DropSYN = true
+		return cf // the connection never forms; nothing else matters
+	}
+	if p.cfg.ResetRate > 0 && detrand.Float01(p.cfg.Seed, "reset", src, dst, key) < p.cfg.ResetRate {
+		cf.ResetAfterSegment = detrand.Intn(p.cfg.Seed, p.cfg.ResetMaxSegment+1, "resetseg", src, dst, key)
+	}
+	if p.cfg.SpikeRate > 0 && p.cfg.SpikeMax > 0 &&
+		detrand.Float01(p.cfg.Seed, "spike", src, dst, key) < p.cfg.SpikeRate {
+		frac := detrand.Float01(p.cfg.Seed, "spikeamt", src, dst, key)
+		cf.ExtraLatency = time.Duration(1 + frac*float64(p.cfg.SpikeMax-1))
+	}
+	if p.cfg.DripRate > 0 && detrand.Float01(p.cfg.Seed, "drip", src, dst, key) < p.cfg.DripRate {
+		cf.DripChunk = p.cfg.DripChunk
+		cf.DripDelay = p.cfg.DripDelay
+	}
+	return cf
+}
+
+// DropSegment decides whether the seg-th data segment sent in
+// direction dir ("out" for the dialer side, "in" for the accepting
+// side) of the identified connection is lost in flight.
+func (p *Plan) DropSegment(src, dst string, seq uint64, dir string, seg int) bool {
+	if p == nil || p.cfg.SegmentLossRate <= 0 {
+		return false
+	}
+	return detrand.Float01(p.cfg.Seed, "seg", src, dst, seqKey(seq), dir, seqKey(uint64(seg))) < p.cfg.SegmentLossRate
+}
+
+// Blackout reports whether host ip is dark at virtual time at. The
+// decision quantizes time into BlackoutWindow slots counted from the
+// Unix epoch, so it depends only on (seed, ip, slot) — never on who
+// asks or in which order.
+func (p *Plan) Blackout(ip string, at time.Time) bool {
+	if p == nil || p.cfg.BlackoutRate <= 0 {
+		return false
+	}
+	since := at.Sub(time.Unix(0, 0))
+	if since < 0 {
+		return false
+	}
+	slot := uint64(since / p.cfg.BlackoutWindow)
+	if detrand.Float01(p.cfg.Seed, "blackout", ip, seqKey(slot)) >= p.cfg.BlackoutRate {
+		return false
+	}
+	// The affected host is dark for BlackoutDuration from the start
+	// of the slot.
+	into := since % p.cfg.BlackoutWindow
+	return into < p.cfg.BlackoutDuration
+}

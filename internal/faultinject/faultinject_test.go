@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestNilAndZeroPlansInjectNothing: call sites never guard, so the
+// nil plan and the zero-rate plan must both be inert.
+func TestNilAndZeroPlansInjectNothing(t *testing.T) {
+	var nilPlan *Plan
+	zero := New(Config{Seed: 1})
+	at := time.Date(2021, 6, 1, 12, 0, 0, 0, time.UTC)
+	for name, p := range map[string]*Plan{"nil": nilPlan, "zero-rates": zero} {
+		for seq := uint64(0); seq < 50; seq++ {
+			if cf := p.ConnPlan("10.0.0.1", "60.0.0.9:23", seq); !cf.None() {
+				t.Fatalf("%s plan injected conn faults: %+v", name, cf)
+			}
+			if p.DropSegment("10.0.0.1", "60.0.0.9:23", seq, "out", 0) {
+				t.Fatalf("%s plan dropped a segment", name)
+			}
+		}
+		if p.Blackout("60.0.0.9", at) {
+			t.Fatalf("%s plan blacked out a host", name)
+		}
+	}
+}
+
+// TestPlanIsPureFunction: two independently built plans with the same
+// seed agree on every decision; a different seed disagrees somewhere.
+func TestPlanIsPureFunction(t *testing.T) {
+	a := New(DefaultConfig(7))
+	b := New(DefaultConfig(7))
+	c := New(DefaultConfig(8))
+	at := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	sameSeedAgree := true
+	diffSeedAgree := true
+	for i := 0; i < 400; i++ {
+		src := fmt.Sprintf("10.0.0.%d", i%9)
+		dst := fmt.Sprintf("60.0.%d.9:23", i%13)
+		seq := uint64(i)
+		if a.ConnPlan(src, dst, seq) != b.ConnPlan(src, dst, seq) {
+			sameSeedAgree = false
+		}
+		if a.ConnPlan(src, dst, seq) != c.ConnPlan(src, dst, seq) {
+			diffSeedAgree = false
+		}
+		if a.DropSegment(src, dst, seq, "out", i%5) != b.DropSegment(src, dst, seq, "out", i%5) {
+			sameSeedAgree = false
+		}
+		when := at.Add(time.Duration(i) * 17 * time.Minute)
+		if a.Blackout(dst, when) != b.Blackout(dst, when) {
+			sameSeedAgree = false
+		}
+	}
+	if !sameSeedAgree {
+		t.Fatal("same-seed plans disagreed on at least one decision")
+	}
+	if diffSeedAgree {
+		t.Fatal("seed 7 and seed 8 agreed on every decision; seed is not feeding the hash")
+	}
+}
+
+// TestConsultationOrderIrrelevant: a decision must not depend on what
+// was asked before it — the property that lets shard networks at any
+// worker count see the same schedule.
+func TestConsultationOrderIrrelevant(t *testing.T) {
+	p := New(DefaultConfig(42))
+	// Ask in one order...
+	first := p.ConnPlan("10.0.0.1", "60.0.0.9:23", 3)
+	// ...then flood the plan with unrelated queries...
+	for i := 0; i < 1000; i++ {
+		p.ConnPlan(fmt.Sprintf("10.9.9.%d", i%250), "1.2.3.4:80", uint64(i))
+		p.DropSegment("8.8.8.8", "9.9.9.9:443", uint64(i), "in", i)
+	}
+	// ...and ask again.
+	if again := p.ConnPlan("10.0.0.1", "60.0.0.9:23", 3); again != first {
+		t.Fatalf("decision changed after unrelated queries: %+v vs %+v", first, again)
+	}
+}
+
+// TestRatesRoughlyHold: with 30% rates over many draws the observed
+// frequency should be in a wide-but-informative band; this catches
+// inverted comparisons and dead hash inputs, not distribution quality.
+func TestRatesRoughlyHold(t *testing.T) {
+	cfg := Config{Seed: 3, SYNLossRate: 0.3, ResetRate: 0.3, SpikeRate: 0.3, SpikeMax: time.Second, DripRate: 0.3}
+	p := New(cfg)
+	const n = 4000
+	var syn, reset, spike, drip int
+	for i := 0; i < n; i++ {
+		cf := p.ConnPlan("10.0.0.1", fmt.Sprintf("60.0.%d.%d:23", i/250, i%250), uint64(i))
+		if cf.DropSYN {
+			syn++
+			continue // SYN loss short-circuits the other draws
+		}
+		if cf.ResetAfterSegment >= 0 {
+			reset++
+		}
+		if cf.ExtraLatency > 0 {
+			spike++
+		}
+		if cf.DripChunk > 0 {
+			drip++
+		}
+	}
+	check := func(name string, got int, rate float64) {
+		t.Helper()
+		f := float64(got) / n
+		if f < rate*0.6 || f > rate*1.4 {
+			t.Fatalf("%s frequency %.3f far from configured %.2f", name, f, rate)
+		}
+	}
+	check("syn-loss", syn, 0.3)
+	// The remaining draws only happen on the ~70% of conns that kept
+	// their SYN.
+	check("reset", reset, 0.3*0.7)
+	check("spike", spike, 0.3*0.7)
+	check("drip", drip, 0.3*0.7)
+}
+
+// TestBlackoutWindows: a blacked-out host is dark only for the
+// configured duration from the window start, and clears afterwards.
+func TestBlackoutWindows(t *testing.T) {
+	p := New(Config{Seed: 5, BlackoutRate: 1, BlackoutWindow: time.Hour, BlackoutDuration: 10 * time.Minute})
+	base := time.Date(2021, 6, 1, 9, 0, 0, 0, time.UTC) // window-aligned (epoch multiple of 1h)
+	if !p.Blackout("60.0.0.9", base.Add(5*time.Minute)) {
+		t.Fatal("rate=1 host not dark inside the blackout span")
+	}
+	if p.Blackout("60.0.0.9", base.Add(30*time.Minute)) {
+		t.Fatal("host still dark after BlackoutDuration elapsed")
+	}
+}
+
+// TestConnFaultsSpikeBounds: spike latency is positive and bounded by
+// SpikeMax.
+func TestConnFaultsSpikeBounds(t *testing.T) {
+	p := New(Config{Seed: 9, SpikeRate: 1, SpikeMax: 2 * time.Second})
+	for i := 0; i < 500; i++ {
+		cf := p.ConnPlan("10.0.0.1", fmt.Sprintf("60.0.0.%d:23", i%250), uint64(i))
+		if cf.ExtraLatency <= 0 || cf.ExtraLatency > 2*time.Second {
+			t.Fatalf("spike %v out of (0, 2s]", cf.ExtraLatency)
+		}
+	}
+}

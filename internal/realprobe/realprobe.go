@@ -129,6 +129,9 @@ func (p *Prober) Probe(ctx context.Context, target string) Result {
 	for _, msg := range c2.ProbeHandshake(family) {
 		if _, err := conn.Write(msg); err != nil {
 			res.Err = fmt.Errorf("realprobe: write: %w", err)
+			if c2.AliveOnReset(err) && res.Verdict < VerdictAcceptedSilent {
+				res.Verdict = VerdictAcceptedSilent
+			}
 			return res
 		}
 	}
@@ -157,7 +160,14 @@ func (p *Prober) Probe(ctx context.Context, target string) Result {
 			}
 		}
 		if err != nil {
-			return res // timeout or close: keep strongest verdict so far
+			// A reset here is "alive but rude": the peer completed a
+			// handshake and then slammed the door, which still proves a
+			// live host. Timeouts and clean closes keep the strongest
+			// verdict observed so far.
+			if c2.AliveOnReset(err) && res.Verdict < VerdictAcceptedSilent {
+				res.Verdict = VerdictAcceptedSilent
+			}
+			return res
 		}
 		if len(acc) > 1<<16 {
 			return res // runaway peer; classify on what we have

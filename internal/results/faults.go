@@ -1,0 +1,78 @@
+package results
+
+import (
+	"fmt"
+
+	"malnet/internal/core"
+	"malnet/internal/report"
+	"malnet/internal/simnet"
+)
+
+// FaultSummary aggregates the robustness counters a faulted study
+// produces: per-sample dispositions, the C2 re-dial and probe-retry
+// totals, and every injected network fault the pipeline absorbed. On
+// a clean study all counters are zero except the alive/dead split.
+type FaultSummary struct {
+	// Dispositions counts D-Samples rows per liveness disposition,
+	// in the Disposition enum's order.
+	Dispositions map[core.Disposition]int
+	// C2Retries totals failed C2 dial attempts across samples.
+	C2Retries int
+	// TimedOut counts watchdog-aborted samples (same figure as the
+	// DispTimedOut bucket, surfaced for headlines).
+	TimedOut int
+	// ProbesSent / ProbeRetries total the weaponized sweeps' dials
+	// and re-dials.
+	ProbesSent, ProbeRetries int
+	// Faults sums injected faults over every sample's sandbox
+	// windows.
+	Faults simnet.FaultStats
+	// WorldFaults are the faults injected on the shared world
+	// network (probing, live windows, background traffic).
+	WorldFaults simnet.FaultStats
+}
+
+// NewFaultSummary computes the robustness counters of a study.
+func NewFaultSummary(st *core.Study) FaultSummary {
+	s := FaultSummary{Dispositions: map[core.Disposition]int{}}
+	for _, rec := range st.Samples {
+		s.Dispositions[rec.Disposition]++
+		s.C2Retries += rec.C2Retries
+		s.Faults = s.Faults.Add(rec.Faults)
+		if rec.Disposition == core.DispTimedOut {
+			s.TimedOut++
+		}
+	}
+	for _, ps := range []*core.ProbeStudy{st.Probe, st.ProbeGafgyt} {
+		if ps != nil {
+			s.ProbesSent += ps.ProbesSent
+			s.ProbeRetries += ps.Retries
+		}
+	}
+	if st.W != nil && st.W.Net != nil {
+		s.WorldFaults = st.W.Net.FaultStats()
+	}
+	return s
+}
+
+// Render prints the summary as a key-value block.
+func (s FaultSummary) Render() string {
+	pairs := [][2]string{}
+	for d := core.DispNone; d <= core.DispTimedOut; d++ {
+		pairs = append(pairs, [2]string{"samples " + d.String(), fmt.Sprint(s.Dispositions[d])})
+	}
+	pairs = append(pairs,
+		[2]string{"C2 re-dials", fmt.Sprint(s.C2Retries)},
+		[2]string{"probes sent", fmt.Sprint(s.ProbesSent)},
+		[2]string{"probe retries", fmt.Sprint(s.ProbeRetries)},
+		[2]string{"faults in sandboxes", fmt.Sprint(s.Faults.Total())},
+		[2]string{"faults on world net", fmt.Sprint(s.WorldFaults.Total())},
+		[2]string{"SYNs dropped", fmt.Sprint(s.Faults.SYNsDropped + s.WorldFaults.SYNsDropped)},
+		[2]string{"segments dropped", fmt.Sprint(s.Faults.SegmentsDropped + s.WorldFaults.SegmentsDropped)},
+		[2]string{"resets injected", fmt.Sprint(s.Faults.ResetsInjected + s.WorldFaults.ResetsInjected)},
+		[2]string{"latency spikes", fmt.Sprint(s.Faults.LatencySpikes + s.WorldFaults.LatencySpikes)},
+		[2]string{"blackout drops", fmt.Sprint(s.Faults.Blackouts + s.WorldFaults.Blackouts)},
+		[2]string{"slow drips", fmt.Sprint(s.Faults.SlowDrips + s.WorldFaults.SlowDrips)},
+	)
+	return report.KV("Fault injection & robustness", pairs)
+}

@@ -67,6 +67,11 @@ type RunOptions struct {
 	// dataset validation; the pipeline itself re-derives attacks
 	// from traffic).
 	OnAttack func(cmd c2.Command)
+	// EventBudget arms the activation watchdog: an emulation that
+	// fires this many simulated events before its window closes is
+	// declared hung, aborted, and reported with TimedOut set. 0
+	// disables the watchdog (unbounded, the historical behavior).
+	EventBudget int
 }
 
 // DialRecord is one outbound TCP connection attempt observed by the
@@ -131,6 +136,17 @@ type Report struct {
 	Resolutions map[string]netip.Addr
 	// Exploits are handshaker catches.
 	Exploits []CapturedExploit
+	// TimedOut reports that the activation watchdog aborted a hung
+	// emulation: the sample exhausted RunOptions.EventBudget before
+	// the analysis window closed. The partial capture up to the abort
+	// is retained.
+	TimedOut bool
+	// Faults counts the network faults injected into this activation
+	// (zero when no fault plan is installed).
+	Faults simnet.FaultStats
+	// EventsFired counts simulated events the activation consumed —
+	// the watchdog's meter.
+	EventsFired int
 	// Started/Ended bound the analysis window.
 	Started, Ended time.Time
 }
@@ -214,6 +230,11 @@ func New(n *simnet.Network, cfg Config) *Sandbox {
 
 // Host returns the sandbox's infected-device host.
 func (sb *Sandbox) Host() *simnet.Host { return sb.host }
+
+// Network returns the network the sandbox is installed on — shard
+// owners use it to install the study's fault plan on a freshly built
+// shard net.
+func (sb *Sandbox) Network() *simnet.Network { return sb.net }
 
 // NewShard installs a sandbox on a private, freshly built network
 // driven by clock — the isolation unit of the parallel study
@@ -310,11 +331,18 @@ func (sb *Sandbox) Run(raw []byte, opts RunOptions) (*Report, error) {
 	rs.bot = bot
 	bot.Start()
 
-	sb.clock.RunFor(opts.Duration)
+	faultsBefore := sb.net.FaultStats()
+	if opts.EventBudget > 0 {
+		fired, exhausted := sb.clock.RunBudget(report.Started.Add(opts.Duration), opts.EventBudget)
+		report.EventsFired, report.TimedOut = fired, exhausted
+	} else {
+		report.EventsFired = sb.clock.RunFor(opts.Duration)
+	}
 
 	bot.Stop()
 	detach()
 	sb.host.Egress = nil
+	report.Faults = sb.net.FaultStats().Sub(faultsBefore)
 	report.Ended = sb.clock.Now()
 	sb.run = nil
 	return report, nil

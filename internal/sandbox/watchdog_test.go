@@ -1,0 +1,124 @@
+package sandbox
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"malnet/internal/binfmt"
+	"malnet/internal/simnet"
+)
+
+// hungSample is a scanner-heavy config: its victim scanner
+// self-reschedules indefinitely, which is the event-storm shape the
+// watchdog exists to bound.
+func hungSample(t *testing.T) []byte {
+	t.Helper()
+	return encodeSample(t, binfmt.BotConfig{
+		Family: "mirai", Variant: "v1",
+		C2Addrs:   []string{"60.0.0.9:23"},
+		ScanPorts: []uint16{23, 2323},
+	}, 1)
+}
+
+// TestWatchdogAbortsHungActivation: a sample that burns its event
+// budget is aborted mid-window with TimedOut set and its partial
+// capture retained — and the abort leaks nothing: no goroutines, and
+// no stale timer left on the clock ever emits traffic afterwards.
+func TestWatchdogAbortsHungActivation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	n, clock := newEnv()
+	sb := New(n, Config{Seed: 1})
+	const budget = 250
+	rep, err := sb.Run(hungSample(t), RunOptions{
+		Mode: ModeIsolated, Duration: 2 * time.Hour, EventBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut {
+		t.Fatal("scanner storm did not exhaust a 250-event budget")
+	}
+	if rep.EventsFired != budget {
+		t.Fatalf("EventsFired = %d, want exactly the budget %d", rep.EventsFired, budget)
+	}
+	if !rep.Ended.Before(rep.Started.Add(2 * time.Hour)) {
+		t.Fatalf("timed-out run still consumed the full window: %v .. %v", rep.Started, rep.Ended)
+	}
+	if len(rep.Capture) == 0 {
+		t.Fatal("abort discarded the partial capture")
+	}
+
+	// Leak check, timer half: the abort leaves queued events behind
+	// (that is RunBudget's contract), but every one of them must be
+	// inert — advancing the clock through the rest of the window may
+	// not produce a single packet from the sandbox host.
+	var late int
+	detach := sb.Host().AttachTap(simnet.TapFunc(func(rec simnet.PacketRecord, outbound bool) {
+		late++
+	}))
+	clock.RunFor(4 * time.Hour)
+	detach()
+	if late != 0 {
+		t.Fatalf("%d packets emitted after the watchdog abort; stale timers are live", late)
+	}
+
+	// Leak check, goroutine half (the executor-cancellation idiom):
+	// the sandbox is synchronous in virtual time, so the watchdog
+	// path must not have spawned anything.
+	var after int
+	for i := 0; i < 20; i++ {
+		runtime.Gosched()
+		if after = runtime.NumGoroutine(); after <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after > before {
+		t.Fatalf("goroutines grew %d -> %d across a watchdog abort", before, after)
+	}
+}
+
+// TestWatchdogDisabledByDefault: EventBudget 0 preserves the
+// historical unbounded behavior — the full window elapses, TimedOut
+// stays false.
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	n, _ := newEnv()
+	sb := New(n, Config{Seed: 1})
+	rep, err := sb.Run(hungSample(t), RunOptions{Mode: ModeIsolated, Duration: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TimedOut {
+		t.Fatal("TimedOut set with no budget armed")
+	}
+	if !rep.Ended.Equal(rep.Started.Add(10 * time.Minute)) {
+		t.Fatalf("window = %v .. %v, want the full 10m", rep.Started, rep.Ended)
+	}
+	if rep.EventsFired == 0 {
+		t.Fatal("EventsFired not counted on the unbudgeted path")
+	}
+}
+
+// TestWatchdogGenerousBudgetNoFalsePositive: a well-behaved run under
+// a roomy budget completes its window untouched.
+func TestWatchdogGenerousBudgetNoFalsePositive(t *testing.T) {
+	n, _ := newEnv()
+	sb := New(n, Config{Seed: 1})
+	raw := encodeSample(t, binfmt.BotConfig{
+		Family: "mirai", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
+	}, 1)
+	rep, err := sb.Run(raw, RunOptions{
+		Mode: ModeIsolated, Duration: 10 * time.Minute, EventBudget: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TimedOut {
+		t.Fatalf("quiet sample tripped the watchdog after %d events", rep.EventsFired)
+	}
+	if !rep.Ended.Equal(rep.Started.Add(10 * time.Minute)) {
+		t.Fatalf("window = %v .. %v, want the full 10m", rep.Started, rep.Ended)
+	}
+}

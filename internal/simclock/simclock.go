@@ -192,6 +192,35 @@ func (c *Clock) Reset(start time.Time) {
 	c.live = make(map[EventID]*event)
 }
 
+// RunBudget is RunUntil with an event budget: it fires at most
+// maxEvents events (maxEvents <= 0 means unlimited), stopping early
+// with exhausted=true once the budget is spent. On early stop, Now
+// stays at the last fired event's timestamp so the caller can see how
+// far the run got before its watchdog tripped; pending events remain
+// queued for the caller to abort, Reset, or resume. The sandbox uses
+// this to bound hung activations — an emulation stuck in a
+// self-rescheduling storm burns its budget long before the analysis
+// window's deadline.
+func (c *Clock) RunBudget(deadline time.Time, maxEvents int) (fired int, exhausted bool) {
+	if c.running {
+		panic("simclock: re-entrant RunBudget")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+
+	for len(c.queue) > 0 && !c.queue[0].at.After(deadline) {
+		if maxEvents > 0 && fired >= maxEvents {
+			return fired, true
+		}
+		c.Step()
+		fired++
+	}
+	if c.now.Before(deadline) {
+		c.now = deadline
+	}
+	return fired, false
+}
+
 // RunFor is RunUntil(Now().Add(d)).
 func (c *Clock) RunFor(d time.Duration) int { return c.RunUntil(c.now.Add(d)) }
 

@@ -254,3 +254,65 @@ func TestResetDuringRunPanics(t *testing.T) {
 	})
 	c.RunFor(2 * time.Minute)
 }
+
+// TestRunBudgetStopsAtBudget: the budgeted run fires exactly
+// maxEvents, leaves Now at the last fired event, and keeps the rest
+// of the queue intact for the caller to abort or resume.
+func TestRunBudgetStopsAtBudget(t *testing.T) {
+	c := New(t0)
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(t0.Add(time.Duration(i+1)*time.Second), func() { fired = append(fired, i) })
+	}
+	n, exhausted := c.RunBudget(t0.Add(time.Minute), 4)
+	if !exhausted || n != 4 {
+		t.Fatalf("RunBudget = (%d, %v), want (4, true)", n, exhausted)
+	}
+	if len(fired) != 4 || fired[3] != 3 {
+		t.Fatalf("fired = %v, want the first 4 events in order", fired)
+	}
+	if got := c.Now(); !got.Equal(t0.Add(4 * time.Second)) {
+		t.Fatalf("Now = %v, want the 4th event's timestamp", got)
+	}
+	if c.Pending() != 6 {
+		t.Fatalf("Pending = %d, want the 6 unfired events", c.Pending())
+	}
+
+	// Resuming with room to spare drains the rest and reaches the
+	// deadline like a plain RunUntil.
+	n, exhausted = c.RunBudget(t0.Add(time.Minute), 100)
+	if exhausted || n != 6 {
+		t.Fatalf("resumed RunBudget = (%d, %v), want (6, false)", n, exhausted)
+	}
+	if !c.Now().Equal(t0.Add(time.Minute)) {
+		t.Fatalf("Now = %v, want the deadline", c.Now())
+	}
+}
+
+// TestRunBudgetUnlimited: maxEvents <= 0 behaves exactly like
+// RunUntil.
+func TestRunBudgetUnlimited(t *testing.T) {
+	c := New(t0)
+	count := 0
+	for i := 0; i < 10; i++ {
+		c.Schedule(t0.Add(time.Duration(i)*time.Second), func() { count++ })
+	}
+	n, exhausted := c.RunBudget(t0.Add(time.Minute), 0)
+	if exhausted || n != 10 || count != 10 {
+		t.Fatalf("unlimited RunBudget = (%d, %v), count %d", n, exhausted, count)
+	}
+}
+
+// TestRunBudgetCountsSelfRescheduling: a runaway self-rescheduling
+// event cannot outrun the budget — the watchdog's core guarantee.
+func TestRunBudgetCountsSelfRescheduling(t *testing.T) {
+	c := New(t0)
+	var loop func()
+	loop = func() { c.After(time.Millisecond, loop) }
+	c.After(0, loop)
+	n, exhausted := c.RunBudget(t0.Add(24*time.Hour), 1000)
+	if !exhausted || n != 1000 {
+		t.Fatalf("RunBudget = (%d, %v), want (1000, true)", n, exhausted)
+	}
+}

@@ -2,6 +2,8 @@ package simnet
 
 import (
 	"time"
+
+	"malnet/internal/faultinject"
 )
 
 // connState tracks a Conn through its lifecycle.
@@ -29,6 +31,18 @@ type Conn struct {
 	bytesIn  int
 	bytesOut int
 	opened   time.Time
+
+	// Injected-fault schedule, decided once at dial time and shared
+	// (by value) with the accepting side. fSrc/fDst/fSeq are the
+	// dialer-relative fault-plan coordinates; fDir is "out" on the
+	// dialing side and "in" on the accepting side; fSeg counts data
+	// segments this side has attempted to send.
+	faults faultinject.ConnFaults
+	fSrc   string
+	fDst   string
+	fSeq   uint64
+	fDir   string
+	fSeg   int
 }
 
 // LocalAddr returns this side's address.
@@ -64,7 +78,12 @@ func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
 		handler: handler,
 		state:   stateConnecting,
 		id:      n.nextID,
+		fSrc:    h.IP.String(),
+		fDst:    to.String(),
+		fSeq:    n.nextConnSeq(h.IP, to),
+		fDir:    "out",
 	}
+	c.faults = n.faults.ConnPlan(c.fSrc, c.fDst, c.fSeq)
 	now := n.Clock.Now()
 	syn := PacketRecord{
 		Time: now, Src: c.local, Dst: to, Proto: ProtoTCP,
@@ -80,8 +99,28 @@ func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
 	n.record(syn)
 
 	dst := n.hosts[to.IP]
-	rtt := 2 * n.Latency(h.IP, to.IP)
+	if c.faults.ExtraLatency > 0 {
+		n.fstats.LatencySpikes++
+	}
+	if c.faults.DripChunk > 0 {
+		n.fstats.SlowDrips++
+	}
+	rtt := 2 * (n.Latency(h.IP, to.IP) + c.faults.ExtraLatency)
 	if dst == nil || !dst.Online {
+		n.Clock.After(n.cfg.SYNTimeout, func() { c.fail(ErrTimeout) })
+		return c
+	}
+	if n.darkAt(to.IP, now) {
+		// Injected blackout: the host is up but unreachable for the
+		// moment — indistinguishable from offline to the dialer.
+		n.fstats.Blackouts++
+		n.Clock.After(n.cfg.SYNTimeout, func() { c.fail(ErrTimeout) })
+		return c
+	}
+	if c.faults.DropSYN {
+		// Injected handshake loss: the SYN left the host tap but
+		// the network ate it.
+		n.fstats.SYNsDropped++
 		n.Clock.After(n.cfg.SYNTimeout, func() { c.fail(ErrTimeout) })
 		return c
 	}
@@ -120,6 +159,11 @@ func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
 			state:   stateEstablished,
 			id:      c.id,
 			opened:  n.Clock.Now(),
+			// The accepting side shares the dialer's fault schedule
+			// (same coordinates, opposite direction) so both halves
+			// of a connection agree on its fate.
+			faults: c.faults,
+			fSrc:   c.fSrc, fDst: c.fDst, fSeq: c.fSeq, fDir: "in",
 		}
 		c.peer = server
 		server.peer = c
@@ -142,10 +186,20 @@ func (c *Conn) fail(err error) {
 
 // Write sends payload to the peer; the peer's OnData fires after the
 // one-way latency. Writing on a non-established connection returns
-// ErrClosed.
+// ErrClosed. Under an installed fault plan a write may be silently
+// lost (segment loss), delivered in chunks (slow drip), or replaced
+// by a forged RST that closes both sides with ErrReset — in which
+// case Write returns ErrReset, mirroring a real ECONNRESET.
 func (c *Conn) Write(payload []byte) error {
 	if c.state != stateEstablished {
 		return ErrClosed
+	}
+	seg := c.fSeg
+	c.fSeg++
+	if c.faults.ResetAfterSegment >= 0 && seg >= c.faults.ResetAfterSegment {
+		c.net.fstats.ResetsInjected++
+		c.injectReset()
+		return ErrReset
 	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
@@ -160,9 +214,38 @@ func (c *Conn) Write(payload []byte) error {
 		n.recordLocal(rec)
 		return nil
 	}
+	if n.faults.DropSegment(c.fSrc, c.fDst, c.fSeq, c.fDir, seg) {
+		// Injected segment loss: the sender's tap sees the packet
+		// leave, the peer never does.
+		n.fstats.SegmentsDropped++
+		n.recordLocal(rec)
+		return nil
+	}
 	n.record(rec)
 	peer := c.peer
-	n.Clock.After(n.Latency(c.local.IP, c.remote.IP), func() {
+	lat := n.Latency(c.local.IP, c.remote.IP) + c.faults.ExtraLatency
+	if c.faults.DripChunk > 0 && len(buf) > c.faults.DripChunk {
+		// Slow drip: the peer receives the payload in chunks spaced
+		// DripDelay apart — one write, several OnData calls, message
+		// boundaries gone, exactly what incremental parsers must
+		// survive on real sockets.
+		for i, off := 0, 0; off < len(buf); i, off = i+1, off+c.faults.DripChunk {
+			end := off + c.faults.DripChunk
+			if end > len(buf) {
+				end = len(buf)
+			}
+			chunk := buf[off:end]
+			n.Clock.After(lat+time.Duration(i)*c.faults.DripDelay, func() {
+				if peer.state != stateEstablished || !peer.host.Online {
+					return
+				}
+				peer.bytesIn += len(chunk)
+				peer.handler.OnData(peer, chunk)
+			})
+		}
+		return nil
+	}
+	n.Clock.After(lat, func() {
 		if peer.state != stateEstablished || !peer.host.Online {
 			return
 		}
@@ -182,6 +265,31 @@ func (c *Conn) Close() {
 // OnClose(ErrReset).
 func (c *Conn) Abort() {
 	c.shutdown(ErrReset, FlagRST|FlagACK)
+}
+
+// injectReset tears the connection down as if the network forged an
+// RST mid-stream: unlike Abort (where the aborting side closes
+// cleanly), BOTH sides observe ErrReset — this is a fault, not a
+// decision either endpoint made.
+func (c *Conn) injectReset() {
+	if c.state == stateClosed {
+		return
+	}
+	n := c.net
+	c.state = stateClosed
+	n.record(PacketRecord{
+		Time: n.Clock.Now(), Src: c.local, Dst: c.remote, Proto: ProtoTCP,
+		Flags: FlagRST | FlagACK, Size: tcpHeaderBytes, Count: 1,
+	})
+	peer := c.peer
+	n.Clock.After(n.Latency(c.local.IP, c.remote.IP), func() {
+		if peer.state != stateEstablished {
+			return
+		}
+		peer.state = stateClosed
+		peer.handler.OnClose(peer, ErrReset)
+	})
+	c.handler.OnClose(c, ErrReset)
 }
 
 func (c *Conn) shutdown(peerErr error, flags TCPFlags) {

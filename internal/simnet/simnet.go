@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"malnet/internal/detrand"
+	"malnet/internal/faultinject"
 	"malnet/internal/simclock"
 )
 
@@ -220,6 +221,13 @@ type Config struct {
 	LatencyJitter time.Duration
 	// Seed drives the deterministic latency assignment.
 	Seed int64
+	// Faults, when non-nil, is consulted for deterministic fault
+	// injection: SYN loss, segment loss, mid-stream resets, latency
+	// spikes, host blackouts, and slow-drip delivery. Every decision
+	// is a pure function of (plan seed, address pair, connection
+	// sequence), so a faulted network is exactly as reproducible as
+	// a clean one. See InstallFaults for enabling after construction.
+	Faults *faultinject.Plan
 }
 
 // DefaultConfig returns production-shaped defaults: 21 s SYN timeout
@@ -234,6 +242,61 @@ func DefaultConfig() Config {
 	}
 }
 
+// FaultStats counts injected faults since the network was built (or
+// since the last snapshot diff a consumer takes). The counters are
+// deterministic for a deterministic run: they are incremented on the
+// owning goroutine as faults are applied.
+type FaultStats struct {
+	// SYNsDropped: handshakes swallowed whole (dialer times out).
+	SYNsDropped int
+	// SegmentsDropped: data writes lost in flight.
+	SegmentsDropped int
+	// ResetsInjected: connections torn down with a forged RST.
+	ResetsInjected int
+	// LatencySpikes: connections dialed with extra per-packet delay.
+	LatencySpikes int
+	// Blackouts: dials or datagrams that found the target host dark.
+	Blackouts int
+	// SlowDrips: connections dialed with chunked delivery.
+	SlowDrips int
+}
+
+// Total sums every counter.
+func (s FaultStats) Total() int {
+	return s.SYNsDropped + s.SegmentsDropped + s.ResetsInjected + s.LatencySpikes + s.Blackouts + s.SlowDrips
+}
+
+// Sub returns s minus o, for before/after snapshot diffs.
+func (s FaultStats) Sub(o FaultStats) FaultStats {
+	return FaultStats{
+		SYNsDropped:     s.SYNsDropped - o.SYNsDropped,
+		SegmentsDropped: s.SegmentsDropped - o.SegmentsDropped,
+		ResetsInjected:  s.ResetsInjected - o.ResetsInjected,
+		LatencySpikes:   s.LatencySpikes - o.LatencySpikes,
+		Blackouts:       s.Blackouts - o.Blackouts,
+		SlowDrips:       s.SlowDrips - o.SlowDrips,
+	}
+}
+
+// Add returns the element-wise sum of s and o.
+func (s FaultStats) Add(o FaultStats) FaultStats {
+	return FaultStats{
+		SYNsDropped:     s.SYNsDropped + o.SYNsDropped,
+		SegmentsDropped: s.SegmentsDropped + o.SegmentsDropped,
+		ResetsInjected:  s.ResetsInjected + o.ResetsInjected,
+		LatencySpikes:   s.LatencySpikes + o.LatencySpikes,
+		Blackouts:       s.Blackouts + o.Blackouts,
+		SlowDrips:       s.SlowDrips + o.SlowDrips,
+	}
+}
+
+// connSeqKey identifies a (dialing host, destination endpoint) pair
+// for the per-pair connection sequence counter.
+type connSeqKey struct {
+	src netip.Addr
+	dst Addr
+}
+
 // Network is the virtual Internet.
 type Network struct {
 	Clock *simclock.Clock
@@ -242,6 +305,10 @@ type Network struct {
 	hosts  map[netip.Addr]*Host
 	lat    map[[2]netip.Addr]time.Duration
 	nextID uint64
+
+	faults  *faultinject.Plan
+	connSeq map[connSeqKey]uint64
+	fstats  FaultStats
 }
 
 // New creates an empty network driven by clock.
@@ -253,11 +320,42 @@ func New(clock *simclock.Clock, cfg Config) *Network {
 		cfg.BaseLatency = DefaultConfig().BaseLatency
 	}
 	return &Network{
-		Clock: clock,
-		cfg:   cfg,
-		hosts: make(map[netip.Addr]*Host),
-		lat:   make(map[[2]netip.Addr]time.Duration),
+		Clock:   clock,
+		cfg:     cfg,
+		hosts:   make(map[netip.Addr]*Host),
+		lat:     make(map[[2]netip.Addr]time.Duration),
+		faults:  cfg.Faults,
+		connSeq: make(map[connSeqKey]uint64),
 	}
+}
+
+// InstallFaults attaches (or, with nil, removes) a fault plan on an
+// already-built network. The study driver uses it to enable chaos on
+// the shared world network whose construction it does not own.
+func (n *Network) InstallFaults(p *faultinject.Plan) { n.faults = p }
+
+// Faults returns the installed fault plan, nil when the network is
+// clean.
+func (n *Network) Faults() *faultinject.Plan { return n.faults }
+
+// FaultStats returns the injected-fault counters accumulated so far.
+// Consumers wanting per-window numbers snapshot before and after and
+// diff with Sub.
+func (n *Network) FaultStats() FaultStats { return n.fstats }
+
+// nextConnSeq returns the sequence number of the next connection from
+// src to dst — the "conn sequence" coordinate of the fault plan's
+// purity contract.
+func (n *Network) nextConnSeq(src netip.Addr, dst Addr) uint64 {
+	k := connSeqKey{src: src, dst: dst}
+	seq := n.connSeq[k]
+	n.connSeq[k] = seq + 1
+	return seq
+}
+
+// darkAt reports whether ip is inside an injected blackout at t.
+func (n *Network) darkAt(ip netip.Addr, t time.Time) bool {
+	return n.faults.Blackout(ip.String(), t)
 }
 
 // AddHost registers a host at ip. Adding an existing address returns
@@ -410,6 +508,11 @@ func (n *Network) record(rec PacketRecord) {
 	lat := n.Latency(rec.Src.IP, rec.Dst.IP)
 	delivered := rec
 	delivered.Time = rec.Time.Add(lat)
+	if n.darkAt(rec.Dst.IP, delivered.Time) {
+		// Injected blackout: the packet leaves the sender but the
+		// dark host never taps it.
+		return
+	}
 	n.Clock.Schedule(delivered.Time, func() {
 		if dst.Online {
 			dst.tap(delivered, false)
@@ -458,6 +561,10 @@ func (h *Host) sendUDPBurst(srcPort uint16, to Addr, payload []byte, count int, 
 	}
 	if handler, ok := dst.udpListeners[to.Port]; ok {
 		lat := h.net.Latency(h.IP, to.IP)
+		if h.net.darkAt(to.IP, h.net.Clock.Now().Add(lat)) {
+			h.net.fstats.Blackouts++
+			return
+		}
 		h.net.Clock.After(lat, func() {
 			if dst.Online {
 				handler(src, to, payload)
