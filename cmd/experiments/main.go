@@ -5,6 +5,7 @@
 //
 //	experiments [-seed N] [-samples N] [-probe-rounds N] [-workers N]
 //	            [-short] [-table N] [-figure N] [-headlines] [-all]
+//	            [-trace-out FILE] [-metrics-out FILE] [-debug-addr ADDR]
 //
 // With no selector it prints everything. -short runs a scaled-down
 // study (150 samples, 12 probe rounds) in a few seconds; the default
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"malnet/internal/core"
+	"malnet/internal/obs"
 	"malnet/internal/results"
 	"malnet/internal/world"
 )
@@ -35,6 +37,9 @@ func main() {
 		seeds       = flag.Int("seeds", 0, "run a robustness sweep over N seeds and report headline spreads")
 		faults      = flag.Bool("faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
 		faultSeed   = flag.Int64("fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
+		traceOut    = flag.String("trace-out", "", "write the virtual-time trace journal (JSONL spans + events) to FILE")
+		metricsOut  = flag.String("metrics-out", "", "write the deterministic metrics snapshot to FILE")
+		debugAddr   = flag.String("debug-addr", "", "serve live pprof/expvar/wall-profile on ADDR (e.g. :6060) while the study runs")
 	)
 	flag.Parse()
 
@@ -58,6 +63,28 @@ func main() {
 	scfg.Workers = *workers
 	scfg.Faults = *faults
 	scfg.FaultSeed = *faultSeed
+
+	observer := obs.NewObserver()
+	scfg.Obs = observer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		observer.SetJournal(f)
+	}
+	if *debugAddr != "" {
+		observer.Wall.PublishExpvar("malnet")
+		srv, addr, err := obs.ServeDebug(*debugAddr, observer.Wall)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
+	}
 
 	fmt.Fprintf(os.Stderr, "generating world (seed=%d, samples=%d)...\n", *seed, wcfg.TotalSamples)
 	start := time.Now()
@@ -122,6 +149,23 @@ func main() {
 	}
 	if *faults {
 		fmt.Println(results.NewFaultSummary(st).Render())
+	}
+	if *table == 0 && *figure == 0 && !*headlines {
+		fmt.Println(results.NewMetricsSection(st).Render())
+	}
+	if *traceOut != "" {
+		if err := observer.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
 }
 

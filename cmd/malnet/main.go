@@ -4,7 +4,8 @@
 // Usage:
 //
 //	malnet [-seed N] [-samples N] [-workers N] [-short] [-out DIR]
-//	       [-faults] [-fault-seed N]
+//	       [-faults] [-fault-seed N] [-v]
+//	       [-trace-out FILE] [-metrics-out FILE] [-debug-addr ADDR]
 package main
 
 import (
@@ -18,19 +19,24 @@ import (
 
 	"malnet/internal/core"
 	"malnet/internal/ids"
+	"malnet/internal/obs"
 	"malnet/internal/results"
 	"malnet/internal/world"
 )
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 42, "world and pipeline seed")
-		samples   = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
-		workers   = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
-		short     = flag.Bool("short", false, "scaled-down study")
-		out       = flag.String("out", "malnet-out", "output directory")
-		faults    = flag.Bool("faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
-		faultSeed = flag.Int64("fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
+		seed       = flag.Int64("seed", 42, "world and pipeline seed")
+		samples    = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
+		workers    = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
+		short      = flag.Bool("short", false, "scaled-down study")
+		out        = flag.String("out", "malnet-out", "output directory")
+		faults     = flag.Bool("faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
+		faultSeed  = flag.Int64("fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
+		verbose    = flag.Bool("v", false, "print per-1000-sample throughput to stderr while the study runs")
+		traceOut   = flag.String("trace-out", "", "write the virtual-time trace journal (JSONL spans + events) to FILE")
+		metricsOut = flag.String("metrics-out", "", "write the deterministic metrics snapshot to FILE")
+		debugAddr  = flag.String("debug-addr", "", "serve live pprof/expvar/wall-profile on ADDR (e.g. :6060) while the study runs")
 	)
 	flag.Parse()
 
@@ -46,10 +52,53 @@ func main() {
 	if *samples > 0 {
 		wcfg.TotalSamples = *samples
 	}
+
+	observer := obs.NewObserver()
+	scfg.Obs = observer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		observer.SetJournal(f)
+	}
+	if *debugAddr != "" {
+		observer.Wall.PublishExpvar("malnet")
+		srv, addr, err := obs.ServeDebug(*debugAddr, observer.Wall)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
+	}
+	if *verbose {
+		scfg.Progress = func(p core.ProgressUpdate) {
+			fmt.Fprintf(os.Stderr,
+				"processed %d feed entries (%d accepted) in %v — %.0f samples/sec; alive=%d retried=%d dead=%d timed-out=%d\n",
+				p.Processed, p.Accepted, p.Elapsed.Round(time.Millisecond), p.Rate,
+				p.Dispositions[core.DispAlive], p.Dispositions[core.DispRetriedThenAlive],
+				p.Dispositions[core.DispDead], p.Dispositions[core.DispTimedOut])
+		}
+	}
+
 	start := time.Now()
 	w := world.Generate(wcfg)
 	st := core.RunStudy(w, scfg)
 	fmt.Printf("study complete in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *traceOut != "" {
+		if err := observer.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -151,6 +200,7 @@ func main() {
 	if *faults {
 		summary += "\n" + results.NewFaultSummary(st).Render()
 	}
+	summary += "\n" + results.NewMetricsSection(st).Render()
 	write("summary.txt", summary)
 	fmt.Printf("generated %d firewall/IDS rules\n\n", len(rules))
 	fmt.Print(summary)

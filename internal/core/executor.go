@@ -10,6 +10,7 @@ import (
 	"malnet/internal/binfmt"
 	"malnet/internal/c2"
 	"malnet/internal/faultinject"
+	"malnet/internal/obs"
 	"malnet/internal/sandbox"
 	"malnet/internal/simclock"
 	"malnet/internal/world"
@@ -59,9 +60,11 @@ type shard struct {
 // the plan is a pure function and per-connection sequence counters
 // restart with the network, the same sample draws the same fault
 // schedule on every worker.
-func (sh *shard) run(at time.Time, raw []byte, opts sandbox.RunOptions) (*sandbox.Report, error) {
+// The shard network meters onto rec — the sample's private recorder,
+// merged into the study root in feed order.
+func (sh *shard) run(at time.Time, raw []byte, opts sandbox.RunOptions, rec *obs.Recorder) (*sandbox.Report, error) {
 	sh.clock.Reset(at)
-	sb := sandbox.NewShard(sh.clock, sh.seed, sh.dns)
+	sb := sandbox.NewShard(sh.clock, sh.seed, sh.dns, rec)
 	if sh.faults != nil {
 		sb.Network().InstallFaults(sh.faults)
 	}
@@ -84,6 +87,13 @@ type sampleOutcome struct {
 	rec      *SampleRecord // accepted sample, pending merge
 	isoOK    bool          // isolated run completed
 	isoCands []C2Candidate // DetectC2 over the isolated report
+
+	// obs is the sample's private recorder: the parallel stage and
+	// the shard network write here, the merge goroutine folds it into
+	// the study root in feed order (dispatch barriers carry the
+	// ownership handoff). span is the sample's virtual-time trace.
+	obs  *obs.Recorder
+	span *obs.Span
 }
 
 // executor owns the worker pool. One executor serves a whole study;
@@ -112,18 +122,24 @@ func resolveWorkers(n int) int {
 // clock's anchor is reset per sample, so the start value is
 // irrelevant; the world's start keeps timestamps plausible if a bug
 // ever leaks one.
-func newExecutor(ctx context.Context, n int, seed int64, dns world.Resolver, start time.Time, faults *faultinject.Plan) *executor {
+// wall receives the pool's wall-clock profile (per-worker busy time,
+// live queue depth); it never feeds the deterministic plane.
+func newExecutor(ctx context.Context, n int, seed int64, dns world.Resolver, start time.Time, faults *faultinject.Plan, wall *obs.Wall) *executor {
 	ex := &executor{
 		ctx:   ctx,
 		tasks: make(chan func(*shard), n),
 	}
+	wall.SetGauge("executor.workers", func() int64 { return int64(n) })
+	wall.SetGauge("executor.queue_depth", func() int64 { return int64(len(ex.tasks)) })
 	ex.workers.Add(n)
 	for i := 0; i < n; i++ {
 		go func() {
 			defer ex.workers.Done()
 			sh := &shard{clock: simclock.New(start), seed: seed, dns: dns, faults: faults}
 			for fn := range ex.tasks {
+				stop := wall.Timer("worker.busy")
 				fn(sh)
+				stop()
 				ex.batch.Done()
 			}
 		}()
@@ -170,18 +186,26 @@ func (st *Study) runBatch(ex *executor, sb *sandbox.Sandbox, specs []*world.Samp
 		return nil
 	}
 	at := st.W.Clock.Now()
+	events := st.obs != nil && st.obs.Journal != nil
 	outs := make([]*sampleOutcome, len(specs))
 	for i, spec := range specs {
-		outs[i] = &sampleOutcome{spec: spec, at: at}
+		rec := obs.NewRecorder()
+		rec.EnableEvents(events)
+		outs[i] = &sampleOutcome{spec: spec, at: at, obs: rec}
 	}
 
 	// Encode (parallel, pure per-sample: SampleSpec memoization is
 	// single-writer here).
-	if err := ex.dispatch(len(outs), func(_ *shard, i int) {
+	stop := st.obs.Wall.Timer("batch.encode")
+	err := ex.dispatch(len(outs), func(_ *shard, i int) {
 		if raw, err := outs[i].spec.Binary(); err == nil {
 			outs[i].raw = raw
+		} else {
+			outs[i].obs.Counter("feed.encode_failures").Inc()
 		}
-	}); err != nil {
+	})
+	stop()
+	if err != nil {
 		return err
 	}
 
@@ -193,21 +217,31 @@ func (st *Study) runBatch(ex *executor, sb *sandbox.Sandbox, specs []*world.Samp
 		}
 		if err := st.W.PublishSample(out.spec); err != nil {
 			out.raw = nil
+			out.obs.Counter("feed.publish_failures").Inc()
 		}
 	}
 
 	// Static analysis + isolated activation (parallel, per-worker
 	// shards).
-	if err := ex.dispatch(len(outs), func(sh *shard, i int) {
+	stop = st.obs.Wall.Timer("batch.static_isolated")
+	err = ex.dispatch(len(outs), func(sh *shard, i int) {
 		st.analyzeStatic(sh, outs[i])
-	}); err != nil {
+	})
+	stop()
+	if err != nil {
 		return err
 	}
 
 	// Merge + live windows (serial, feed order, shared clock).
+	stop = st.obs.Wall.Timer("batch.merge_live")
 	for _, out := range outs {
 		st.mergeOutcome(sb, out)
 	}
+	stop()
+	// World-network events (live windows, probing) accumulate on the
+	// world recorder; drain them here, on the single merge goroutine,
+	// so the journal order stays deterministic.
+	st.drainWorldEvents()
 	return nil
 }
 
@@ -218,19 +252,31 @@ func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
 	if raw == nil {
 		return
 	}
+	reg := out.obs.Registry()
+	sp := obs.NewSpan("sample", out.at)
+	sp.SetAttr("date", out.spec.Date.Format("2006-01-02"))
+	out.span = sp
 	// Collection filter: the study analyzes MIPS 32B only (§2.2).
 	if arch, err := binfmt.SniffArch(raw); err != nil || arch != binfmt.ArchMIPS32BE {
 		out.filtered = true
+		reg.Counter("feed.decoys_skipped").Inc()
+		sp.SetAttr("verdict", "filtered_arch")
+		sp.Finish(out.at)
 		return
 	}
 	sha, _ := out.spec.SHA256()
+	sp.SetAttr("sha", sha[:12])
 
 	// Collection gate: >= MinEngines corroborating detections.
 	dets := st.W.Intel.ScanSample(sha, out.at)
 	if avclass.MaliciousCount(dets) < st.Cfg.MinEngines {
 		out.rejected = true
+		reg.Counter("feed.rejected_intel").Inc()
+		sp.SetAttr("verdict", "rejected_intel")
+		sp.Finish(out.at)
 		return
 	}
+	reg.Counter("feed.samples_accepted").Inc()
 	rec := &SampleRecord{SHA: sha, Date: out.spec.Date, Detections: len(dets)}
 	rules := yara.IoTFamilies()
 	rec.FamilyYARA = rules.FamilyOf(raw)
@@ -241,18 +287,36 @@ func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
 	}
 	rec.P2P = rec.Family == c2.FamilyMozi || rec.Family == c2.FamilyHajime
 	out.rec = rec
+	sp.SetAttr("family", rec.Family)
 
-	// Isolated run: C2 detection and exploit capture.
+	// Isolated run: C2 detection and exploit capture. The stage span
+	// is anchored to the shard clock, which mirrors the world clock's
+	// batch anchor, so its bounds are worker-count-independent.
+	iso := sp.Child("stage.isolated", out.at)
 	isoRep, err := sh.run(out.at, raw, sandbox.RunOptions{
 		Mode:                sandbox.ModeIsolated,
 		Duration:            st.Cfg.SandboxWindow,
 		HandshakerThreshold: st.Cfg.HandshakerThreshold,
 		EventBudget:         st.Cfg.EventBudget,
-	})
+	}, out.obs)
 	if err != nil {
+		reg.Counter("sandbox.parse_failures").Inc()
+		iso.SetAttr("error", "parse")
+		iso.Finish(out.at)
+		sp.Finish(out.at)
 		return
 	}
 	out.isoOK = true
+	reg.Counter("sandbox.runs").Inc()
+	if isoRep.Activated {
+		reg.Counter("sandbox.activations").Inc()
+	}
+	reg.Histogram("sandbox.events_per_run", eventBudgetBuckets).Observe(int64(isoRep.EventsFired))
+	if isoRep.TimedOut {
+		reg.Counter("sandbox.watchdog_aborts").Inc()
+	}
+	spanReport(iso, isoRep)
+	iso.Finish(isoRep.Ended)
 	rec.Activated = isoRep.Activated
 	rec.Faults = rec.Faults.Add(isoRep.Faults)
 	if isoRep.TimedOut {
@@ -262,9 +326,57 @@ func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
 	out.isoCands = DetectC2(isoRep, 2)
 }
 
+// eventBudgetBuckets sizes the events-per-activation histogram: a
+// healthy run fires hundreds to thousands of events; the top bucket
+// boundary matches the default watchdog budget.
+var eventBudgetBuckets = []int64{100, 1_000, 10_000, 100_000, 1 << 20}
+
+// spanReport annotates a stage span with an activation report and
+// attaches probe sub-spans for the established dials. Scan traffic
+// makes Dials large, so only established dials are expanded and the
+// omission is recorded explicitly.
+func spanReport(stage *obs.Span, rep *sandbox.Report) {
+	if stage == nil {
+		return
+	}
+	stage.SetAttr("events", rep.EventsFired)
+	stage.SetAttr("activated", rep.Activated)
+	if rep.TimedOut {
+		stage.SetAttr("timed_out", true)
+	}
+	stage.SetAttr("dials", len(rep.Dials))
+	const maxDialSpans = 32
+	emitted, omitted := 0, 0
+	for _, d := range rep.Dials {
+		if !d.Established {
+			continue
+		}
+		if emitted >= maxDialSpans {
+			omitted++
+			continue
+		}
+		emitted++
+		ps := stage.Child("probe.dial", d.Time)
+		ps.SetAttr("dst", d.Requested.String())
+		if d.Actual != d.Requested {
+			ps.SetAttr("routed", d.Actual.String())
+		}
+		if d.Name != "" {
+			ps.SetAttr("name", d.Name)
+		}
+		ps.SetAttr("bytes_in", d.BytesIn)
+		ps.SetAttr("bytes_out", d.BytesOut)
+		ps.Finish(d.Time)
+	}
+	if omitted > 0 {
+		stage.SetAttr("dials_omitted", omitted)
+	}
+}
+
 // mergeOutcome folds one outcome into the Study and, for accepted
 // non-P2P samples, runs the live windows on the shared sandbox.
 func (st *Study) mergeOutcome(sb *sandbox.Sandbox, out *sampleOutcome) {
+	st.obs.Root.Merge(out.obs)
 	switch {
 	case out.filtered:
 		st.FilteredArch++
@@ -274,12 +386,32 @@ func (st *Study) mergeOutcome(sb *sandbox.Sandbox, out *sampleOutcome) {
 		rec := out.rec
 		st.Samples = append(st.Samples, rec)
 		st.Exploits = append(st.Exploits, rec.Exploits...)
-		if !out.isoOK {
-			return
+		if out.isoOK && !rec.P2P {
+			// P2P samples are filtered out of D-C2s (§2.3a); others
+			// run the live windows on the shared clock.
+			st.liveStage(sb, rec, out.raw, out.isoCands, out.span)
 		}
-		if rec.P2P {
-			return // P2P samples are filtered out of D-C2s (§2.3a)
+		st.obs.Root.Counter("study.disposition." + rec.Disposition.String()).Inc()
+	}
+	st.finishSample(out)
+}
+
+// finishSample closes the sample's span at the (shared-clock) merge
+// time, emits its trace to the journal, and ticks progress. Runs on
+// the merge goroutine in feed order — the journal's determinism
+// hinges on exactly that.
+func (st *Study) finishSample(out *sampleOutcome) {
+	if out.span != nil && out.span.End.IsZero() {
+		out.span.Finish(st.W.Clock.Now())
+	}
+	if j := st.obs.Journal; j != nil {
+		id := j.EmitSpan(0, out.span)
+		for _, ev := range out.obs.DrainEvents() {
+			j.EmitEvent(id, ev)
 		}
-		st.liveStage(sb, rec, out.raw, out.isoCands)
+	}
+	st.processed++
+	if st.Cfg.Progress != nil && st.processed%progressEvery == 0 {
+		st.emitProgress()
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"malnet/internal/c2"
+	"malnet/internal/obs"
 	"malnet/internal/simnet"
 )
 
@@ -48,6 +49,11 @@ type ProbeConfig struct {
 	RetryCap  time.Duration
 	// Seed feeds the deterministic backoff jitter.
 	Seed int64
+	// Obs meters probe activity (attempts, retries, virtual backoff
+	// time, dispositions) onto a recorder. Nil disables metering.
+	// Probe callbacks run on whichever goroutine drives the clock,
+	// so the recorder must be owned by that goroutine.
+	Obs *obs.Recorder
 }
 
 // ProbeOutcome is one probe's verdict.
@@ -219,6 +225,17 @@ func ScheduleProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
 	prober := n.AddHost(cfg.SourceIP)
 	study := &ProbeStudy{Config: cfg, Started: n.Clock.Now()}
 
+	// Counters are cached up front; a nil cfg.Obs yields nil no-op
+	// counters, so the probe loop needs no conditionals.
+	var (
+		mAttempts  = cfg.Obs.Counter("probe.attempts")
+		mRetries   = cfg.Obs.Counter("probe.retries")
+		mBackoffNs = cfg.Obs.Counter("probe.backoff_virtual_ns")
+		mAccepted  = cfg.Obs.Counter("probe.tcp_accepted")
+		mEngaged   = cfg.Obs.Counter("probe.engaged")
+		mBanners   = cfg.Obs.Counter("probe.banners")
+	)
+
 	targets := map[simnet.Addr]*ProbeTarget{}
 	record := func(addr simnet.Addr, round int, o ProbeOutcome, banner string) {
 		t := targets[addr]
@@ -246,13 +263,16 @@ func ScheduleProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
 		var try func(attempt int)
 		try = func(attempt int) {
 			study.ProbesSent++
+			mAttempts.Inc()
 			if attempt > 0 {
 				study.Retries++
+				mRetries.Inc()
 			}
 			connected := false
 			prober.DialTCP(addr, simnet.ConnFuncs{
 				Connect: func(cn *simnet.Conn) {
 					connected = true
+					mAccepted.Inc()
 					for _, msg := range handshake {
 						cn.Write(msg)
 					}
@@ -265,12 +285,14 @@ func ScheduleProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
 				},
 				Data: func(cn *simnet.Conn, b []byte) {
 					if c2.WellKnownBanner(b) {
+						mBanners.Inc()
 						record(addr, round, ProbeBanner, string(b[:min(len(b), 40)]))
 						cn.Close()
 						return
 					}
 					if !engaged && c2.ProbeEngaged(cfg.Family, b) {
 						engaged = true
+						mEngaged.Inc()
 						record(addr, round, ProbeEngaged, "")
 						cn.Close()
 					}
@@ -288,7 +310,9 @@ func ScheduleProbing(n *simnet.Network, cfg ProbeConfig) *ProbeStudy {
 					// Under a flaky network a timeout or reset is worth
 					// re-dialing, within the per-probe budget.
 					if attempt < cfg.Retries && c2.TransientProbeError(err) {
-						n.Clock.After(bo.Delay(attempt), func() { try(attempt + 1) })
+						delay := bo.Delay(attempt)
+						mBackoffNs.Add(int64(delay))
+						n.Clock.After(delay, func() { try(attempt + 1) })
 					}
 				},
 			})

@@ -9,6 +9,7 @@ import (
 	"malnet/internal/c2"
 	"malnet/internal/faultinject"
 	"malnet/internal/intel"
+	"malnet/internal/obs"
 	"malnet/internal/sandbox"
 	"malnet/internal/simnet"
 	"malnet/internal/world"
@@ -58,6 +59,34 @@ type StudyConfig struct {
 	// 0 with Faults on picks a generous default; 0 without Faults
 	// leaves the watchdog off, the historical behavior.
 	EventBudget int
+	// Obs receives the study's telemetry: deterministic metrics and
+	// virtual-time trace on the Root recorder (journaled when a
+	// Journal is set), wall-clock profiling on Wall. Nil gets a fresh
+	// Observer, so instrumentation is always on; the snapshot is part
+	// of the determinism contract (byte-identical at any worker
+	// count), the Wall plane is not.
+	Obs *obs.Observer
+	// Progress, when non-nil, is called from the merge goroutine
+	// every 1000 merged feed entries (and once at study end) with
+	// wall-clock throughput so long studies are not silent. The
+	// callback must not mutate study state.
+	Progress func(ProgressUpdate)
+}
+
+// progressEvery is the merge-count period of Progress callbacks.
+const progressEvery = 1000
+
+// ProgressUpdate is one Progress callback's payload.
+type ProgressUpdate struct {
+	// Processed counts merged feed entries (including filtered and
+	// rejected ones); Accepted counts D-Samples rows so far.
+	Processed, Accepted int
+	// Dispositions tallies accepted samples by day-0 disposition.
+	Dispositions map[Disposition]int
+	// Elapsed is wall-clock time since the study started; Rate is
+	// Processed/Elapsed in entries per second.
+	Elapsed time.Duration
+	Rate    float64
 }
 
 // faultPlan derives the study's fault plan; nil when faults are off.
@@ -215,6 +244,26 @@ type Study struct {
 	// ProbeGafgyt is the second weaponized sweep; Probe holds the
 	// Mirai one. MergedLiveC2s unions them.
 	ProbeGafgyt *ProbeStudy
+
+	// obs is the study's observer (never nil after RunStudyContext).
+	obs *obs.Observer
+	// processed counts merged feed entries for Progress pacing.
+	processed int
+	// wallStart anchors Progress throughput arithmetic.
+	wallStart time.Time
+}
+
+// Obs returns the study's observer (nil only for hand-built Study
+// values that never went through RunStudy).
+func (st *Study) Obs() *obs.Observer { return st.obs }
+
+// Metrics returns the deterministic metrics registry, nil-safe to
+// read from for hand-built studies.
+func (st *Study) Metrics() *obs.Registry {
+	if st.obs == nil {
+		return nil
+	}
+	return st.obs.Root.Registry()
 }
 
 // MergedLiveC2s unions the two weaponized sweeps' live C2 sets.
@@ -262,6 +311,9 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 	if cfg.MinEngines <= 0 {
 		cfg.MinEngines = 5
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewObserver()
+	}
 	plan := cfg.faultPlan()
 	if plan != nil {
 		if cfg.EventBudget <= 0 {
@@ -272,7 +324,12 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 		}
 		w.Net.InstallFaults(plan)
 	}
-	st := &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}}
+	st := &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}, obs: cfg.Obs, wallStart: obs.Now()}
+	// World-network events (live windows, probing) are retained only
+	// when a journal will consume them; the merge goroutine drains
+	// them per batch.
+	w.Net.Obs().EnableEvents(cfg.Obs.Journal != nil)
+	defer cfg.Obs.Flush()
 	clock := w.Clock
 
 	sb := sandbox.New(w.Net, sandbox.Config{
@@ -305,6 +362,10 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 				pc.Retries = 3
 				pc.Seed = cfg.Seed
 			}
+			// Probe callbacks fire on the merge goroutine while it
+			// drives the shared clock, so metering straight onto the
+			// root recorder is race-free and feed-order stable.
+			pc.Obs = cfg.Obs.Root
 			return pc
 		}
 		clock.Schedule(w.ProbeStart, func() {
@@ -318,7 +379,7 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 	// Daily loop: each day's feed runs through the staged executor
 	// (encode → publish → parallel static+isolated → serial
 	// merge+live; see executor.go).
-	ex := newExecutor(ctx, resolveWorkers(cfg.Workers), cfg.Seed, w.Resolve, clock.Now(), plan)
+	ex := newExecutor(ctx, resolveWorkers(cfg.Workers), cfg.Seed, w.Resolve, clock.Now(), plan, cfg.Obs.Wall)
 	defer ex.close()
 	for day := world.StudyStart(); day.Before(world.StudyEnd()); day = day.AddDate(0, 0, 1) {
 		analysisDay := day.AddDate(0, 0, cfg.AnalysisDelayDays)
@@ -340,15 +401,70 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 	clock.RunUntil(end)
 
 	st.finalizeC2Records()
+	st.finalizeObs()
 	return st, nil
+}
+
+// finalizeObs seals the deterministic snapshot: study-level gauges,
+// the world network's registry folded in under a "world." prefix
+// (keeping shared-net traffic distinct from shard traffic), the last
+// world events drained, and a final Progress tick.
+func (st *Study) finalizeObs() {
+	reg := st.obs.Root.Registry()
+	reg.Gauge("study.samples").Set(int64(len(st.Samples)))
+	reg.Gauge("study.rejected").Set(int64(st.Rejected))
+	reg.Gauge("study.filtered_arch").Set(int64(st.FilteredArch))
+	reg.Gauge("study.c2s").Set(int64(len(st.C2s)))
+	reg.Gauge("study.exploit_findings").Set(int64(len(st.Exploits)))
+	reg.Gauge("study.ddos_observations").Set(int64(len(st.DDoS)))
+	reg.MergePrefixed("world.", st.W.Net.Obs().Registry())
+	st.drainWorldEvents()
+	if st.Cfg.Progress != nil && st.processed%progressEvery != 0 {
+		st.emitProgress()
+	}
+}
+
+// drainWorldEvents journals events accumulated on the shared world
+// network's recorder (fault injections during live windows and
+// probing). Always called from the merge goroutine.
+func (st *Study) drainWorldEvents() {
+	j := st.obs.Journal
+	if j == nil {
+		return
+	}
+	for _, ev := range st.W.Net.Obs().DrainEvents() {
+		j.EmitEvent(0, ev)
+	}
+}
+
+// emitProgress reports merge-goroutine throughput to Cfg.Progress.
+func (st *Study) emitProgress() {
+	disp := make(map[Disposition]int, 5)
+	for _, s := range st.Samples {
+		disp[s.Disposition]++
+	}
+	elapsed := obs.Now().Sub(st.wallStart)
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(st.processed) / elapsed.Seconds()
+	}
+	st.Cfg.Progress(ProgressUpdate{
+		Processed:    st.processed,
+		Accepted:     len(st.Samples),
+		Dispositions: disp,
+		Elapsed:      elapsed,
+		Rate:         rate,
+	})
 }
 
 // liveStage runs the day-0 liveness check and, when a C2 engages, the
 // restricted live watch (§2.5–§2.6) — serialized in feed order on the
 // shared world clock, which these windows advance.
-func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, isoCands []C2Candidate) {
+func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, isoCands []C2Candidate, sp *obs.Span) {
+	reg := st.obs.Root.Registry()
 	// Live check: does any C2 engage today? Restricted egress, per
 	// the containment policy (§2.6).
+	lc := sp.Child("stage.live_check", st.W.Clock.Now())
 	liveRep, err := sb.Run(raw, sandbox.RunOptions{
 		Mode:            sandbox.ModeLive,
 		Duration:        10 * time.Minute,
@@ -357,8 +473,17 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 		EventBudget:     st.Cfg.EventBudget,
 	})
 	if err != nil {
+		reg.Counter("sandbox.parse_failures").Inc()
+		lc.SetAttr("error", "parse")
+		lc.Finish(st.W.Clock.Now())
 		return
 	}
+	reg.Counter("sandbox.runs").Inc()
+	if liveRep.TimedOut {
+		reg.Counter("sandbox.watchdog_aborts").Inc()
+	}
+	spanReport(lc, liveRep)
+	lc.Finish(liveRep.Ended)
 	rec.Faults = rec.Faults.Add(liveRep.Faults)
 	rec.C2Retries += failedDials(liveRep)
 	liveCands := DetectC2(liveRep, 1)
@@ -383,15 +508,16 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 	}
 	// Commands can land during the liveness window too; extract
 	// from it as well as from the long watch.
-	obs := ExtractDDoS(liveRep, rec.Family, rec.C2s, st.Cfg.DDoS)
+	ddos := ExtractDDoS(liveRep, rec.Family, rec.C2s, st.Cfg.DDoS)
 	if !rec.LiveDay0 {
-		rec.DDoS = obs
-		st.DDoS = append(st.DDoS, obs...)
+		rec.DDoS = ddos
+		st.DDoS = append(st.DDoS, ddos...)
 		return
 	}
 
 	// Restricted live window: watch the C2 session for DDoS
 	// commands (§2.5).
+	lw := sp.Child("stage.live_watch", st.W.Clock.Now())
 	watchRep, err := sb.Run(raw, sandbox.RunOptions{
 		Mode:            sandbox.ModeLive,
 		Duration:        st.Cfg.LiveWindow,
@@ -400,16 +526,25 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 		EventBudget:     st.Cfg.EventBudget,
 	})
 	if err != nil {
+		reg.Counter("sandbox.parse_failures").Inc()
+		lw.SetAttr("error", "parse")
+		lw.Finish(st.W.Clock.Now())
 		return
 	}
+	reg.Counter("sandbox.runs").Inc()
+	if watchRep.TimedOut {
+		reg.Counter("sandbox.watchdog_aborts").Inc()
+	}
+	spanReport(lw, watchRep)
+	lw.Finish(watchRep.Ended)
 	rec.Faults = rec.Faults.Add(watchRep.Faults)
 	if watchRep.TimedOut {
 		rec.Disposition = DispTimedOut
 	}
 	st.markLive(DetectC2(watchRep, 1))
-	obs = append(obs, ExtractDDoS(watchRep, rec.Family, rec.C2s, st.Cfg.DDoS)...)
-	rec.DDoS = obs
-	st.DDoS = append(st.DDoS, obs...)
+	ddos = append(ddos, ExtractDDoS(watchRep, rec.Family, rec.C2s, st.Cfg.DDoS)...)
+	rec.DDoS = ddos
+	st.DDoS = append(st.DDoS, ddos...)
 }
 
 // failedDials counts dial attempts in a report that never established

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeDebug(t *testing.T) {
+	wall := NewWall()
+	wall.Add("stage.static", 3*time.Millisecond)
+	wall.SetGauge("executor.queue_depth", func() int64 { return 5 })
+	wall.PublishExpvar("malnet_test_wall")
+
+	srv, addr, err := ServeDebug("127.0.0.1:0", wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	if body := get("/debug/wall"); !strings.Contains(body, "stage.static") ||
+		!strings.Contains(body, "executor.queue_depth") {
+		t.Fatalf("/debug/wall missing profile:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "malnet_test_wall") {
+		t.Fatalf("/debug/vars missing published wall:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}

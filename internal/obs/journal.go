@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Journal writes the run's trace as JSONL: one span or event per
+// line, span IDs assigned sequentially at emission time. Because the
+// study emits sample span trees in feed order (and drains world
+// events on the single merge goroutine), the journal bytes are
+// deterministic at any worker count. A nil Journal absorbs emissions.
+type Journal struct {
+	w      *bufio.Writer
+	nextID int64
+	err    error
+}
+
+// NewJournal returns a Journal buffering writes to w.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w)}
+}
+
+type journalLine struct {
+	T      string         `json:"t"`
+	ID     int64          `json:"id,omitempty"`
+	Parent int64          `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  string         `json:"start,omitempty"`
+	End    string         `json:"end,omitempty"`
+	At     string         `json:"at,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value // encoding/json sorts map keys: stable bytes
+	}
+	return m
+}
+
+func stamp(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }
+
+// EmitSpan writes s and, recursively, its children under fresh IDs.
+// parent is the enclosing span's ID (0 for a root). It returns s's
+// assigned ID (0 when the journal or span is nil).
+func (j *Journal) EmitSpan(parent int64, s *Span) int64 {
+	if j == nil || s == nil {
+		return 0
+	}
+	j.nextID++
+	id := j.nextID
+	end := s.End
+	if end.IsZero() {
+		end = s.Start
+	}
+	j.write(journalLine{
+		T: "span", ID: id, Parent: parent, Name: s.Name,
+		Start: stamp(s.Start), End: stamp(end), Attrs: attrMap(s.Attrs),
+	})
+	for _, c := range s.Children {
+		j.EmitSpan(id, c)
+	}
+	return id
+}
+
+// EmitEvent writes e with parent as its enclosing span ID (0 for
+// none).
+func (j *Journal) EmitEvent(parent int64, e *Event) {
+	if j == nil || e == nil {
+		return
+	}
+	j.write(journalLine{
+		T: "event", Parent: parent, Name: e.Name,
+		At: stamp(e.At), Attrs: attrMap(e.Attrs),
+	})
+}
+
+func (j *Journal) write(line journalLine) {
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error seen on any
+// emission or flush.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}

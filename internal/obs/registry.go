@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value
+// is ready to use; a nil Counter absorbs writes.
+type Counter struct{ v int64 }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins int64 metric. It remembers whether it
+// was ever set so merges don't clobber values with zeroes.
+type Gauge struct {
+	v   int64
+	set bool
+}
+
+// Set records the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v, g.set = n, true
+	}
+}
+
+// Value returns the current value (0 if never set or nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket int64 distribution. bounds are
+// inclusive upper bounds of each bucket; observations above the last
+// bound land in an implicit +Inf bucket.
+type Histogram struct {
+	bounds []int64
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    int64
+	n      int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry holds named metrics. Metrics are created on first access
+// and live for the registry's lifetime. Registries follow the
+// package's single-owner rule: one goroutine at a time.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero if needed.
+// A nil Registry returns a nil (no-op) Counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds if
+// needed. bounds must be sorted ascending and must match across all
+// registries that will be merged.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ReadCounter returns the named counter's value without creating it,
+// so report rendering never perturbs the snapshot.
+func (r *Registry) ReadCounter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name].Value()
+}
+
+// ReadGauge returns the named gauge's value without creating it.
+func (r *Registry) ReadGauge(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[name].Value()
+}
+
+// ReadHistogram returns the named histogram's count and sum without
+// creating it.
+func (r *Registry) ReadHistogram(name string) (count, sum int64) {
+	if r == nil {
+		return 0, 0
+	}
+	h := r.hists[name]
+	return h.Count(), h.Sum()
+}
+
+// Merge folds other into r: counters and histograms add, gauges take
+// other's value when other ever set it. Merging is commutative over
+// counters and histograms, which is what makes shard-merge order
+// irrelevant to the totals.
+func (r *Registry) Merge(other *Registry) { r.MergePrefixed("", other) }
+
+// MergePrefixed merges other into r with prefix prepended to every
+// metric name (e.g. "world." to keep the shared world network's
+// traffic distinct from shard traffic).
+func (r *Registry) MergePrefixed(prefix string, other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for name, c := range other.counters {
+		r.Counter(prefix + name).Add(c.v)
+	}
+	for name, g := range other.gauges {
+		if g.set {
+			r.Gauge(prefix + name).Set(g.v)
+		}
+	}
+	for name, h := range other.hists {
+		dst := r.Histogram(prefix+name, h.bounds)
+		if len(dst.counts) != len(h.counts) {
+			panic("obs: histogram bucket mismatch merging " + prefix + name)
+		}
+		for i, n := range h.counts {
+			dst.counts[i] += n
+		}
+		dst.sum += h.sum
+		dst.n += h.n
+	}
+}
+
+// WriteSnapshot writes the registry as stable-ordered text, one
+// metric per line. Equal registries produce byte-identical output.
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", name, c.v))
+	}
+	for name, g := range r.gauges {
+		if g.set {
+			lines = append(lines, fmt.Sprintf("gauge %s %d", name, g.v))
+		}
+	}
+	for name, h := range r.hists {
+		var b strings.Builder
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%d", name, h.n, h.sum)
+		for i, bound := range h.bounds {
+			fmt.Fprintf(&b, " le%d=%d", bound, h.counts[i])
+		}
+		fmt.Fprintf(&b, " inf=%d", h.counts[len(h.bounds)])
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	for _, ln := range lines {
+		if _, err := io.WriteString(w, ln+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns WriteSnapshot's output as a string.
+func (r *Registry) Snapshot() string {
+	var b strings.Builder
+	r.WriteSnapshot(&b)
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Wall collects wall-clock profiling data: cumulative per-stage
+// timings and live gauges (queue depth, worker count). Unlike the
+// deterministic plane it is mutex-protected — workers report busy
+// time concurrently — and its contents are nondeterministic by
+// design. Nothing here ever flows into the deterministic snapshot
+// or the journal. A nil Wall absorbs all calls.
+type Wall struct {
+	mu     sync.Mutex
+	stages map[string]*wallStage
+	gauges map[string]func() int64
+}
+
+type wallStage struct {
+	count int64
+	nanos int64
+}
+
+// NewWall returns an empty wall profile.
+func NewWall() *Wall {
+	return &Wall{stages: map[string]*wallStage{}, gauges: map[string]func() int64{}}
+}
+
+// Timer starts timing one occurrence of stage and returns the stop
+// function. Safe for concurrent use.
+func (w *Wall) Timer(stage string) func() {
+	if w == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { w.Add(stage, time.Since(start)) }
+}
+
+// Add records one occurrence of stage taking d.
+func (w *Wall) Add(stage string, d time.Duration) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.stages[stage]
+	if s == nil {
+		s = &wallStage{}
+		w.stages[stage] = s
+	}
+	s.count++
+	s.nanos += int64(d)
+	w.mu.Unlock()
+}
+
+// SetGauge registers (or replaces) a live gauge read on demand at
+// snapshot time. fn must be safe to call from any goroutine.
+func (w *Wall) SetGauge(name string, fn func() int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.gauges[name] = fn
+	w.mu.Unlock()
+}
+
+// Snapshot returns the current profile as a JSON-friendly map:
+// {"stages": {name: {count, total_ns, mean_ns}}, "gauges": {name: v}}.
+func (w *Wall) Snapshot() map[string]any {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	stages := map[string]any{}
+	for name, s := range w.stages {
+		mean := int64(0)
+		if s.count > 0 {
+			mean = s.nanos / s.count
+		}
+		stages[name] = map[string]int64{"count": s.count, "total_ns": s.nanos, "mean_ns": mean}
+	}
+	fns := make(map[string]func() int64, len(w.gauges))
+	for name, fn := range w.gauges {
+		fns[name] = fn
+	}
+	w.mu.Unlock()
+	// Gauge functions run outside the lock: they may touch other
+	// structures (channel lengths) and must not deadlock through us.
+	gauges := map[string]int64{}
+	names := make([]string, 0, len(fns))
+	for name := range fns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gauges[name] = fns[name]()
+	}
+	return map[string]any{"stages": stages, "gauges": gauges}
+}
+
+// PublishExpvar exposes the wall profile as the named expvar (served
+// on /debug/vars). Publishing the same name twice is a no-op, so
+// repeated studies in one process are safe.
+func (w *Wall) PublishExpvar(name string) {
+	if w == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return w.Snapshot() }))
+}

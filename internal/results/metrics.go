@@ -1,0 +1,67 @@
+package results
+
+import (
+	"fmt"
+	"time"
+
+	"malnet/internal/core"
+	"malnet/internal/obs"
+	"malnet/internal/report"
+)
+
+// MetricsSection surfaces the study's deterministic metrics snapshot
+// in the report: the pipeline's funnel (feed → accepted), sandbox
+// activity, traffic and fault totals split between worker-shard
+// networks and the shared world network, probing effort, and the
+// disposition tally. Everything here comes from the obs registry, so
+// the section is byte-identical at any worker count; wall-clock
+// figures are deliberately absent (they live on /debug/wall).
+type MetricsSection struct {
+	Reg *obs.Registry
+}
+
+// NewMetricsSection reads a study's metrics registry. Hand-built
+// studies without an observer render all-zero values.
+func NewMetricsSection(st *core.Study) MetricsSection {
+	return MetricsSection{Reg: st.Metrics()}
+}
+
+// Render prints the section as a key-value block.
+func (m MetricsSection) Render() string {
+	c := func(name string) string { return fmt.Sprint(m.Reg.ReadCounter(name)) }
+	faultTotal := func(prefix string) int64 {
+		var n int64
+		for _, class := range []string{"syn_drop", "segment_drop", "reset", "latency_spike", "blackout", "slow_drip"} {
+			n += m.Reg.ReadCounter(prefix + "simnet.faults." + class)
+		}
+		return n
+	}
+	runs, events := m.Reg.ReadHistogram("sandbox.events_per_run")
+	meanEvents := int64(0)
+	if runs > 0 {
+		meanEvents = events / runs
+	}
+	pairs := [][2]string{
+		{"feed decoys skipped", c("feed.decoys_skipped")},
+		{"feed rejected by intel gate", c("feed.rejected_intel")},
+		{"samples accepted", c("feed.samples_accepted")},
+		{"sandbox runs", c("sandbox.runs")},
+		{"sandbox activations", c("sandbox.activations")},
+		{"watchdog aborts", c("sandbox.watchdog_aborts")},
+		{"events per isolated run (mean)", fmt.Sprint(meanEvents)},
+		{"shard conns dialed", c("simnet.conns_dialed")},
+		{"shard conns established", c("simnet.conns_established")},
+		{"shard TCP payload bytes", c("simnet.tcp_payload_bytes")},
+		{"shard faults injected", fmt.Sprint(faultTotal(""))},
+		{"world conns dialed", c("world.simnet.conns_dialed")},
+		{"world faults injected", fmt.Sprint(faultTotal("world."))},
+		{"probe attempts", c("probe.attempts")},
+		{"probe retries", c("probe.retries")},
+		{"probe backoff (virtual)", time.Duration(m.Reg.ReadCounter("probe.backoff_virtual_ns")).String()},
+		{"probe engagements", c("probe.engaged")},
+		{"dispositions alive/retried/dead/timed-out", fmt.Sprintf("%s/%s/%s/%s",
+			c("study.disposition.alive"), c("study.disposition.retried-then-alive"),
+			c("study.disposition.dead"), c("study.disposition.timed-out"))},
+	}
+	return report.KV("Pipeline metrics (deterministic)", pairs)
+}

@@ -16,6 +16,7 @@ import (
 	"malnet/internal/binfmt"
 	"malnet/internal/c2"
 	"malnet/internal/malware"
+	"malnet/internal/obs"
 	"malnet/internal/simclock"
 	"malnet/internal/simnet"
 )
@@ -243,11 +244,18 @@ func (sb *Sandbox) Network() *simnet.Network { return sb.net }
 // the shard observes the same delays the world would. It only ever
 // hosts the sandbox trio, which is all an isolated-mode run can
 // reach: InetSim impersonates every C2 and scanned addresses are
-// dead air either way.
-func NewShard(clock *simclock.Clock, seed int64, dns func(name string) (netip.Addr, bool)) *Sandbox {
+// dead air either way. A non-nil rec redirects the shard network's
+// metering (traffic counters, fault counters/events) onto the
+// caller's recorder — the executor passes the per-sample recorder so
+// shard telemetry merges back in feed order.
+func NewShard(clock *simclock.Clock, seed int64, dns func(name string) (netip.Addr, bool), rec *obs.Recorder) *Sandbox {
 	netCfg := simnet.DefaultConfig()
 	netCfg.Seed = seed
-	return New(simnet.New(clock, netCfg), Config{DNS: dns, Seed: seed})
+	n := simnet.New(clock, netCfg)
+	if rec != nil {
+		n.SetObs(rec)
+	}
+	return New(n, Config{DNS: dns, Seed: seed})
 }
 
 // Run activates raw as a sample for opts.Duration of virtual time

@@ -84,6 +84,7 @@ func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
 		fDir:    "out",
 	}
 	c.faults = n.faults.ConnPlan(c.fSrc, c.fDst, c.fSeq)
+	n.m.connsDialed.Inc()
 	now := n.Clock.Now()
 	syn := PacketRecord{
 		Time: now, Src: c.local, Dst: to, Proto: ProtoTCP,
@@ -100,10 +101,12 @@ func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
 
 	dst := n.hosts[to.IP]
 	if c.faults.ExtraLatency > 0 {
-		n.fstats.LatencySpikes++
+		n.m.latencySpikes.Inc()
+		n.faultEvent("fault.latency_spike", c.fSrc, c.fDst)
 	}
 	if c.faults.DripChunk > 0 {
-		n.fstats.SlowDrips++
+		n.m.slowDrips.Inc()
+		n.faultEvent("fault.slow_drip", c.fSrc, c.fDst)
 	}
 	rtt := 2 * (n.Latency(h.IP, to.IP) + c.faults.ExtraLatency)
 	if dst == nil || !dst.Online {
@@ -113,14 +116,16 @@ func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
 	if n.darkAt(to.IP, now) {
 		// Injected blackout: the host is up but unreachable for the
 		// moment — indistinguishable from offline to the dialer.
-		n.fstats.Blackouts++
+		n.m.blackouts.Inc()
+		n.faultEvent("fault.blackout", c.fSrc, c.fDst)
 		n.Clock.After(n.cfg.SYNTimeout, func() { c.fail(ErrTimeout) })
 		return c
 	}
 	if c.faults.DropSYN {
 		// Injected handshake loss: the SYN left the host tap but
 		// the network ate it.
-		n.fstats.SYNsDropped++
+		n.m.synsDropped.Inc()
+		n.faultEvent("fault.syn_drop", c.fSrc, c.fDst)
 		n.Clock.After(n.cfg.SYNTimeout, func() { c.fail(ErrTimeout) })
 		return c
 	}
@@ -165,6 +170,7 @@ func (h *Host) DialTCP(to Addr, handler ConnHandler) *Conn {
 			faults: c.faults,
 			fSrc:   c.fSrc, fDst: c.fDst, fSeq: c.fSeq, fDir: "in",
 		}
+		n.m.connsEstablished.Inc()
 		c.peer = server
 		server.peer = c
 		c.state = stateEstablished
@@ -197,13 +203,15 @@ func (c *Conn) Write(payload []byte) error {
 	seg := c.fSeg
 	c.fSeg++
 	if c.faults.ResetAfterSegment >= 0 && seg >= c.faults.ResetAfterSegment {
-		c.net.fstats.ResetsInjected++
+		c.net.m.resetsInjected.Inc()
+		c.net.faultEvent("fault.reset", c.fSrc, c.fDst)
 		c.injectReset()
 		return ErrReset
 	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	c.bytesOut += len(buf)
+	c.net.m.tcpBytes.Add(int64(len(buf)))
 	n := c.net
 	rec := PacketRecord{
 		Time: n.Clock.Now(), Src: c.local, Dst: c.remote, Proto: ProtoTCP,
@@ -217,7 +225,8 @@ func (c *Conn) Write(payload []byte) error {
 	if n.faults.DropSegment(c.fSrc, c.fDst, c.fSeq, c.fDir, seg) {
 		// Injected segment loss: the sender's tap sees the packet
 		// leave, the peer never does.
-		n.fstats.SegmentsDropped++
+		n.m.segmentsDropped.Inc()
+		n.faultEvent("fault.segment_drop", c.fSrc, c.fDst)
 		n.recordLocal(rec)
 		return nil
 	}

@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"malnet/internal/faultinject"
+	"malnet/internal/obs"
+	"malnet/internal/simclock"
+)
+
+// TestObsTrafficCounters: dials, establishments, payload bytes and
+// datagrams land on the network's recorder.
+func TestObsTrafficCounters(t *testing.T) {
+	n := New(simclock.New(start), DefaultConfig())
+	srv, cli := twoHosts(n)
+
+	cli.DialTCP(Addr{IP: srv.IP, Port: 23}, ConnFuncs{
+		Connect: func(c *Conn) { c.Write([]byte("hello")) },
+	})
+	cli.SendUDP(5353, Addr{IP: srv.IP, Port: 53}, []byte("q"))
+	n.Clock.RunFor(10 * time.Second)
+
+	reg := n.Obs().Registry()
+	if got := reg.ReadCounter("simnet.conns_dialed"); got != 1 {
+		t.Fatalf("conns_dialed = %d, want 1", got)
+	}
+	if got := reg.ReadCounter("simnet.conns_established"); got != 1 {
+		t.Fatalf("conns_established = %d, want 1", got)
+	}
+	// "hello" out plus the echo back.
+	if got := reg.ReadCounter("simnet.tcp_payload_bytes"); got != 10 {
+		t.Fatalf("tcp_payload_bytes = %d, want 10", got)
+	}
+	if got := reg.ReadCounter("simnet.udp_datagrams"); got != 1 {
+		t.Fatalf("udp_datagrams = %d, want 1", got)
+	}
+}
+
+// TestObsFaultEvents: with events armed, every injected fault is
+// recorded as a virtual-time event matching the compat FaultStats
+// view, and SetObs redirects metering wholesale.
+func TestObsFaultEvents(t *testing.T) {
+	n := faultNet(faultinject.Config{Seed: 1, SYNLossRate: 1})
+	rec := obs.NewRecorder()
+	rec.EnableEvents(true)
+	n.SetObs(rec)
+	srv, cli := twoHosts(n)
+	_ = srv
+
+	cli.DialTCP(Addr{IP: srv.IP, Port: 23}, ConnFuncs{})
+	n.Clock.RunFor(30 * time.Second)
+
+	if got := n.FaultStats().SYNsDropped; got != 1 {
+		t.Fatalf("FaultStats view after SetObs: SYNsDropped = %d, want 1", got)
+	}
+	evs := rec.DrainEvents()
+	if len(evs) != 1 || evs[0].Name != "fault.syn_drop" {
+		t.Fatalf("events = %+v, want one fault.syn_drop", evs)
+	}
+	if evs[0].At.Before(start) || evs[0].At.After(start.Add(time.Minute)) {
+		t.Fatalf("event timestamp %v not anchored to the virtual clock", evs[0].At)
+	}
+	var wantSrc string
+	for _, a := range evs[0].Attrs {
+		if a.Key == "src" {
+			wantSrc = a.Value.(string)
+		}
+	}
+	if wantSrc != netip.MustParseAddr("10.0.0.2").String() {
+		t.Fatalf("event src = %q, want dialer IP", wantSrc)
+	}
+}

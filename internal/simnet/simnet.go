@@ -28,6 +28,7 @@ import (
 
 	"malnet/internal/detrand"
 	"malnet/internal/faultinject"
+	"malnet/internal/obs"
 	"malnet/internal/simclock"
 )
 
@@ -308,7 +309,64 @@ type Network struct {
 
 	faults  *faultinject.Plan
 	connSeq map[connSeqKey]uint64
-	fstats  FaultStats
+
+	obs *obs.Recorder
+	m   netMetrics
+}
+
+// netMetrics caches the network's obs counters so hot paths skip the
+// registry map lookup. Rebuilt whenever the recorder changes.
+type netMetrics struct {
+	connsDialed      *obs.Counter
+	connsEstablished *obs.Counter
+	tcpBytes         *obs.Counter
+	udpDatagrams     *obs.Counter
+
+	synsDropped     *obs.Counter
+	segmentsDropped *obs.Counter
+	resetsInjected  *obs.Counter
+	latencySpikes   *obs.Counter
+	blackouts       *obs.Counter
+	slowDrips       *obs.Counter
+}
+
+func (n *Network) bindObs(rec *obs.Recorder) {
+	n.obs = rec
+	n.m = netMetrics{
+		connsDialed:      rec.Counter("simnet.conns_dialed"),
+		connsEstablished: rec.Counter("simnet.conns_established"),
+		tcpBytes:         rec.Counter("simnet.tcp_payload_bytes"),
+		udpDatagrams:     rec.Counter("simnet.udp_datagrams"),
+		synsDropped:      rec.Counter("simnet.faults.syn_drop"),
+		segmentsDropped:  rec.Counter("simnet.faults.segment_drop"),
+		resetsInjected:   rec.Counter("simnet.faults.reset"),
+		latencySpikes:    rec.Counter("simnet.faults.latency_spike"),
+		blackouts:        rec.Counter("simnet.faults.blackout"),
+		slowDrips:        rec.Counter("simnet.faults.slow_drip"),
+	}
+}
+
+// SetObs redirects the network's metering (traffic counters, fault
+// counters, fault events) to rec. The executor points each shard
+// network at its sample's recorder; the shared world network keeps
+// the recorder it was born with. Counters already accumulated on the
+// previous recorder are not carried over.
+func (n *Network) SetObs(rec *obs.Recorder) {
+	if rec != nil {
+		n.bindObs(rec)
+	}
+}
+
+// Obs returns the recorder currently metering this network.
+func (n *Network) Obs() *obs.Recorder { return n.obs }
+
+// faultEvent records one fault injection as a virtual-time event on
+// the network's recorder (retained only when a journal armed events).
+func (n *Network) faultEvent(name, src, dst string) {
+	if ev := n.obs.Event(name, n.Clock.Now()); ev != nil {
+		ev.SetAttr("src", src)
+		ev.SetAttr("dst", dst)
+	}
 }
 
 // New creates an empty network driven by clock.
@@ -319,7 +377,7 @@ func New(clock *simclock.Clock, cfg Config) *Network {
 	if cfg.BaseLatency <= 0 {
 		cfg.BaseLatency = DefaultConfig().BaseLatency
 	}
-	return &Network{
+	n := &Network{
 		Clock:   clock,
 		cfg:     cfg,
 		hosts:   make(map[netip.Addr]*Host),
@@ -327,6 +385,8 @@ func New(clock *simclock.Clock, cfg Config) *Network {
 		faults:  cfg.Faults,
 		connSeq: make(map[connSeqKey]uint64),
 	}
+	n.bindObs(obs.NewRecorder())
+	return n
 }
 
 // InstallFaults attaches (or, with nil, removes) a fault plan on an
@@ -340,8 +400,18 @@ func (n *Network) Faults() *faultinject.Plan { return n.faults }
 
 // FaultStats returns the injected-fault counters accumulated so far.
 // Consumers wanting per-window numbers snapshot before and after and
-// diff with Sub.
-func (n *Network) FaultStats() FaultStats { return n.fstats }
+// diff with Sub. This is a compatibility view over the obs counters,
+// which are the single home of fault metering.
+func (n *Network) FaultStats() FaultStats {
+	return FaultStats{
+		SYNsDropped:     int(n.m.synsDropped.Value()),
+		SegmentsDropped: int(n.m.segmentsDropped.Value()),
+		ResetsInjected:  int(n.m.resetsInjected.Value()),
+		LatencySpikes:   int(n.m.latencySpikes.Value()),
+		Blackouts:       int(n.m.blackouts.Value()),
+		SlowDrips:       int(n.m.slowDrips.Value()),
+	}
+}
 
 // nextConnSeq returns the sequence number of the next connection from
 // src to dst — the "conn sequence" coordinate of the fault plan's
@@ -544,6 +614,7 @@ func (h *Host) sendUDPBurst(srcPort uint16, to Addr, payload []byte, count int, 
 	if count < 1 {
 		return
 	}
+	h.net.m.udpDatagrams.Add(int64(count))
 	src := Addr{IP: h.IP, Port: srcPort}
 	rec := PacketRecord{
 		Time: h.net.Clock.Now(), Span: span,
@@ -562,7 +633,8 @@ func (h *Host) sendUDPBurst(srcPort uint16, to Addr, payload []byte, count int, 
 	if handler, ok := dst.udpListeners[to.Port]; ok {
 		lat := h.net.Latency(h.IP, to.IP)
 		if h.net.darkAt(to.IP, h.net.Clock.Now().Add(lat)) {
-			h.net.fstats.Blackouts++
+			h.net.m.blackouts.Inc()
+			h.net.faultEvent("fault.blackout", h.IP.String(), to.String())
 			return
 		}
 		h.net.Clock.After(lat, func() {

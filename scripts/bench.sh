@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Run the repo's benchmark suite and archive the results as JSON.
+#
+# Usage:  scripts/bench.sh [output-file]
+#
+# The default output is BENCH_<utc-date>.json in the repo root.
+# BENCHTIME overrides -benchtime (default "1x": one iteration per
+# benchmark, fast enough for CI; use e.g. BENCHTIME=2s locally for
+# stable ns/op). BENCH selects a subset via -bench's regexp.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date -u +%F).json}"
+benchtime="${BENCHTIME:-1x}"
+pattern="${BENCH:-.}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "running benchmarks (-bench '$pattern' -benchtime $benchtime)..." >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
+go run ./tools/benchjson <"$tmp" >"$out"
+echo "wrote $out" >&2

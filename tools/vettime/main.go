@@ -1,0 +1,123 @@
+// Command vettime enforces the repo's determinism contract at the
+// source level: no package under ./internal may read or wait on wall
+// time directly — the deterministic pipeline runs on the simclock
+// virtual clock, and the only blessed wall-clock accessors live in
+// internal/obs (profiling plane) and internal/realprobe (real-network
+// adapter). Everything else calling time.Now, time.Sleep, time.After
+// and friends would smuggle nondeterminism into outputs that the
+// equivalence tests promise are byte-identical at any worker count.
+//
+// Usage:  go run ./tools/vettime [dir]     (default ./internal)
+//
+// Exits 1 listing each offending call site. _test.go files are
+// exempt (tests may time themselves); cmd/ is exempt by scope (CLIs
+// report wall-clock progress on purpose).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// banned are the time-package functions that read or wait on the wall
+// clock. Pure-value helpers (time.Date, time.Parse, time.Duration
+// arithmetic) are fine — they don't observe the clock.
+var banned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+// allowed packages own a telemetry or real-network plane where wall
+// time is the point.
+var allowed = []string{
+	filepath.Join("internal", "obs"),
+	filepath.Join("internal", "realprobe"),
+}
+
+func main() {
+	root := "./internal"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	var findings []string
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			for _, a := range allowed {
+				if strings.HasSuffix(filepath.Clean(path), a) {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		findings = append(findings, check(fset, file)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vettime:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "vettime: %d wall-clock call(s) in deterministic packages; use the simclock, or obs.Now for telemetry\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// check scans one file for selector uses of the banned functions on
+// the "time" import (under whatever local name it was imported).
+func check(fset *token.FileSet, file *ast.File) []string {
+	// Resolve the local identifier bound to the time package; files
+	// that don't import it can't offend.
+	timeName := ""
+	for _, imp := range file.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		if path != "time" {
+			continue
+		}
+		timeName = "time"
+		if imp.Name != nil {
+			timeName = imp.Name.Name
+		}
+	}
+	if timeName == "" || timeName == "_" {
+		return nil
+	}
+	var out []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !banned[sel.Sel.Name] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		// Obj == nil means the identifier resolves to the package
+		// import, not a local variable that happens to shadow it.
+		if !ok || id.Name != timeName || id.Obj != nil {
+			return true
+		}
+		out = append(out, fmt.Sprintf("%s: %s.%s reads wall time in a deterministic package",
+			fset.Position(sel.Pos()), timeName, sel.Sel.Name))
+		return true
+	})
+	return out
+}
