@@ -19,6 +19,7 @@ import (
 
 	"malnet/internal/binfmt"
 	"malnet/internal/c2"
+	"malnet/internal/checkpoint"
 	"malnet/internal/core"
 	"malnet/internal/results"
 	"malnet/internal/sandbox"
@@ -319,6 +320,34 @@ func BenchmarkSandboxIsolatedRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCheckpointRoundTrip measures the durable-snapshot codec on
+// a realistic payload: the paper-scale study's four datasets plus its
+// metrics snapshot, framed and sealed exactly as the study driver
+// writes them at day-batch boundaries. This is the per-checkpoint
+// serialization cost a long -checkpoint-dir run pays once per day.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	st := sharedStudy(b)
+	f := &checkpoint.File{}
+	for name, v := range map[string]any{
+		"samples": st.Samples, "c2s": st.C2s,
+		"exploits": st.Exploits, "ddos": st.DDoS,
+	} {
+		if err := f.AddJSON(name, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f.Add("metrics", []byte(st.Metrics().Snapshot()))
+	size := len(checkpoint.Encode(f))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.Decode(checkpoint.Encode(f)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(size), "snapshot-bytes")
 }
 
 // BenchmarkStudyWorkers measures the parallel executor's scaling on

@@ -6,6 +6,7 @@
 //	experiments [-seed N] [-samples N] [-probe-rounds N] [-workers N]
 //	            [-short] [-table N] [-figure N] [-headlines] [-all]
 //	            [-trace-out FILE] [-metrics-out FILE] [-debug-addr ADDR]
+//	            [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
 //
 // With no selector it prints everything. -short runs a scaled-down
 // study (150 samples, 12 probe rounds) in a few seconds; the default
@@ -13,9 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"malnet/internal/core"
@@ -24,7 +29,12 @@ import (
 	"malnet/internal/world"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with defer-friendly exits: the trace journal and
+// metrics snapshot are flushed on every path out, so an interrupted
+// study keeps its partial telemetry.
+func run() int {
 	var (
 		seed        = flag.Int64("seed", 42, "world and pipeline seed")
 		samples     = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
@@ -40,12 +50,23 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write the virtual-time trace journal (JSONL spans + events) to FILE")
 		metricsOut  = flag.String("metrics-out", "", "write the deterministic metrics snapshot to FILE")
 		debugAddr   = flag.String("debug-addr", "", "serve live pprof/expvar/wall-profile on ADDR (e.g. :6060) while the study runs")
+		ckptDir     = flag.String("checkpoint-dir", "", "write resumable study snapshots to DIR at day-batch boundaries")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "snapshot after every N-th non-empty day batch")
+		resume      = flag.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir (config must match)")
 	)
 	flag.Parse()
 
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	if *resume && *ckptDir == "" {
+		return fail(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
+
 	if *seeds > 1 {
 		seedSweep(*seeds, *samples, *probeRounds, *short)
-		return
+		return 0
 	}
 
 	wcfg := world.DefaultConfig(*seed)
@@ -63,34 +84,65 @@ func main() {
 	scfg.Workers = *workers
 	scfg.Faults = *faults
 	scfg.FaultSeed = *faultSeed
+	scfg.Checkpoint = core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 
 	observer := obs.NewObserver()
 	scfg.Obs = observer
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		// Resuming rewinds the existing trace file to the snapshot's
+		// cursor instead of truncating it.
+		mode := os.O_RDWR | os.O_CREATE
+		if !*resume {
+			mode |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(*traceOut, mode, 0o644)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		observer.SetJournal(f)
 	}
+	defer func() {
+		// Telemetry outlives failures: these run on every exit path.
+		if *traceOut != "" {
+			if err := observer.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: flushing trace:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+			}
+		}
+		if *metricsOut != "" {
+			if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing metrics:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+			}
+		}
+	}()
 	if *debugAddr != "" {
 		observer.Wall.PublishExpvar("malnet")
 		srv, addr, err := obs.ServeDebug(*debugAddr, observer.Wall)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Fprintf(os.Stderr, "generating world (seed=%d, samples=%d)...\n", *seed, wcfg.TotalSamples)
 	start := time.Now()
 	w := world.Generate(wcfg)
 	fmt.Fprintf(os.Stderr, "running study...\n")
-	st := core.RunStudy(w, scfg)
+	st, err := core.RunStudyContext(ctx, w, scfg)
+	if err != nil {
+		if *ckptDir != "" && errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: re-run with -resume to continue from the last checkpoint")
+		}
+		return fail(fmt.Errorf("study interrupted: %w", err))
+	}
 	fmt.Fprintf(os.Stderr, "done in %v: %d samples, %d C2s, %d exploits, %d DDoS commands\n\n",
 		time.Since(start).Round(time.Millisecond), len(st.Samples), len(st.C2s), len(st.Exploits), len(st.DDoS))
 
@@ -124,14 +176,14 @@ func main() {
 		render, ok := tables[*table]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "no table %d\n", *table)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println(render())
 	case *figure > 0:
 		render, ok := figures[*figure]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "no figure %d\n", *figure)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println(render())
 	case *headlines:
@@ -153,20 +205,7 @@ func main() {
 	if *table == 0 && *figure == 0 && !*headlines {
 		fmt.Println(results.NewMetricsSection(st).Render())
 	}
-	if *traceOut != "" {
-		if err := observer.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
-	}
-	if *metricsOut != "" {
-		if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
-	}
+	return 0
 }
 
 // seedSweep reruns the study across n seeds and prints min/mean/max

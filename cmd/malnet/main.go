@@ -6,15 +6,26 @@
 //	malnet [-seed N] [-samples N] [-workers N] [-short] [-out DIR]
 //	       [-faults] [-fault-seed N] [-v]
 //	       [-trace-out FILE] [-metrics-out FILE] [-debug-addr ADDR]
+//	       [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
+//
+// With -checkpoint-dir the study snapshots itself at day-batch
+// boundaries; a run killed by ^C (or anything else) restarts from the
+// newest snapshot with -resume, producing byte-identical output to an
+// uninterrupted run. An interrupted run still flushes its trace
+// journal and metrics snapshot, so partial observability survives.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"malnet/internal/core"
@@ -24,7 +35,12 @@ import (
 	"malnet/internal/world"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with defer-friendly exits: every path out flushes the
+// trace journal and writes the metrics snapshot before the process
+// dies, so a cancelled or failed study keeps its partial telemetry.
+func run() int {
 	var (
 		seed       = flag.Int64("seed", 42, "world and pipeline seed")
 		samples    = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
@@ -37,14 +53,26 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the virtual-time trace journal (JSONL spans + events) to FILE")
 		metricsOut = flag.String("metrics-out", "", "write the deterministic metrics snapshot to FILE")
 		debugAddr  = flag.String("debug-addr", "", "serve live pprof/expvar/wall-profile on ADDR (e.g. :6060) while the study runs")
+		ckptDir    = flag.String("checkpoint-dir", "", "write resumable study snapshots to DIR at day-batch boundaries")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot after every N-th non-empty day batch")
+		resume     = flag.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir (config must match)")
 	)
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "malnet:", err)
+		return 1
+	}
+	if *resume && *ckptDir == "" {
+		return fail(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
 
 	wcfg := world.DefaultConfig(*seed)
 	scfg := core.DefaultStudyConfig(*seed)
 	scfg.Workers = *workers
 	scfg.Faults = *faults
 	scfg.FaultSeed = *faultSeed
+	scfg.Checkpoint = core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 	if *short {
 		wcfg.TotalSamples = 150
 		scfg.ProbeRounds = 12
@@ -56,18 +84,42 @@ func main() {
 	observer := obs.NewObserver()
 	scfg.Obs = observer
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		// Resuming rewinds the existing trace file to the snapshot's
+		// cursor instead of truncating it: the journaled prefix up to
+		// the checkpoint is part of the resumed run's output.
+		mode := os.O_RDWR | os.O_CREATE
+		if !*resume {
+			mode |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(*traceOut, mode, 0o644)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		observer.SetJournal(f)
 	}
+	defer func() {
+		// Telemetry outlives failures: these run on every exit path.
+		if *traceOut != "" {
+			if err := observer.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "malnet: flushing trace:", err)
+			} else {
+				fmt.Printf("wrote %s\n", *traceOut)
+			}
+		}
+		if *metricsOut != "" {
+			if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "malnet: writing metrics:", err)
+			} else {
+				fmt.Printf("wrote %s\n", *metricsOut)
+			}
+		}
+	}()
 	if *debugAddr != "" {
 		observer.Wall.PublishExpvar("malnet")
 		srv, addr, err := obs.ServeDebug(*debugAddr, observer.Wall)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
@@ -82,30 +134,31 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	w := world.Generate(wcfg)
-	st := core.RunStudy(w, scfg)
+	st, err := core.RunStudyContext(ctx, w, scfg)
+	if err != nil {
+		if *ckptDir != "" && errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "malnet: re-run with -resume to continue from the last checkpoint")
+		}
+		return fail(fmt.Errorf("study interrupted: %w", err))
+	}
 	fmt.Printf("study complete in %v\n", time.Since(start).Round(time.Millisecond))
 
-	if *traceOut != "" {
-		if err := observer.Flush(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *traceOut)
-	}
-	if *metricsOut != "" {
-		if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *metricsOut)
-	}
-
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return fail(err)
 	}
+	var writeErr error
 	write := func(name, content string) {
+		if writeErr != nil {
+			return
+		}
 		if err := os.WriteFile(filepath.Join(*out, name), []byte(content), 0o644); err != nil {
-			fatal(err)
+			writeErr = err
+			return
 		}
 		fmt.Printf("wrote %s\n", filepath.Join(*out, name))
 	}
@@ -191,7 +244,7 @@ func main() {
 	// for validating third-party analyses of the CSVs above).
 	var gtBuf strings.Builder
 	if err := w.WriteGroundTruth(&gtBuf); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	write("ground-truth.json", gtBuf.String())
 
@@ -202,11 +255,10 @@ func main() {
 	}
 	summary += "\n" + results.NewMetricsSection(st).Render()
 	write("summary.txt", summary)
+	if writeErr != nil {
+		return fail(writeErr)
+	}
 	fmt.Printf("generated %d firewall/IDS rules\n\n", len(rules))
 	fmt.Print(summary)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "malnet:", err)
-	os.Exit(1)
+	return 0
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"malnet/internal/detrand"
+	"malnet/internal/simclock"
 	"malnet/internal/simnet"
 )
 
@@ -99,6 +100,10 @@ type Server struct {
 	host     *simnet.Host
 	net      *simnet.Network
 	sessions map[*session]struct{}
+	// chains tracks every scheduled attack chain in creation order,
+	// so a study checkpoint can snapshot and re-arm them (see
+	// AttackChains / RestoreAttackChains).
+	chains []*attackChain
 	// Issued logs every command actually delivered — the ground
 	// truth D-DDOS is validated against.
 	Issued []IssuedCommand
@@ -110,6 +115,10 @@ type session struct {
 	ready bool
 	buf   []byte
 	nick  string
+	// ttlEv and kaEv are the session's pending clock events (TTL
+	// close, next keepalive); both are cancelled when the session
+	// closes so a dead session leaves nothing in the event queue.
+	ttlEv, kaEv simclock.EventID
 }
 
 // NewServer installs a C2 server on the network. The host is created
@@ -194,7 +203,7 @@ func (s *Server) accept(local, remote simnet.Addr) simnet.ConnHandler {
 			sess.conn = c
 			s.sessions[sess] = struct{}{}
 			sess.onConnect()
-			s.net.Clock.After(s.cfg.SessionTTL, func() {
+			sess.ttlEv = s.net.Clock.After(s.cfg.SessionTTL, func() {
 				if _, live := s.sessions[sess]; live {
 					c.Close()
 				}
@@ -203,6 +212,11 @@ func (s *Server) accept(local, remote simnet.Addr) simnet.ConnHandler {
 		Data: func(c *simnet.Conn, b []byte) { sess.onData(b) },
 		Close: func(c *simnet.Conn, err error) {
 			delete(s.sessions, sess)
+			// Cancel the session's pending timers: a closed session
+			// must leave no events behind, or a checkpointed event
+			// queue could never be reproduced on resume.
+			s.net.Clock.Cancel(sess.ttlEv)
+			s.net.Clock.Cancel(sess.kaEv)
 		},
 	}
 }
@@ -216,7 +230,7 @@ func (sess *session) onConnect() {
 
 func (sess *session) scheduleKeepalive() {
 	srv := sess.srv
-	srv.net.Clock.After(srv.cfg.KeepaliveEvery, func() {
+	sess.kaEv = srv.net.Clock.After(srv.cfg.KeepaliveEvery, func() {
 		if _, live := srv.sessions[sess]; !live {
 			return
 		}
@@ -339,6 +353,29 @@ func (s *Server) IssueText(line string) int {
 	return bots
 }
 
+// attackChain is the tracked state of one scheduled attack: the
+// command, when it fires next, and how many re-issuance attempts
+// remain. Keeping the state out of closures (the historical shape)
+// lets a checkpoint capture exactly where every chain stands and a
+// resumed run re-arm it without replaying Issue side effects.
+type attackChain struct {
+	cmd     Command
+	next    time.Time
+	every   time.Duration
+	retries int
+	done    bool
+	ev      simclock.EventID
+}
+
+// ChainState is an attack chain's serializable snapshot.
+type ChainState struct {
+	Cmd     Command
+	Next    time.Time
+	Every   time.Duration
+	Retries int
+	Done    bool
+}
+
 // ScheduleAttack arranges for cmd to be issued at the given time,
 // retrying hourly (up to retries times) while no bot is connected —
 // mirroring how operators re-issue commands until bots pick them up.
@@ -352,15 +389,61 @@ func (s *Server) ScheduleAttackEvery(at time.Time, cmd Command, retries int, eve
 	if every <= 0 {
 		every = time.Hour
 	}
-	s.net.Clock.Schedule(at, func() {
-		n, err := s.Issue(cmd)
+	ch := &attackChain{cmd: cmd, next: at, every: every, retries: retries}
+	s.chains = append(s.chains, ch)
+	s.armChain(ch)
+}
+
+// armChain schedules the chain's next firing. A firing that reaches a
+// bot (or errors, or exhausts its retries) finishes the chain;
+// otherwise it re-arms one interval out.
+func (s *Server) armChain(ch *attackChain) {
+	ch.ev = s.net.Clock.Schedule(ch.next, func() {
+		n, err := s.Issue(ch.cmd)
 		if err != nil {
+			ch.done = true
 			return
 		}
-		if n == 0 && retries > 0 {
-			s.ScheduleAttackEvery(s.net.Clock.Now().Add(every), cmd, retries-1, every)
+		if n == 0 && ch.retries > 0 {
+			ch.retries--
+			ch.next = s.net.Clock.Now().Add(ch.every)
+			s.armChain(ch)
+			return
 		}
+		ch.done = true
 	})
+}
+
+// AttackChains snapshots every scheduled attack chain in creation
+// order.
+func (s *Server) AttackChains() []ChainState {
+	out := make([]ChainState, len(s.chains))
+	for i, ch := range s.chains {
+		out[i] = ChainState{Cmd: ch.cmd, Next: ch.next, Every: ch.every, Retries: ch.retries, Done: ch.done}
+	}
+	return out
+}
+
+// RestoreAttackChains replaces the server's chains with a snapshot:
+// pending firings of the old chains are cancelled and every non-done
+// restored chain is re-armed at its snapshotted Next time. The study
+// resume path calls this before replaying the clock, so a chain that
+// already delivered (or burned retries) in the original run never
+// re-issues during replay.
+func (s *Server) RestoreAttackChains(states []ChainState) {
+	for _, ch := range s.chains {
+		if !ch.done {
+			s.net.Clock.Cancel(ch.ev)
+		}
+	}
+	s.chains = make([]*attackChain, 0, len(states))
+	for _, st := range states {
+		ch := &attackChain{cmd: st.Cmd, next: st.Next, every: st.Every, retries: st.Retries, done: st.Done}
+		s.chains = append(s.chains, ch)
+		if !ch.done {
+			s.armChain(ch)
+		}
+	}
 }
 
 // ServeDownloader binds a minimal HTTP file server to the host — the

@@ -1,0 +1,273 @@
+// Package checkpoint is the durable-snapshot codec for the year-long
+// study pipeline. A checkpoint file is a versioned, self-describing
+// container of named sections (the study driver stores JSON blobs in
+// them) framed with explicit lengths and sealed with a SHA-256
+// integrity footer, so a truncated or bit-flipped snapshot is refused
+// at load time instead of resuming a silently corrupt run.
+//
+// Wire format (all integers big-endian):
+//
+//	magic    8 bytes  "MALCKPT\x01" (the final byte is the version)
+//	count    4 bytes  number of sections
+//	section  repeated count times:
+//	         2 bytes  name length
+//	         name
+//	         8 bytes  data length
+//	         data
+//	footer   32 bytes SHA-256 over every preceding byte
+//
+// Files are written atomically: the encoder writes to a temp file in
+// the destination directory and os.Rename's it into place, so a crash
+// mid-write can never leave a half-written day-NNN.ckpt to resume
+// from (tools/vettime lints this package for exactly that pattern).
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// magic identifies a checkpoint file; the trailing byte is the format
+// version and is bumped on any incompatible layout change.
+var magic = [8]byte{'M', 'A', 'L', 'C', 'K', 'P', 'T', 0x01}
+
+// Decode sanity caps: a snapshot carries a handful of named sections,
+// so anything claiming more is corruption, not data.
+const (
+	maxSections = 1 << 10
+	maxNameLen  = 1 << 12
+)
+
+// Section is one named payload inside a checkpoint file.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// File is a decoded (or to-be-encoded) checkpoint: an ordered list of
+// sections.
+type File struct {
+	Sections []Section
+}
+
+// Add appends a raw section.
+func (f *File) Add(name string, data []byte) {
+	f.Sections = append(f.Sections, Section{Name: name, Data: data})
+}
+
+// AddJSON marshals v and appends it as a section.
+func (f *File) AddJSON(name string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding section %q: %w", name, err)
+	}
+	f.Add(name, b)
+	return nil
+}
+
+// Section returns the named section's bytes.
+func (f *File) Section(name string) ([]byte, bool) {
+	for _, s := range f.Sections {
+		if s.Name == name {
+			return s.Data, true
+		}
+	}
+	return nil, false
+}
+
+// JSON unmarshals the named section into v. A missing section is an
+// error: every section the study writes is load-bearing on resume.
+func (f *File) JSON(name string, v any) error {
+	b, ok := f.Section(name)
+	if !ok {
+		return fmt.Errorf("checkpoint: section %q missing", name)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("checkpoint: decoding section %q: %w", name, err)
+	}
+	return nil
+}
+
+// Encode serializes the file, footer included.
+func Encode(f *File) []byte {
+	size := len(magic) + 4
+	for _, s := range f.Sections {
+		size += 2 + len(s.Name) + 8 + len(s.Data)
+	}
+	out := make([]byte, 0, size+sha256.Size)
+	out = append(out, magic[:]...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(f.Sections)))
+	for _, s := range f.Sections {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(s.Name)))
+		out = append(out, s.Name...)
+		out = binary.BigEndian.AppendUint64(out, uint64(len(s.Data)))
+		out = append(out, s.Data...)
+	}
+	sum := sha256.Sum256(out)
+	return append(out, sum[:]...)
+}
+
+// Decode parses b, verifying the magic, every length frame, and the
+// integrity footer. It never panics on corrupt or truncated input —
+// every read is bounds-checked against the remaining bytes (see
+// FuzzCheckpointDecode).
+func Decode(b []byte) (*File, error) {
+	if len(b) < len(magic)+4+sha256.Size {
+		return nil, fmt.Errorf("checkpoint: truncated: %d bytes", len(b))
+	}
+	body, foot := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
+	if sum := sha256.Sum256(body); string(sum[:]) != string(foot) {
+		return nil, fmt.Errorf("checkpoint: integrity footer mismatch (corrupt or tampered snapshot)")
+	}
+	if string(body[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic (not a checkpoint, or incompatible version)")
+	}
+	rest := body[len(magic):]
+	count := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if count > maxSections {
+		return nil, fmt.Errorf("checkpoint: implausible section count %d", count)
+	}
+	f := &File{}
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("checkpoint: truncated section %d header", i)
+		}
+		nameLen := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if nameLen > maxNameLen || len(rest) < nameLen {
+			return nil, fmt.Errorf("checkpoint: section %d name overruns file", i)
+		}
+		name := string(rest[:nameLen])
+		rest = rest[nameLen:]
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("checkpoint: truncated section %q length", name)
+		}
+		dataLen := binary.BigEndian.Uint64(rest[:8])
+		rest = rest[8:]
+		if dataLen > uint64(len(rest)) {
+			return nil, fmt.Errorf("checkpoint: section %q data overruns file", name)
+		}
+		f.Add(name, rest[:dataLen])
+		rest = rest[dataLen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after last section", len(rest))
+	}
+	return f, nil
+}
+
+// WriteFile encodes f and writes it to path atomically: the bytes go
+// to a temp file in path's directory, are fsync'd by Close, and the
+// temp file is os.Rename'd over path. Readers therefore only ever see
+// a complete, footer-sealed snapshot.
+func WriteFile(path string, f *File) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(Encode(f)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadFile loads and decodes the checkpoint at path.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// DayPath names the checkpoint for study-day n inside dir.
+func DayPath(dir string, day int) string {
+	return filepath.Join(dir, fmt.Sprintf("day-%03d.ckpt", day))
+}
+
+// dayOf parses a day-NNN.ckpt base name; ok is false for anything
+// else (temp files, strangers). The whole name must match — Sscanf
+// would happily take "day-099.ckpt.tmp123".
+func dayOf(name string) (int, bool) {
+	digits, found := strings.CutPrefix(name, "day-")
+	if !found {
+		return 0, false
+	}
+	digits, found = strings.CutSuffix(digits, ".ckpt")
+	if !found {
+		return 0, false
+	}
+	day, err := strconv.Atoi(digits)
+	if err != nil || day < 0 {
+		return 0, false
+	}
+	return day, true
+}
+
+// Latest returns the path and study-day of the newest checkpoint in
+// dir. ok is false when dir holds no checkpoints (including when it
+// does not exist) — the caller then starts fresh.
+func Latest(dir string) (path string, day int, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return "", 0, false, nil
+	}
+	if err != nil {
+		return "", 0, false, err
+	}
+	best := -1
+	for _, e := range entries {
+		if d, isCkpt := dayOf(e.Name()); isCkpt && d > best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return "", 0, false, nil
+	}
+	return DayPath(dir, best), best, true, nil
+}
+
+// Prune removes every checkpoint in dir older than keepDay, keeping
+// the newest snapshot as the single resume point. Removal failures
+// are reported but the newest checkpoint is never touched.
+func Prune(dir string, keepDay int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var days []int
+	for _, e := range entries {
+		if d, isCkpt := dayOf(e.Name()); isCkpt && d < keepDay {
+			days = append(days, d)
+		}
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		if err := os.Remove(DayPath(dir, d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"malnet/internal/c2"
+	"malnet/internal/checkpoint"
+	"malnet/internal/obs"
+	"malnet/internal/simnet"
+	"malnet/internal/world"
+)
+
+// Durable study runs.
+//
+// A year-long study is a long single process; killing it used to mean
+// starting over. With CheckpointConfig.Dir set, the merge goroutine
+// writes a snapshot after each day's batch, and Resume restarts a
+// killed study from the newest snapshot with byte-identical output —
+// datasets, metrics snapshot, and journal all match an uninterrupted
+// run at any worker count.
+//
+// A snapshot does NOT serialize the world: the world is regenerated
+// from the seed, the checkpointed feed publications are replayed, and
+// the shared clock is run forward to the snapshot instant with event
+// journaling off. That replay reproduces everything that is a pure
+// function of (seed, absolute time) — server duty-cycle flips, probe
+// rounds and their aggregates, intel registrations — and the snapshot
+// then overwrites the small set of state that is not: the datasets,
+// the two metrics registries, per-pair connection counters (the fault
+// plan's schedule coordinate), attack-chain positions, and the
+// journal cursor. See DESIGN.md "Durable runs" for what is
+// deliberately left out (ephemeral ports, the ground-truth Issued
+// log) and why that is invisible to study output.
+
+// CheckpointConfig makes a study durable.
+type CheckpointConfig struct {
+	// Dir is where snapshots are written (one file per checkpointed
+	// day, older days pruned). Empty disables checkpointing.
+	Dir string
+	// Every writes a snapshot after every Every-th non-empty day
+	// batch; 0 or 1 means every batch.
+	Every int
+	// Resume restarts from the newest snapshot in Dir when one
+	// exists. The snapshot's config fingerprint must match the
+	// current run; a mismatch fails loudly naming the fields.
+	Resume bool
+}
+
+// fingerprintData is the config surface a snapshot is only valid
+// for. Everything that shapes deterministic output is in; Workers is
+// deliberately out (output is worker-count-independent), and so are
+// the callbacks and wall-clock knobs.
+type fingerprintData struct {
+	World               world.Config        `json:"world"`
+	Seed                int64               `json:"seed"`
+	SandboxWindow       time.Duration       `json:"sandbox_window"`
+	LiveWindow          time.Duration       `json:"live_window"`
+	HandshakerThreshold int                 `json:"handshaker_threshold"`
+	MinEngines          int                 `json:"min_engines"`
+	DDoS                DDoSExtractorConfig `json:"ddos"`
+	Probing             bool                `json:"probing"`
+	ProbeRounds         int                 `json:"probe_rounds"`
+	AnalysisDelayDays   int                 `json:"analysis_delay_days"`
+	Faults              bool                `json:"faults"`
+	FaultSeed           int64               `json:"fault_seed"`
+	EventBudget         int                 `json:"event_budget"`
+	Journal             bool                `json:"journal"`
+}
+
+// fingerprint serializes the study's config surface. Computed after
+// RunStudyContext's defaulting, so explicit-but-default flags
+// fingerprint the same as omitted ones.
+func (st *Study) fingerprint() []byte {
+	b, err := json.Marshal(fingerprintData{
+		World:               st.W.Cfg,
+		Seed:                st.Cfg.Seed,
+		SandboxWindow:       st.Cfg.SandboxWindow,
+		LiveWindow:          st.Cfg.LiveWindow,
+		HandshakerThreshold: st.Cfg.HandshakerThreshold,
+		MinEngines:          st.Cfg.MinEngines,
+		DDoS:                st.Cfg.DDoS,
+		Probing:             st.Cfg.Probing,
+		ProbeRounds:         st.Cfg.ProbeRounds,
+		AnalysisDelayDays:   st.Cfg.AnalysisDelayDays,
+		Faults:              st.Cfg.Faults,
+		FaultSeed:           st.Cfg.FaultSeed,
+		EventBudget:         st.Cfg.EventBudget,
+		Journal:             st.obs.Journal != nil,
+	})
+	if err != nil {
+		panic("core: fingerprint not marshalable: " + err.Error())
+	}
+	return b
+}
+
+// fingerprintDiff names the fields on which two fingerprints differ,
+// dotted-path style ("world.TotalSamples", "seed"), sorted.
+func fingerprintDiff(a, b []byte) []string {
+	var am, bm map[string]any
+	if json.Unmarshal(a, &am) != nil || json.Unmarshal(b, &bm) != nil {
+		return []string{"(unparsable fingerprint)"}
+	}
+	var out []string
+	diffMaps("", am, bm, &out)
+	sort.Strings(out)
+	return out
+}
+
+func diffMaps(prefix string, a, b map[string]any, out *[]string) {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		path := k
+		if prefix != "" {
+			path = prefix + "." + k
+		}
+		av, aok := a[k]
+		bv, bok := b[k]
+		if !aok || !bok {
+			*out = append(*out, path)
+			continue
+		}
+		if an, aIsMap := av.(map[string]any); aIsMap {
+			if bn, bIsMap := bv.(map[string]any); bIsMap {
+				diffMaps(path, an, bn, out)
+				continue
+			}
+		}
+		if !reflect.DeepEqual(av, bv) {
+			*out = append(*out, path)
+		}
+	}
+}
+
+// checkpointMeta is the snapshot's scalar state.
+type checkpointMeta struct {
+	// Day is the snapshot's day index (days since world.StudyStart).
+	Day int `json:"day"`
+	// ClockNow is the shared clock at the end of the day's batch.
+	ClockNow time.Time `json:"clock_now"`
+	// Merge-goroutine tallies.
+	Processed    int `json:"processed"`
+	Rejected     int `json:"rejected"`
+	FilteredArch int `json:"filtered_arch"`
+	// Journal cursor (zero when no journal is attached).
+	JournalNextID int64 `json:"journal_next_id"`
+	JournalBytes  int64 `json:"journal_bytes"`
+}
+
+// checkpointDatasets is the snapshot's dataset state (D-PC2 is
+// absent: probing aggregates are rebuilt by replay).
+type checkpointDatasets struct {
+	Samples  []*SampleRecord      `json:"samples"`
+	C2s      map[string]*C2Record `json:"c2s"`
+	Exploits []ExploitFinding     `json:"exploits"`
+	DDoS     []DDoSObservation    `json:"ddos"`
+}
+
+// dayIndex is a study day's position in the calendar.
+func dayIndex(day time.Time) int {
+	return int(day.Sub(world.StudyStart()).Hours() / 24)
+}
+
+// saveCheckpoint snapshots the study after dayIdx's batch. Runs on
+// the merge goroutine, so every field it reads is quiescent. The
+// journal is flushed first: Rewind truncates the trace file to the
+// checkpointed byte count, which is only meaningful if those bytes
+// had reached the file.
+func (st *Study) saveCheckpoint(dayIdx int) error {
+	fail := func(err error) error {
+		return fmt.Errorf("checkpoint day %d: %w", dayIdx, err)
+	}
+	if j := st.obs.Journal; j != nil {
+		if err := j.Flush(); err != nil {
+			return fail(err)
+		}
+	}
+	meta := checkpointMeta{
+		Day:          dayIdx,
+		ClockNow:     st.W.Clock.Now(),
+		Processed:    st.processed,
+		Rejected:     st.Rejected,
+		FilteredArch: st.FilteredArch,
+	}
+	meta.JournalNextID, meta.JournalBytes = st.obs.Journal.Cursor()
+
+	chains := map[string][]c2.ChainState{}
+	for addr, srv := range st.W.Servers {
+		if cs := srv.AttackChains(); len(cs) > 0 {
+			chains[addr] = cs
+		}
+	}
+
+	f := &checkpoint.File{}
+	f.Add("fingerprint", st.fingerprint())
+	for _, s := range []struct {
+		name string
+		v    any
+	}{
+		{"meta", meta},
+		{"datasets", checkpointDatasets{
+			Samples: st.Samples, C2s: st.C2s,
+			Exploits: st.Exploits, DDoS: st.DDoS,
+		}},
+		{"metrics", st.obs.Root.Registry().Export()},
+		{"world-metrics", st.W.Net.Obs().Registry().Export()},
+		{"conn-seq", st.W.Net.ConnSeqSnapshots()},
+		{"attack-chains", chains},
+	} {
+		if err := f.AddJSON(s.name, s.v); err != nil {
+			return fail(err)
+		}
+	}
+	if err := checkpoint.WriteFile(checkpoint.DayPath(st.Cfg.Checkpoint.Dir, dayIdx), f); err != nil {
+		return fail(err)
+	}
+	if err := checkpoint.Prune(st.Cfg.Checkpoint.Dir, dayIdx); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// resumeFromCheckpoint restores the newest snapshot in the checkpoint
+// dir, returning its day index, or -1 when the dir holds none (the
+// study then runs from the start). Called once, before the daily
+// loop, with the world freshly generated and the probing schedule
+// already on the clock.
+func (st *Study) resumeFromCheckpoint() (int, error) {
+	path, _, ok, err := checkpoint.Latest(st.Cfg.Checkpoint.Dir)
+	if err != nil {
+		return -1, fmt.Errorf("resume: %w", err)
+	}
+	if !ok {
+		return -1, nil
+	}
+	f, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return -1, fmt.Errorf("resume: %w", err)
+	}
+	have, found := f.Section("fingerprint")
+	if !found {
+		return -1, fmt.Errorf("resume: %s has no config fingerprint", path)
+	}
+	if want := st.fingerprint(); !bytes.Equal(have, want) {
+		return -1, fmt.Errorf("resume: %s was written by a differently configured run; differing fields: %s",
+			path, strings.Join(fingerprintDiff(have, want), ", "))
+	}
+	var (
+		meta         checkpointMeta
+		ds           checkpointDatasets
+		metrics      obs.MetricsDump
+		worldMetrics obs.MetricsDump
+		seqs         []simnet.ConnSeqSnapshot
+		chains       map[string][]c2.ChainState
+	)
+	for _, s := range []struct {
+		name string
+		v    any
+	}{
+		{"meta", &meta},
+		{"datasets", &ds},
+		{"metrics", &metrics},
+		{"world-metrics", &worldMetrics},
+		{"conn-seq", &seqs},
+		{"attack-chains", &chains},
+	} {
+		if err := f.JSON(s.name, s.v); err != nil {
+			return -1, fmt.Errorf("resume: %s: %w", path, err)
+		}
+	}
+
+	// Re-anchor the attack chains before replaying: the generated
+	// world's chains fire at their planned times, but whether a live
+	// window's bot was there to take the command is history replay
+	// does not rerun. The snapshot's chain positions are that
+	// history's outcome; arm them and cancel the planned schedule.
+	for addr, srv := range st.W.Servers {
+		srv.RestoreAttackChains(chains[addr])
+	}
+
+	// Replay with event journaling off: every event the replay would
+	// record was already journaled (and drained per batch) before the
+	// snapshot's cursor.
+	wobs := st.W.Net.Obs()
+	wobs.EnableEvents(false)
+	st.W.ReplayFeedThrough(world.StudyStart().AddDate(0, 0, meta.Day))
+	st.W.Clock.RunUntil(meta.ClockNow)
+	wobs.DrainEvents()
+	wobs.EnableEvents(st.obs.Journal != nil)
+
+	// Replay reproduced the pure-function state; overwrite the rest.
+	st.obs.Root.Registry().Restore(metrics)
+	wobs.Registry().Restore(worldMetrics)
+	st.W.Net.RestoreConnSeqs(seqs)
+	st.Samples, st.Exploits, st.DDoS = ds.Samples, ds.Exploits, ds.DDoS
+	st.C2s = ds.C2s
+	if st.C2s == nil {
+		st.C2s = map[string]*C2Record{}
+	}
+	st.Rejected, st.FilteredArch = meta.Rejected, meta.FilteredArch
+	st.processed, st.lastProgress = meta.Processed, meta.Processed
+	if j := st.obs.Journal; j != nil {
+		if err := j.Rewind(meta.JournalNextID, meta.JournalBytes); err != nil {
+			return -1, fmt.Errorf("resume: %w", err)
+		}
+	}
+	return meta.Day, nil
+}

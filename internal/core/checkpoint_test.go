@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"malnet/internal/checkpoint"
+	"malnet/internal/obs"
+	"malnet/internal/world"
+)
+
+// ckptWorldConfig sizes the resume-equivalence worlds: small enough
+// that seven full runs stay quick, big enough that every dataset and
+// both probe sweeps are populated. The mechanics under test don't
+// depend on feed volume.
+func ckptWorldConfig(seed int64) world.Config {
+	wcfg := world.DefaultConfig(seed)
+	wcfg.TotalSamples = 120
+	return wcfg
+}
+
+func ckptStudyConfig(seed int64, workers int) StudyConfig {
+	scfg := DefaultStudyConfig(seed)
+	scfg.ProbeRounds = 4
+	scfg.Workers = workers
+	return scfg
+}
+
+// studyOutput is everything a study run externalizes: the rendered
+// datasets (the five CSVs; every report table and figure is a pure
+// function of these), the deterministic metrics snapshot, and the
+// trace journal's bytes.
+type studyOutput struct {
+	datasets, metrics, journal string
+}
+
+// runCkptStudy executes one study against a fresh world. journalPath
+// is opened (created, or reopened without truncation when resuming)
+// and receives the trace. killDay < 0 runs to completion; otherwise a
+// context cancel is scheduled on the world clock killDay days into
+// the study and the run is expected to fail with context.Canceled.
+func runCkptStudy(t *testing.T, seed int64, workers int, journalPath, ckptDir string, resume bool, killDay int) studyOutput {
+	t.Helper()
+	w := world.Generate(ckptWorldConfig(seed))
+	scfg := ckptStudyConfig(seed, workers)
+	scfg.Checkpoint = CheckpointConfig{Dir: ckptDir, Resume: resume}
+
+	jf, err := os.OpenFile(journalPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	scfg.Obs = obs.NewObserver()
+	scfg.Obs.SetJournal(jf)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if killDay >= 0 {
+		w.Clock.Schedule(world.StudyStart().AddDate(0, 0, killDay), cancel)
+	}
+	st, err := RunStudyContext(ctx, w, scfg)
+	if killDay >= 0 {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("killed run (day %d): want context.Canceled, got %v", killDay, err)
+		}
+	} else if err != nil {
+		t.Fatalf("study failed: %v", err)
+	}
+	if err := scfg.Obs.Flush(); err != nil {
+		t.Fatalf("journal flush: %v", err)
+	}
+	jb, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return studyOutput{
+		datasets: renderDatasets(st),
+		metrics:  st.Metrics().Snapshot(),
+		journal:  string(jb),
+	}
+}
+
+// TestCheckpointResumeEquivalence is the durability contract: a study
+// killed mid-run and resumed from its newest checkpoint produces
+// byte-identical datasets, metrics, and journal to one that was never
+// interrupted — at several worker counts and kill points. Day 3
+// typically precedes the first checkpoint (resume-from-nothing must
+// equal a fresh run); days 17 and 29 land mid-study with real state
+// to restore.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	const seed = 11
+	base := t.TempDir()
+	ref := runCkptStudy(t, seed, 1, filepath.Join(base, "ref.jsonl"), "", false, -1)
+	if len(ref.datasets) < 200 {
+		t.Fatalf("reference render suspiciously small (%d bytes):\n%s", len(ref.datasets), ref.datasets)
+	}
+
+	for _, tc := range []struct {
+		workers, killDay int
+	}{
+		{1, 3},
+		{2, 17},
+		{8, 29},
+	} {
+		ckptDir := filepath.Join(base, "ckpt")
+		if err := os.RemoveAll(ckptDir); err != nil {
+			t.Fatal(err)
+		}
+		journal := filepath.Join(base, "run.jsonl")
+		if err := os.RemoveAll(journal); err != nil {
+			t.Fatal(err)
+		}
+
+		runCkptStudy(t, seed, tc.workers, journal, ckptDir, false, tc.killDay)
+		got := runCkptStudy(t, seed, tc.workers, journal, ckptDir, true, -1)
+
+		for _, cmp := range []struct {
+			what, got, want string
+		}{
+			{"datasets", got.datasets, ref.datasets},
+			{"metrics", got.metrics, ref.metrics},
+			{"journal", got.journal, ref.journal},
+		} {
+			if cmp.got == cmp.want {
+				continue
+			}
+			gl, wl := strings.Split(cmp.got, "\n"), strings.Split(cmp.want, "\n")
+			for i := 0; i < len(gl) && i < len(wl); i++ {
+				if gl[i] != wl[i] {
+					t.Fatalf("workers=%d killDay=%d: resumed %s diverges at line %d:\nresumed:  %s\nstraight: %s",
+						tc.workers, tc.killDay, cmp.what, i+1, gl[i], wl[i])
+				}
+			}
+			t.Fatalf("workers=%d killDay=%d: resumed %s differs in length: %d vs %d lines",
+				tc.workers, tc.killDay, cmp.what, len(gl), len(wl))
+		}
+	}
+}
+
+// TestCheckpointFingerprintMismatch asserts the refusal path: a
+// snapshot written by one configuration must not silently seed a
+// differently configured run, and the error must name the offending
+// fields.
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	ckptDir := t.TempDir()
+	w := world.Generate(ckptWorldConfig(7))
+	scfg := ckptStudyConfig(7, 2)
+	scfg.Probing = false
+	scfg.Checkpoint = CheckpointConfig{Dir: ckptDir}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.Clock.Schedule(world.StudyStart().AddDate(0, 0, 17), cancel)
+	if _, err := RunStudyContext(ctx, w, scfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run: %v", err)
+	}
+	if _, _, ok, _ := checkpoint.Latest(ckptDir); !ok {
+		t.Fatal("killed run left no checkpoint to test against")
+	}
+
+	w2 := world.Generate(ckptWorldConfig(7))
+	scfg2 := ckptStudyConfig(7, 2)
+	scfg2.Probing = false
+	scfg2.Seed = 8
+	scfg2.MinEngines = 7
+	scfg2.Checkpoint = CheckpointConfig{Dir: ckptDir, Resume: true}
+	_, err := RunStudyContext(context.Background(), w2, scfg2)
+	if err == nil {
+		t.Fatal("resume under a different config did not fail")
+	}
+	for _, field := range []string{"seed", "min_engines"} {
+		if !strings.Contains(err.Error(), field) {
+			t.Fatalf("mismatch error does not name %q: %v", field, err)
+		}
+	}
+}

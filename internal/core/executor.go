@@ -264,7 +264,17 @@ func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
 		sp.Finish(out.at)
 		return
 	}
-	sha, _ := out.spec.SHA256()
+	// SHA256 re-derives from the encoded binary; Binary() succeeding
+	// above makes failure unreachable today, but slicing sha[:12] on
+	// an empty string would panic the whole worker pool, so the error
+	// path is real: count it and skip the sample like a filtered one.
+	sha, err := out.spec.SHA256()
+	if err != nil {
+		reg.Counter("feed.sha_failures").Inc()
+		sp.SetAttr("verdict", "sha_failure")
+		sp.Finish(out.at)
+		return
+	}
 	sp.SetAttr("sha", sha[:12])
 
 	// Collection gate: >= MinEngines corroborating detections.

@@ -71,6 +71,10 @@ type StudyConfig struct {
 	// wall-clock throughput so long studies are not silent. The
 	// callback must not mutate study state.
 	Progress func(ProgressUpdate)
+	// Checkpoint makes the run durable: snapshots written at
+	// day-batch boundaries, resumable with byte-identical output.
+	// See checkpoint.go.
+	Checkpoint CheckpointConfig
 }
 
 // progressEvery is the merge-count period of Progress callbacks.
@@ -247,8 +251,11 @@ type Study struct {
 
 	// obs is the study's observer (never nil after RunStudyContext).
 	obs *obs.Observer
-	// processed counts merged feed entries for Progress pacing.
-	processed int
+	// processed counts merged feed entries for Progress pacing;
+	// lastProgress is the processed count at the last Progress tick,
+	// so the final tick fires exactly when something went unreported.
+	processed    int
+	lastProgress int
 	// wallStart anchors Progress throughput arithmetic.
 	wallStart time.Time
 }
@@ -381,13 +388,40 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 	// merge+live; see executor.go).
 	ex := newExecutor(ctx, resolveWorkers(cfg.Workers), cfg.Seed, w.Resolve, clock.Now(), plan, cfg.Obs.Wall)
 	defer ex.close()
+	resumedThrough := -1
+	if cfg.Checkpoint.Resume && cfg.Checkpoint.Dir != "" {
+		day, err := st.resumeFromCheckpoint()
+		if err != nil {
+			return st, err
+		}
+		resumedThrough = day
+	}
+	saveEvery := cfg.Checkpoint.Every
+	if saveEvery <= 0 {
+		saveEvery = 1
+	}
+	batches := 0
 	for day := world.StudyStart(); day.Before(world.StudyEnd()); day = day.AddDate(0, 0, 1) {
+		if dayIndex(day) <= resumedThrough {
+			continue
+		}
 		analysisDay := day.AddDate(0, 0, cfg.AnalysisDelayDays)
 		if clock.Now().Before(analysisDay) {
 			clock.RunUntil(analysisDay)
 		}
-		if err := st.runBatch(ex, sb, w.FeedOn(day)); err != nil {
+		specs := w.FeedOn(day)
+		if err := st.runBatch(ex, sb, specs); err != nil {
+			// A cancelled run keeps its last completed-batch
+			// snapshot; mid-batch state is never checkpointed.
+			st.finalProgress()
 			return st, err
+		}
+		if cfg.Checkpoint.Dir != "" && len(specs) > 0 {
+			if batches++; batches%saveEvery == 0 {
+				if err := st.saveCheckpoint(dayIndex(day)); err != nil {
+					return st, err
+				}
+			}
 		}
 	}
 	// Drain to study end (late probe rounds, timers).
@@ -419,7 +453,14 @@ func (st *Study) finalizeObs() {
 	reg.Gauge("study.ddos_observations").Set(int64(len(st.DDoS)))
 	reg.MergePrefixed("world.", st.W.Net.Obs().Registry())
 	st.drainWorldEvents()
-	if st.Cfg.Progress != nil && st.processed%progressEvery != 0 {
+	st.finalProgress()
+}
+
+// finalProgress fires the last Progress tick when merges happened
+// since the previous one — on completion and on the cancellation
+// path, so a killed run still reports its true processed count.
+func (st *Study) finalProgress() {
+	if st.Cfg.Progress != nil && st.processed != st.lastProgress {
 		st.emitProgress()
 	}
 }
@@ -439,6 +480,7 @@ func (st *Study) drainWorldEvents() {
 
 // emitProgress reports merge-goroutine throughput to Cfg.Progress.
 func (st *Study) emitProgress() {
+	st.lastProgress = st.processed
 	disp := make(map[Disposition]int, 5)
 	for _, s := range st.Samples {
 		disp[s.Disposition]++

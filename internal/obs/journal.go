@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 )
@@ -14,13 +15,15 @@ import (
 // deterministic at any worker count. A nil Journal absorbs emissions.
 type Journal struct {
 	w      *bufio.Writer
+	sink   io.Writer
 	nextID int64
+	bytes  int64
 	err    error
 }
 
 // NewJournal returns a Journal buffering writes to w.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{w: bufio.NewWriter(w)}
+	return &Journal{w: bufio.NewWriter(w), sink: w}
 }
 
 type journalLine struct {
@@ -93,7 +96,54 @@ func (j *Journal) write(line journalLine) {
 	}
 	if _, err := j.w.Write(append(b, '\n')); err != nil {
 		j.err = err
+		return
 	}
+	j.bytes += int64(len(b)) + 1
+}
+
+// Cursor returns the journal's emission position: the last span ID
+// assigned and the byte length of everything emitted so far. The
+// study checkpoints the cursor (after a Flush) so a resumed run can
+// Rewind the journal to exactly the state the snapshot saw.
+func (j *Journal) Cursor() (nextID, bytes int64) {
+	if j == nil {
+		return 0, 0
+	}
+	return j.nextID, j.bytes
+}
+
+// rewindable is what Rewind needs from the sink: *os.File satisfies
+// it; an in-memory buffer does not, which is deliberate — resuming a
+// run only makes sense against a durable trace file.
+type rewindable interface {
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// Rewind truncates the journal's sink to a checkpointed cursor and
+// restores the ID sequence, so emissions after a resume continue the
+// trace exactly where the snapshot left it (lines written after the
+// snapshot — by the killed run — are discarded). The sink must be
+// seekable and truncatable, i.e. a real file.
+func (j *Journal) Rewind(nextID, bytes int64) error {
+	if j == nil {
+		return nil
+	}
+	f, ok := j.sink.(rewindable)
+	if !ok {
+		return fmt.Errorf("obs: journal sink %T cannot rewind (need a file)", j.sink)
+	}
+	if err := f.Truncate(bytes); err != nil {
+		return err
+	}
+	if _, err := f.Seek(bytes, io.SeekStart); err != nil {
+		return err
+	}
+	j.w = bufio.NewWriter(j.sink)
+	j.nextID = nextID
+	j.bytes = bytes
+	j.err = nil
+	return nil
 }
 
 // Flush drains the buffer and returns the first error seen on any

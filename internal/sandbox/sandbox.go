@@ -353,5 +353,18 @@ func (sb *Sandbox) Run(raw []byte, opts RunOptions) (*Report, error) {
 	report.Faults = sb.net.FaultStats().Sub(faultsBefore)
 	report.Ended = sb.clock.Now()
 	sb.run = nil
+	if opts.Mode == ModeLive {
+		// Drain connection teardown: the bot's Stop closed its C2
+		// sessions, but the FIN segments are still in flight (one-way
+		// latency tops out under 200ms). Running the clock briefly
+		// past the window lets them land so the servers close their
+		// session state and cancel the attached keepalive/TTL timers.
+		// Without this the shared-world event queue keeps dead-session
+		// timers whose firing depends on when the *next* window opens
+		// — state a checkpoint/resume cycle cannot reproduce. The
+		// drain is unconditional so an uninterrupted run and a resumed
+		// one see identical queues.
+		sb.clock.RunFor(time.Second)
+	}
 	return report, nil
 }

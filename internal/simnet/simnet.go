@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"malnet/internal/detrand"
@@ -410,6 +411,45 @@ func (n *Network) FaultStats() FaultStats {
 		LatencySpikes:   int(n.m.latencySpikes.Value()),
 		Blackouts:       int(n.m.blackouts.Value()),
 		SlowDrips:       int(n.m.slowDrips.Value()),
+	}
+}
+
+// ConnSeqSnapshot is one (dialing host, destination endpoint) pair's
+// connection-sequence counter — the fault plan's third purity
+// coordinate. The study checkpoints these so a resumed run draws the
+// same fault schedule for every post-resume dial.
+type ConnSeqSnapshot struct {
+	Src netip.Addr
+	Dst Addr
+	Seq uint64
+}
+
+// ConnSeqSnapshots exports every per-pair connection counter, sorted
+// by (src, dst IP, dst port) so the serialized form is deterministic.
+func (n *Network) ConnSeqSnapshots() []ConnSeqSnapshot {
+	out := make([]ConnSeqSnapshot, 0, len(n.connSeq))
+	for k, seq := range n.connSeq {
+		out = append(out, ConnSeqSnapshot{Src: k.src, Dst: k.dst, Seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src.Less(b.Src)
+		}
+		if a.Dst.IP != b.Dst.IP {
+			return a.Dst.IP.Less(b.Dst.IP)
+		}
+		return a.Dst.Port < b.Dst.Port
+	})
+	return out
+}
+
+// RestoreConnSeqs replaces the per-pair connection counters with a
+// snapshot.
+func (n *Network) RestoreConnSeqs(snaps []ConnSeqSnapshot) {
+	n.connSeq = make(map[connSeqKey]uint64, len(snaps))
+	for _, s := range snaps {
+		n.connSeq[connSeqKey{src: s.Src, dst: s.Dst}] = s.Seq
 	}
 }
 

@@ -7,6 +7,12 @@
 // and friends would smuggle nondeterminism into outputs that the
 // equivalence tests promise are byte-identical at any worker count.
 //
+// It also enforces the durability contract on internal/checkpoint:
+// any non-test file there that creates files (os.WriteFile, os.Create,
+// os.OpenFile) must also call os.Rename — the temp-file-plus-rename
+// pattern that makes snapshot writes atomic. A direct write could
+// leave a half-written day-NNN.ckpt for a resume to trip over.
+//
 // Usage:  go run ./tools/vettime [dir]     (default ./internal)
 //
 // Exits 1 listing each offending call site. _test.go files are
@@ -69,6 +75,9 @@ func main() {
 			return fmt.Errorf("parsing %s: %w", path, err)
 		}
 		findings = append(findings, check(fset, file)...)
+		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "checkpoint")) {
+			findings = append(findings, checkAtomicWrites(fset, file, path)...)
+		}
 		return nil
 	})
 	if err != nil {
@@ -79,9 +88,60 @@ func main() {
 		for _, f := range findings {
 			fmt.Fprintln(os.Stderr, f)
 		}
-		fmt.Fprintf(os.Stderr, "vettime: %d wall-clock call(s) in deterministic packages; use the simclock, or obs.Now for telemetry\n", len(findings))
+		fmt.Fprintf(os.Stderr, "vettime: %d contract violation(s): wall-clock reads need the simclock (or obs.Now for telemetry); checkpoint writes need temp-file + os.Rename\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// fileCreators are the os-package calls that produce a file at its
+// final path; inside internal/checkpoint their presence demands an
+// os.Rename in the same file (write-to-temp, rename-into-place).
+var fileCreators = map[string]bool{
+	"WriteFile": true, "Create": true, "OpenFile": true,
+}
+
+// checkAtomicWrites flags internal/checkpoint files that create files
+// without renaming: checkpoint writes must be atomic (temp file +
+// os.Rename), or a crash can strand a torn snapshot at a real
+// day-NNN.ckpt path.
+func checkAtomicWrites(fset *token.FileSet, file *ast.File, path string) []string {
+	osName := ""
+	for _, imp := range file.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == "os" {
+			osName = "os"
+			if imp.Name != nil {
+				osName = imp.Name.Name
+			}
+		}
+	}
+	if osName == "" || osName == "_" {
+		return nil
+	}
+	var creators []string
+	renames := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != osName || id.Obj != nil {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "Rename":
+			renames = true
+		case fileCreators[sel.Sel.Name]:
+			creators = append(creators, fmt.Sprintf(
+				"%s: os.%s without os.Rename — checkpoint writes must be atomic (temp file + os.Rename)",
+				fset.Position(sel.Pos()), sel.Sel.Name))
+		}
+		return true
+	})
+	if renames {
+		return nil
+	}
+	return creators
 }
 
 // check scans one file for selector uses of the banned functions on
