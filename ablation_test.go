@@ -212,8 +212,8 @@ func BenchmarkAblationAnalysisDelay(b *testing.B) {
 				wcfg.TotalSamples = 150
 				w := world.Generate(wcfg)
 				scfg := core.DefaultStudyConfig(21)
-				scfg.Probing = false
-				scfg.AnalysisDelayDays = delay
+				scfg.Analysis.Probing = false
+				scfg.Analysis.DelayDays = delay
 				st := core.RunStudy(w, scfg)
 				var withC2, live int
 				for _, s := range st.Samples {

@@ -362,7 +362,7 @@ func BenchmarkStudyWorkers(b *testing.B) {
 				b.StopTimer()
 				w := world.Generate(world.DefaultConfig(42))
 				cfg := core.DefaultStudyConfig(42)
-				cfg.Workers = workers
+				cfg.Determinism.Workers = workers
 				b.StartTimer()
 				st := core.RunStudy(w, cfg)
 				b.ReportMetric(float64(len(st.Samples)), "samples")

@@ -15,7 +15,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"malnet/internal/cli"
 	"malnet/internal/core"
 	"malnet/internal/obs"
 	"malnet/internal/results"
@@ -35,24 +35,13 @@ func main() { os.Exit(run()) }
 // metrics snapshot are flushed on every path out, so an interrupted
 // study keeps its partial telemetry.
 func run() int {
+	flags := cli.NewStudyFlags(flag.CommandLine)
 	var (
-		seed        = flag.Int64("seed", 42, "world and pipeline seed")
-		samples     = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
 		probeRounds = flag.Int("probe-rounds", 0, "probing rounds (0 = paper's 84)")
-		workers     = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
-		short       = flag.Bool("short", false, "scaled-down study (fast)")
 		table       = flag.Int("table", 0, "print only table N (1-7)")
 		figure      = flag.Int("figure", 0, "print only figure N (1-13)")
 		headlines   = flag.Bool("headlines", false, "print only the headline findings")
 		seeds       = flag.Int("seeds", 0, "run a robustness sweep over N seeds and report headline spreads")
-		faults      = flag.Bool("faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
-		faultSeed   = flag.Int64("fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
-		traceOut    = flag.String("trace-out", "", "write the virtual-time trace journal (JSONL spans + events) to FILE")
-		metricsOut  = flag.String("metrics-out", "", "write the deterministic metrics snapshot to FILE")
-		debugAddr   = flag.String("debug-addr", "", "serve live pprof/expvar/wall-profile on ADDR (e.g. :6060) while the study runs")
-		ckptDir     = flag.String("checkpoint-dir", "", "write resumable study snapshots to DIR at day-batch boundaries")
-		ckptEvery   = flag.Int("checkpoint-every", 1, "snapshot after every N-th non-empty day batch")
-		resume      = flag.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir (config must match)")
 	)
 	flag.Parse()
 
@@ -60,87 +49,40 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1
 	}
-	if *resume && *ckptDir == "" {
-		return fail(fmt.Errorf("-resume needs -checkpoint-dir"))
-	}
 
 	if *seeds > 1 {
-		seedSweep(*seeds, *samples, *probeRounds, *short)
+		seedSweep(*seeds, flags.Samples, *probeRounds, flags.Short)
 		return 0
 	}
 
-	wcfg := world.DefaultConfig(*seed)
-	scfg := core.DefaultStudyConfig(*seed)
-	if *short {
-		wcfg.TotalSamples = 150
-		scfg.ProbeRounds = 12
-	}
-	if *samples > 0 {
-		wcfg.TotalSamples = *samples
+	wcfg, scfg, err := flags.Configs()
+	if err != nil {
+		return fail(err)
 	}
 	if *probeRounds > 0 {
-		scfg.ProbeRounds = *probeRounds
+		scfg.Analysis.ProbeRounds = *probeRounds
 	}
-	scfg.Workers = *workers
-	scfg.Faults = *faults
-	scfg.FaultSeed = *faultSeed
-	scfg.Checkpoint = core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 
 	observer := obs.NewObserver()
-	scfg.Obs = observer
-	if *traceOut != "" {
-		// Resuming rewinds the existing trace file to the snapshot's
-		// cursor instead of truncating it.
-		mode := os.O_RDWR | os.O_CREATE
-		if !*resume {
-			mode |= os.O_TRUNC
-		}
-		f, err := os.OpenFile(*traceOut, mode, 0o644)
-		if err != nil {
-			return fail(err)
-		}
-		defer f.Close()
-		observer.SetJournal(f)
-	}
-	defer func() {
-		// Telemetry outlives failures: these run on every exit path.
-		if *traceOut != "" {
-			if err := observer.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: flushing trace:", err)
-			} else {
-				fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
-			}
-		}
-		if *metricsOut != "" {
-			if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: writing metrics:", err)
-			} else {
-				fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
-			}
-		}
-	}()
-	if *debugAddr != "" {
-		observer.Wall.PublishExpvar("malnet")
-		srv, addr, err := obs.ServeDebug(*debugAddr, observer.Wall)
-		if err != nil {
-			return fail(err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
+	scfg.Observability.Obs = observer
+	scfg.Observability.Progress = flags.ProgressPrinter()
+	cleanup, err := flags.Obs.Instrument(observer, flags.Checkpoint.Resume, "experiments")
+	// Telemetry outlives failures: cleanup runs on every exit path.
+	defer cleanup()
+	if err != nil {
+		return fail(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "generating world (seed=%d, samples=%d)...\n", *seed, wcfg.TotalSamples)
+	fmt.Fprintf(os.Stderr, "generating world (seed=%d, samples=%d)...\n", flags.Seed, wcfg.TotalSamples)
 	start := time.Now()
 	w := world.Generate(wcfg)
 	fmt.Fprintf(os.Stderr, "running study...\n")
 	st, err := core.RunStudyContext(ctx, w, scfg)
 	if err != nil {
-		if *ckptDir != "" && errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "experiments: re-run with -resume to continue from the last checkpoint")
-		}
+		flags.Checkpoint.InterruptHint("experiments", err)
 		return fail(fmt.Errorf("study interrupted: %w", err))
 	}
 	fmt.Fprintf(os.Stderr, "done in %v: %d samples, %d C2s, %d exploits, %d DDoS commands\n\n",
@@ -199,7 +141,7 @@ func run() int {
 		fmt.Println(results.NewHeadlines(st).Render())
 		fmt.Println(results.NewDetectionQuality(st).Render())
 	}
-	if *faults {
+	if flags.Faults {
 		fmt.Println(results.NewFaultSummary(st).Render())
 	}
 	if *table == 0 && *figure == 0 && !*headlines {
@@ -229,16 +171,16 @@ func seedSweep(n, samples, probeRounds int, short bool) {
 	}
 	for seed := int64(1); seed <= int64(n); seed++ {
 		wcfg := world.DefaultConfig(seed)
-		scfg := core.DefaultStudyConfig(seed)
+		scfg := core.Defaults(seed)
 		if short {
 			wcfg.TotalSamples = 150
-			scfg.ProbeRounds = 12
+			scfg.Analysis.ProbeRounds = 12
 		}
 		if samples > 0 {
 			wcfg.TotalSamples = samples
 		}
 		if probeRounds > 0 {
-			scfg.ProbeRounds = probeRounds
+			scfg.Analysis.ProbeRounds = probeRounds
 		}
 		fmt.Fprintf(os.Stderr, "seed %d/%d...\n", seed, n)
 		st := core.RunStudy(world.Generate(wcfg), scfg)

@@ -13,11 +13,12 @@
 // newest snapshot with -resume, producing byte-identical output to an
 // uninterrupted run. An interrupted run still flushes its trace
 // journal and metrics snapshot, so partial observability survives.
+// The snapshots double as the data source for cmd/malnetd, the query
+// daemon that serves finished (or still-running) studies over HTTP.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"malnet/internal/cli"
 	"malnet/internal/core"
 	"malnet/internal/ids"
 	"malnet/internal/obs"
@@ -41,97 +43,27 @@ func main() { os.Exit(run()) }
 // trace journal and writes the metrics snapshot before the process
 // dies, so a cancelled or failed study keeps its partial telemetry.
 func run() int {
-	var (
-		seed       = flag.Int64("seed", 42, "world and pipeline seed")
-		samples    = flag.Int("samples", 0, "feed size (0 = paper's 1447)")
-		workers    = flag.Int("workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
-		short      = flag.Bool("short", false, "scaled-down study")
-		out        = flag.String("out", "malnet-out", "output directory")
-		faults     = flag.Bool("faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
-		faultSeed  = flag.Int64("fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
-		verbose    = flag.Bool("v", false, "print per-1000-sample throughput to stderr while the study runs")
-		traceOut   = flag.String("trace-out", "", "write the virtual-time trace journal (JSONL spans + events) to FILE")
-		metricsOut = flag.String("metrics-out", "", "write the deterministic metrics snapshot to FILE")
-		debugAddr  = flag.String("debug-addr", "", "serve live pprof/expvar/wall-profile on ADDR (e.g. :6060) while the study runs")
-		ckptDir    = flag.String("checkpoint-dir", "", "write resumable study snapshots to DIR at day-batch boundaries")
-		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot after every N-th non-empty day batch")
-		resume     = flag.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir (config must match)")
-	)
+	flags := cli.NewStudyFlags(flag.CommandLine)
+	out := flag.String("out", "malnet-out", "output directory")
 	flag.Parse()
 
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "malnet:", err)
 		return 1
 	}
-	if *resume && *ckptDir == "" {
-		return fail(fmt.Errorf("-resume needs -checkpoint-dir"))
-	}
-
-	wcfg := world.DefaultConfig(*seed)
-	scfg := core.DefaultStudyConfig(*seed)
-	scfg.Workers = *workers
-	scfg.Faults = *faults
-	scfg.FaultSeed = *faultSeed
-	scfg.Checkpoint = core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
-	if *short {
-		wcfg.TotalSamples = 150
-		scfg.ProbeRounds = 12
-	}
-	if *samples > 0 {
-		wcfg.TotalSamples = *samples
+	wcfg, scfg, err := flags.Configs()
+	if err != nil {
+		return fail(err)
 	}
 
 	observer := obs.NewObserver()
-	scfg.Obs = observer
-	if *traceOut != "" {
-		// Resuming rewinds the existing trace file to the snapshot's
-		// cursor instead of truncating it: the journaled prefix up to
-		// the checkpoint is part of the resumed run's output.
-		mode := os.O_RDWR | os.O_CREATE
-		if !*resume {
-			mode |= os.O_TRUNC
-		}
-		f, err := os.OpenFile(*traceOut, mode, 0o644)
-		if err != nil {
-			return fail(err)
-		}
-		defer f.Close()
-		observer.SetJournal(f)
-	}
-	defer func() {
-		// Telemetry outlives failures: these run on every exit path.
-		if *traceOut != "" {
-			if err := observer.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "malnet: flushing trace:", err)
-			} else {
-				fmt.Printf("wrote %s\n", *traceOut)
-			}
-		}
-		if *metricsOut != "" {
-			if err := os.WriteFile(*metricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "malnet: writing metrics:", err)
-			} else {
-				fmt.Printf("wrote %s\n", *metricsOut)
-			}
-		}
-	}()
-	if *debugAddr != "" {
-		observer.Wall.PublishExpvar("malnet")
-		srv, addr, err := obs.ServeDebug(*debugAddr, observer.Wall)
-		if err != nil {
-			return fail(err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
-	}
-	if *verbose {
-		scfg.Progress = func(p core.ProgressUpdate) {
-			fmt.Fprintf(os.Stderr,
-				"processed %d feed entries (%d accepted) in %v — %.0f samples/sec; alive=%d retried=%d dead=%d timed-out=%d\n",
-				p.Processed, p.Accepted, p.Elapsed.Round(time.Millisecond), p.Rate,
-				p.Dispositions[core.DispAlive], p.Dispositions[core.DispRetriedThenAlive],
-				p.Dispositions[core.DispDead], p.Dispositions[core.DispTimedOut])
-		}
+	scfg.Observability.Obs = observer
+	scfg.Observability.Progress = flags.ProgressPrinter()
+	cleanup, err := flags.Obs.Instrument(observer, flags.Checkpoint.Resume, "malnet")
+	// Telemetry outlives failures: cleanup runs on every exit path.
+	defer cleanup()
+	if err != nil {
+		return fail(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -141,9 +73,7 @@ func run() int {
 	w := world.Generate(wcfg)
 	st, err := core.RunStudyContext(ctx, w, scfg)
 	if err != nil {
-		if *ckptDir != "" && errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "malnet: re-run with -resume to continue from the last checkpoint")
-		}
+		flags.Checkpoint.InterruptHint("malnet", err)
 		return fail(fmt.Errorf("study interrupted: %w", err))
 	}
 	fmt.Printf("study complete in %v\n", time.Since(start).Round(time.Millisecond))
@@ -250,7 +180,7 @@ func run() int {
 
 	// Summary report.
 	summary := results.NewTable1(st).Render() + "\n" + results.NewHeadlines(st).Render()
-	if *faults {
+	if flags.Faults {
 		summary += "\n" + results.NewFaultSummary(st).Render()
 	}
 	summary += "\n" + results.NewMetricsSection(st).Render()

@@ -1,0 +1,102 @@
+// Command malnetd serves a finished (or still-running) MalNet study
+// over HTTP. It loads the newest valid snapshot from a checkpoint
+// directory — the same day-NNN.ckpt files cmd/malnet writes with
+// -checkpoint-dir — indexes it in memory, and answers JSON queries:
+//
+//	GET /v1/headline            dataset sizes + headline findings
+//	GET /v1/metrics             the deterministic metrics section
+//	GET /v1/samples?family=&day=&c2=&limit=&cursor=
+//	GET /v1/c2                  every known C2 endpoint, paginated
+//	GET /v1/c2/{addr}           one endpoint + the samples citing it
+//	GET /v1/attacks?type=&limit=&cursor=
+//
+// While a study is still running, malnetd polls the directory and
+// hot-reloads newer snapshots: the indexed store is swapped
+// atomically, so in-flight requests finish against the snapshot they
+// started on. Identical snapshots produce byte-identical responses,
+// which is what makes the smoke test's golden-JSON diff possible.
+//
+// The serving library (internal/serve) never reads the wall clock;
+// the reload ticker lives here, in the command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"malnet/internal/cli"
+	"malnet/internal/obs"
+	"malnet/internal/serve"
+)
+
+func main() {
+	dir := flag.String("checkpoint-dir", "", "directory of day-NNN.ckpt study snapshots to serve (required)")
+	listen := flag.String("listen", "127.0.0.1:8377", "address to serve the /v1 API on (use :0 for an ephemeral port)")
+	reload := flag.Duration("reload-every", 5*time.Second, "how often to check -checkpoint-dir for a newer snapshot (0 = never)")
+	var obsFlags cli.ObsFlags
+	obsFlags.RegisterDebug(flag.CommandLine)
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "malnetd: -checkpoint-dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	wall := obs.NewWall()
+	srv, err := serve.New(*dir, wall)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
+		os.Exit(1)
+	}
+	st := srv.Store()
+	fmt.Fprintf(os.Stderr, "malnetd: serving snapshot day %d (generation %.12s…) from %s\n",
+		st.Day, st.Generation, *dir)
+	if st.SkippedCorrupt > 0 {
+		fmt.Fprintf(os.Stderr, "malnetd: skipped %d corrupt snapshot(s)\n", st.SkippedCorrupt)
+	}
+
+	if obsFlags.DebugAddr != "" {
+		wall.PublishExpvar("malnetd")
+		dbg, addr, err := obs.ServeDebug(obsFlags.DebugAddr, wall)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
+	}
+
+	if *reload > 0 {
+		go func() {
+			for range time.Tick(*reload) {
+				changed, err := srv.Reload()
+				switch {
+				case err != nil:
+					fmt.Fprintf(os.Stderr, "malnetd: reload: %v\n", err)
+				case changed:
+					st := srv.Store()
+					fmt.Fprintf(os.Stderr, "malnetd: reloaded snapshot day %d (generation %.12s…)\n",
+						st.Day, st.Generation)
+				}
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
+		os.Exit(1)
+	}
+	// The bound address goes to stdout so scripts using -listen :0 can
+	// capture it; all logging stays on stderr.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
+		os.Exit(1)
+	}
+}

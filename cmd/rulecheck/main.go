@@ -76,7 +76,7 @@ func demo() ([]*ids.Rule, []simnet.PacketRecord) {
 	wcfg.TotalSamples = 60
 	w := world.Generate(wcfg)
 	scfg := core.DefaultStudyConfig(5)
-	scfg.Probing = false
+	scfg.Analysis.Probing = false
 	st := core.RunStudy(w, scfg)
 	rules := core.GenerateRules(st)
 	fmt.Printf("demo: generated %d rules from a %d-sample study\n", len(rules), len(st.Samples))

@@ -25,6 +25,7 @@ package checkpoint
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -55,7 +56,18 @@ type Section struct {
 // sections.
 type File struct {
 	Sections []Section
+
+	// Sum is the SHA-256 integrity footer. Decode fills it in after
+	// verification, so a read-side consumer (the serving layer) can
+	// use it as a content-addressed generation id without hashing the
+	// file again. Zero on a File that was built by hand and never
+	// encoded.
+	Sum [sha256.Size]byte
 }
+
+// SumHex is the integrity footer as lowercase hex — the snapshot's
+// generation id on the read side.
+func (f *File) SumHex() string { return hex.EncodeToString(f.Sum[:]) }
 
 // Add appends a raw section.
 func (f *File) Add(name string, data []byte) {
@@ -111,6 +123,7 @@ func Encode(f *File) []byte {
 		out = append(out, s.Data...)
 	}
 	sum := sha256.Sum256(out)
+	f.Sum = sum
 	return append(out, sum[:]...)
 }
 
@@ -123,7 +136,8 @@ func Decode(b []byte) (*File, error) {
 		return nil, fmt.Errorf("checkpoint: truncated: %d bytes", len(b))
 	}
 	body, foot := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
-	if sum := sha256.Sum256(body); string(sum[:]) != string(foot) {
+	sum := sha256.Sum256(body)
+	if string(sum[:]) != string(foot) {
 		return nil, fmt.Errorf("checkpoint: integrity footer mismatch (corrupt or tampered snapshot)")
 	}
 	if string(body[:len(magic)]) != string(magic[:]) {
@@ -135,7 +149,7 @@ func Decode(b []byte) (*File, error) {
 	if count > maxSections {
 		return nil, fmt.Errorf("checkpoint: implausible section count %d", count)
 	}
-	f := &File{}
+	f := &File{Sum: sum}
 	for i := uint32(0); i < count; i++ {
 		if len(rest) < 2 {
 			return nil, fmt.Errorf("checkpoint: truncated section %d header", i)
@@ -226,27 +240,48 @@ func dayOf(name string) (int, bool) {
 	return day, true
 }
 
-// Latest returns the path and study-day of the newest checkpoint in
-// dir. ok is false when dir holds no checkpoints (including when it
-// does not exist) — the caller then starts fresh.
-func Latest(dir string) (path string, day int, ok bool, err error) {
+// Snapshot is a checkpoint found on disk by Latest, decoded and
+// footer-verified. The embedded File gives section access; Path and
+// Day locate it in the directory.
+type Snapshot struct {
+	*File
+	Path string
+	Day  int
+}
+
+// Latest returns the newest valid checkpoint in dir, fully decoded.
+// A snapshot that fails to load — bit-flipped, truncated by a bad
+// disk, or removed between the directory listing and the read — is
+// skipped and the next-newest is tried, because an older good resume
+// point always beats refusing to resume at all; skipped reports how
+// many were passed over so the caller can log the fallback. snap is
+// nil when dir holds no loadable checkpoint (including when the
+// directory does not exist) — the caller then starts fresh.
+func Latest(dir string) (snap *Snapshot, skipped int, err error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
-		return "", 0, false, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return "", 0, false, err
+		return nil, 0, err
 	}
-	best := -1
+	var days []int
 	for _, e := range entries {
-		if d, isCkpt := dayOf(e.Name()); isCkpt && d > best {
-			best = d
+		if d, isCkpt := dayOf(e.Name()); isCkpt {
+			days = append(days, d)
 		}
 	}
-	if best < 0 {
-		return "", 0, false, nil
+	sort.Sort(sort.Reverse(sort.IntSlice(days)))
+	for _, d := range days {
+		path := DayPath(dir, d)
+		f, err := ReadFile(path)
+		if err != nil {
+			skipped++
+			continue
+		}
+		return &Snapshot{File: f, Path: path, Day: d}, skipped, nil
 	}
-	return DayPath(dir, best), best, true, nil
+	return nil, skipped, nil
 }
 
 // Prune removes every checkpoint in dir older than keepDay, keeping

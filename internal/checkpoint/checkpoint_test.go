@@ -86,8 +86,8 @@ func TestWriteFileAtomicAndLatest(t *testing.T) {
 
 	// No checkpoints yet: Latest reports none, without error, even
 	// for a directory that does not exist.
-	if _, _, ok, err := Latest(filepath.Join(dir, "absent")); err != nil || ok {
-		t.Fatalf("Latest on missing dir: ok=%v err=%v", ok, err)
+	if snap, _, err := Latest(filepath.Join(dir, "absent")); err != nil || snap != nil {
+		t.Fatalf("Latest on missing dir: snap=%v err=%v", snap, err)
 	}
 
 	for _, day := range []int{3, 17, 29} {
@@ -101,19 +101,25 @@ func TestWriteFileAtomicAndLatest(t *testing.T) {
 	os.WriteFile(filepath.Join(dir, "day-099.ckpt.tmp123"), []byte("junk"), 0o644)
 	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("junk"), 0o644)
 
-	path, day, ok, err := Latest(dir)
-	if err != nil || !ok {
-		t.Fatalf("Latest: ok=%v err=%v", ok, err)
+	snap, skipped, err := Latest(dir)
+	if err != nil || snap == nil {
+		t.Fatalf("Latest: snap=%v err=%v", snap, err)
 	}
-	if day != 29 || path != DayPath(dir, 29) {
-		t.Fatalf("Latest: got day %d path %s", day, path)
+	if skipped != 0 {
+		t.Fatalf("Latest skipped %d snapshots in a clean dir", skipped)
 	}
-	f, err := ReadFile(path)
-	if err != nil {
-		t.Fatalf("ReadFile: %v", err)
+	if snap.Day != 29 || snap.Path != DayPath(dir, 29) {
+		t.Fatalf("Latest: got day %d path %s", snap.Day, snap.Path)
 	}
-	if b, _ := f.Section("meta"); len(b) != 1 || b[0] != 29 {
+	if b, _ := snap.Section("meta"); len(b) != 1 || b[0] != 29 {
 		t.Fatalf("latest checkpoint content: %v", b)
+	}
+	raw, err := os.ReadFile(snap.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := raw[len(raw)-32:]; !bytes.Equal(snap.Sum[:], want) {
+		t.Fatalf("Sum = %x, want file footer %x", snap.Sum, want)
 	}
 
 	if err := Prune(dir, 29); err != nil {
@@ -126,6 +132,57 @@ func TestWriteFileAtomicAndLatest(t *testing.T) {
 	}
 	if _, err := os.Stat(DayPath(dir, 29)); err != nil {
 		t.Errorf("newest checkpoint pruned: %v", err)
+	}
+}
+
+// TestLatestSkipsCorrupt covers the fallback contract: a corrupt or
+// truncated newest snapshot must not strand an otherwise resumable
+// directory — Latest walks backwards to the newest valid one,
+// reporting how many it passed over.
+func TestLatestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for _, day := range []int{5, 11, 20, 28} {
+		f := &File{}
+		f.Add("meta", []byte{byte(day)})
+		if err := WriteFile(DayPath(dir, day), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate day 28 (crash mid-write on a filesystem without atomic
+	// rename semantics) and bit-flip day 20 (bad disk).
+	enc, err := os.ReadFile(DayPath(dir, 28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(DayPath(dir, 28), enc[:len(enc)/2], 0o644)
+	enc, err = os.ReadFile(DayPath(dir, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)/3] ^= 0x10
+	os.WriteFile(DayPath(dir, 20), enc, 0o644)
+
+	snap, skipped, err := Latest(dir)
+	if err != nil || snap == nil {
+		t.Fatalf("Latest: snap=%v err=%v", snap, err)
+	}
+	if snap.Day != 11 || skipped != 2 {
+		t.Fatalf("Latest: got day %d skipped %d, want day 11 skipped 2", snap.Day, skipped)
+	}
+	if b, _ := snap.Section("meta"); len(b) != 1 || b[0] != 11 {
+		t.Fatalf("fallback snapshot content: %v", b)
+	}
+
+	// All snapshots corrupt: none found, all counted.
+	for _, day := range []int{5, 11} {
+		os.WriteFile(DayPath(dir, day), []byte("junk"), 0o644)
+	}
+	snap, skipped, err = Latest(dir)
+	if err != nil || snap != nil {
+		t.Fatalf("Latest over all-corrupt dir: snap=%v err=%v", snap, err)
+	}
+	if skipped != 4 {
+		t.Fatalf("skipped = %d, want 4", skipped)
 	}
 }
 

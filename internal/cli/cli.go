@@ -1,0 +1,187 @@
+// Package cli centralizes the flag wiring shared by the malnet
+// command family (cmd/malnet, cmd/experiments, cmd/malnetd): the
+// study-shaping knobs (seed, feed size, workers, fault injection),
+// checkpoint durability, and the observability sinks (trace journal,
+// metrics snapshot, live debug server). Each command registers one
+// flag group per concern instead of re-declaring ~100 lines of
+// identical flag definitions, and the flag-to-config translation
+// lives here once, so a new knob lands in every command at the same
+// time.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"malnet/internal/core"
+	"malnet/internal/obs"
+	"malnet/internal/world"
+)
+
+// StudyFlags is the common flag set of every command that runs a
+// study. Register it on a FlagSet with NewStudyFlags, then call
+// Configs after parsing.
+type StudyFlags struct {
+	Seed      int64
+	Samples   int
+	Workers   int
+	Short     bool
+	Faults    bool
+	FaultSeed int64
+	Verbose   bool
+
+	Checkpoint CheckpointFlags
+	Obs        ObsFlags
+}
+
+// NewStudyFlags registers the full study flag group on fs.
+func NewStudyFlags(fs *flag.FlagSet) *StudyFlags {
+	f := &StudyFlags{}
+	fs.Int64Var(&f.Seed, "seed", 42, "world and pipeline seed")
+	fs.IntVar(&f.Samples, "samples", 0, "feed size (0 = paper's 1447)")
+	fs.IntVar(&f.Workers, "workers", 0, "sandbox worker pool size (0 = all cores); output is identical at any value")
+	fs.BoolVar(&f.Short, "short", false, "scaled-down study (150 samples, 12 probe rounds)")
+	fs.BoolVar(&f.Faults, "faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
+	fs.Int64Var(&f.FaultSeed, "fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
+	fs.BoolVar(&f.Verbose, "v", false, "print per-1000-sample throughput to stderr while the study runs")
+	f.Checkpoint.Register(fs)
+	f.Obs.Register(fs)
+	return f
+}
+
+// Configs translates the parsed flags into a (world, study) config
+// pair, validated: a bad combination (e.g. -resume without
+// -checkpoint-dir) comes back as an error naming the fields.
+func (f *StudyFlags) Configs() (world.Config, core.StudyConfig, error) {
+	wcfg := world.DefaultConfig(f.Seed)
+	scfg := core.Defaults(f.Seed)
+	scfg.Determinism.Workers = f.Workers
+	scfg.Determinism.Faults = f.Faults
+	scfg.Determinism.FaultSeed = f.FaultSeed
+	scfg.Durability = core.CheckpointConfig(f.Checkpoint)
+	if f.Short {
+		wcfg.TotalSamples = 150
+		scfg.Analysis.ProbeRounds = 12
+	}
+	if f.Samples > 0 {
+		wcfg.TotalSamples = f.Samples
+	}
+	return wcfg, scfg, scfg.Validate()
+}
+
+// ProgressPrinter returns the -v throughput callback, or nil when -v
+// is off (StudyConfig treats a nil Progress as "stay silent").
+func (f *StudyFlags) ProgressPrinter() func(core.ProgressUpdate) {
+	if !f.Verbose {
+		return nil
+	}
+	return func(p core.ProgressUpdate) {
+		fmt.Fprintf(os.Stderr,
+			"processed %d feed entries (%d accepted) in %v — %.0f samples/sec; alive=%d retried=%d dead=%d timed-out=%d\n",
+			p.Processed, p.Accepted, p.Elapsed.Round(time.Millisecond), p.Rate,
+			p.Dispositions[core.DispAlive], p.Dispositions[core.DispRetriedThenAlive],
+			p.Dispositions[core.DispDead], p.Dispositions[core.DispTimedOut])
+	}
+}
+
+// CheckpointFlags mirrors core.CheckpointConfig, flag-registered.
+type CheckpointFlags struct {
+	Dir    string
+	Every  int
+	Resume bool
+}
+
+// Register declares the checkpoint flag group on fs.
+func (c *CheckpointFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Dir, "checkpoint-dir", "", "write resumable study snapshots to DIR at day-batch boundaries")
+	fs.IntVar(&c.Every, "checkpoint-every", 1, "snapshot after every N-th non-empty day batch")
+	fs.BoolVar(&c.Resume, "resume", false, "resume from the newest snapshot in -checkpoint-dir (config must match)")
+}
+
+// InterruptHint tells the user how to continue a checkpointed run
+// that err cancelled; a no-op otherwise.
+func (c *CheckpointFlags) InterruptHint(name string, err error) {
+	if c.Dir != "" && errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: re-run with -resume to continue from the last checkpoint\n", name)
+	}
+}
+
+// ObsFlags is the observability flag group: the deterministic trace
+// and metrics outputs plus the wall-clock debug server.
+type ObsFlags struct {
+	TraceOut   string
+	MetricsOut string
+	DebugAddr  string
+}
+
+// Register declares all three observability flags on fs.
+func (o *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write the virtual-time trace journal (JSONL spans + events) to FILE")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write the deterministic metrics snapshot to FILE")
+	o.RegisterDebug(fs)
+}
+
+// RegisterDebug declares only -debug-addr — the one observability
+// flag that makes sense for a daemon with no study of its own.
+func (o *ObsFlags) RegisterDebug(fs *flag.FlagSet) {
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve live pprof/expvar/wall-profile on ADDR (e.g. :6060)")
+}
+
+// Instrument wires the parsed observability flags into observer: the
+// trace journal is opened (reopened without truncation when resume is
+// set — the journaled prefix up to the checkpoint is part of the
+// resumed run's output), the debug server is started, and the
+// returned cleanup flushes the journal and writes the metrics
+// snapshot. Run cleanup on every exit path so a cancelled or failed
+// study keeps its partial telemetry.
+func (o *ObsFlags) Instrument(observer *obs.Observer, resume bool, name string) (cleanup func(), err error) {
+	var undo []func()
+	cleanup = func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+	}
+	if o.TraceOut != "" {
+		mode := os.O_RDWR | os.O_CREATE
+		if !resume {
+			mode |= os.O_TRUNC
+		}
+		fh, err := os.OpenFile(o.TraceOut, mode, 0o644)
+		if err != nil {
+			return cleanup, err
+		}
+		observer.SetJournal(fh)
+		undo = append(undo, func() {
+			if err := observer.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: flushing trace: %v\n", name, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", o.TraceOut)
+			}
+			fh.Close()
+		})
+	}
+	if o.MetricsOut != "" {
+		undo = append(undo, func() {
+			if err := os.WriteFile(o.MetricsOut, []byte(observer.Root.Registry().Snapshot()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing metrics: %v\n", name, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", o.MetricsOut)
+			}
+		})
+	}
+	if o.DebugAddr != "" {
+		observer.Wall.PublishExpvar(name)
+		srv, addr, err := obs.ServeDebug(o.DebugAddr, observer.Wall)
+		if err != nil {
+			cleanup()
+			return func() {}, err
+		}
+		undo = append(undo, func() { srv.Close() })
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
+	}
+	return cleanup, nil
+}

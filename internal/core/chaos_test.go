@@ -14,10 +14,10 @@ func chaosStudy(t *testing.T, seed int64, workers int) *Study {
 	wcfg := world.DefaultConfig(seed)
 	wcfg.TotalSamples = equivWorldSamples()
 	scfg := DefaultStudyConfig(seed)
-	scfg.ProbeRounds = 4
-	scfg.Workers = workers
-	scfg.Faults = true
-	scfg.FaultSeed = seed + 1000
+	scfg.Analysis.ProbeRounds = 4
+	scfg.Determinism.Workers = workers
+	scfg.Determinism.Faults = true
+	scfg.Determinism.FaultSeed = seed + 1000
 	return RunStudy(world.Generate(wcfg), scfg)
 }
 
@@ -97,10 +97,10 @@ func TestChaosSeedIndependence(t *testing.T) {
 		wcfg := world.DefaultConfig(11)
 		wcfg.TotalSamples = equivWorldSamples()
 		scfg := DefaultStudyConfig(11)
-		scfg.ProbeRounds = 2
-		scfg.Workers = 4
-		scfg.Faults = true
-		scfg.FaultSeed = faultSeed
+		scfg.Analysis.ProbeRounds = 2
+		scfg.Determinism.Workers = 4
+		scfg.Determinism.Faults = true
+		scfg.Determinism.FaultSeed = faultSeed
 		return renderDatasets(RunStudy(world.Generate(wcfg), scfg))
 	}
 	a := render(900)

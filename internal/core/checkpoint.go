@@ -53,24 +53,15 @@ type CheckpointConfig struct {
 }
 
 // fingerprintData is the config surface a snapshot is only valid
-// for. Everything that shapes deterministic output is in; Workers is
-// deliberately out (output is worker-count-independent), and so are
-// the callbacks and wall-clock knobs.
+// for: the world config, the study config's canonical serialization
+// (StudyConfig's json.Marshal — which excludes Workers, callbacks,
+// and checkpoint paths by struct-tag construction, exactly the knobs
+// deterministic output does not depend on), and whether a journal is
+// attached (journaling decides whether events are retained at all).
 type fingerprintData struct {
-	World               world.Config        `json:"world"`
-	Seed                int64               `json:"seed"`
-	SandboxWindow       time.Duration       `json:"sandbox_window"`
-	LiveWindow          time.Duration       `json:"live_window"`
-	HandshakerThreshold int                 `json:"handshaker_threshold"`
-	MinEngines          int                 `json:"min_engines"`
-	DDoS                DDoSExtractorConfig `json:"ddos"`
-	Probing             bool                `json:"probing"`
-	ProbeRounds         int                 `json:"probe_rounds"`
-	AnalysisDelayDays   int                 `json:"analysis_delay_days"`
-	Faults              bool                `json:"faults"`
-	FaultSeed           int64               `json:"fault_seed"`
-	EventBudget         int                 `json:"event_budget"`
-	Journal             bool                `json:"journal"`
+	World   world.Config `json:"world"`
+	Study   StudyConfig  `json:"study"`
+	Journal bool         `json:"journal"`
 }
 
 // fingerprint serializes the study's config surface. Computed after
@@ -78,20 +69,9 @@ type fingerprintData struct {
 // fingerprint the same as omitted ones.
 func (st *Study) fingerprint() []byte {
 	b, err := json.Marshal(fingerprintData{
-		World:               st.W.Cfg,
-		Seed:                st.Cfg.Seed,
-		SandboxWindow:       st.Cfg.SandboxWindow,
-		LiveWindow:          st.Cfg.LiveWindow,
-		HandshakerThreshold: st.Cfg.HandshakerThreshold,
-		MinEngines:          st.Cfg.MinEngines,
-		DDoS:                st.Cfg.DDoS,
-		Probing:             st.Cfg.Probing,
-		ProbeRounds:         st.Cfg.ProbeRounds,
-		AnalysisDelayDays:   st.Cfg.AnalysisDelayDays,
-		Faults:              st.Cfg.Faults,
-		FaultSeed:           st.Cfg.FaultSeed,
-		EventBudget:         st.Cfg.EventBudget,
-		Journal:             st.obs.Journal != nil,
+		World:   st.W.Cfg,
+		Study:   st.Cfg,
+		Journal: st.obs.Journal != nil,
 	})
 	if err != nil {
 		panic("core: fingerprint not marshalable: " + err.Error())
@@ -143,8 +123,9 @@ func diffMaps(prefix string, a, b map[string]any, out *[]string) {
 	}
 }
 
-// checkpointMeta is the snapshot's scalar state.
-type checkpointMeta struct {
+// CheckpointMeta is the snapshot's scalar state. Exported for the
+// read side (the serving layer shows day/progress next to the data).
+type CheckpointMeta struct {
 	// Day is the snapshot's day index (days since world.StudyStart).
 	Day int `json:"day"`
 	// ClockNow is the shared clock at the end of the day's batch.
@@ -158,9 +139,9 @@ type checkpointMeta struct {
 	JournalBytes  int64 `json:"journal_bytes"`
 }
 
-// checkpointDatasets is the snapshot's dataset state (D-PC2 is
+// CheckpointDatasets is the snapshot's dataset state (D-PC2 is
 // absent: probing aggregates are rebuilt by replay).
-type checkpointDatasets struct {
+type CheckpointDatasets struct {
 	Samples  []*SampleRecord      `json:"samples"`
 	C2s      map[string]*C2Record `json:"c2s"`
 	Exploits []ExploitFinding     `json:"exploits"`
@@ -186,7 +167,7 @@ func (st *Study) saveCheckpoint(dayIdx int) error {
 			return fail(err)
 		}
 	}
-	meta := checkpointMeta{
+	meta := CheckpointMeta{
 		Day:          dayIdx,
 		ClockNow:     st.W.Clock.Now(),
 		Processed:    st.processed,
@@ -209,7 +190,7 @@ func (st *Study) saveCheckpoint(dayIdx int) error {
 		v    any
 	}{
 		{"meta", meta},
-		{"datasets", checkpointDatasets{
+		{"datasets", CheckpointDatasets{
 			Samples: st.Samples, C2s: st.C2s,
 			Exploits: st.Exploits, DDoS: st.DDoS,
 		}},
@@ -222,32 +203,40 @@ func (st *Study) saveCheckpoint(dayIdx int) error {
 			return fail(err)
 		}
 	}
-	if err := checkpoint.WriteFile(checkpoint.DayPath(st.Cfg.Checkpoint.Dir, dayIdx), f); err != nil {
+	if err := checkpoint.WriteFile(checkpoint.DayPath(st.Cfg.Durability.Dir, dayIdx), f); err != nil {
 		return fail(err)
 	}
-	if err := checkpoint.Prune(st.Cfg.Checkpoint.Dir, dayIdx); err != nil {
+	if err := checkpoint.Prune(st.Cfg.Durability.Dir, dayIdx); err != nil {
 		return fail(err)
 	}
 	return nil
 }
 
-// resumeFromCheckpoint restores the newest snapshot in the checkpoint
-// dir, returning its day index, or -1 when the dir holds none (the
-// study then runs from the start). Called once, before the daily
-// loop, with the world freshly generated and the probing schedule
-// already on the clock.
+// resumeFromCheckpoint restores the newest valid snapshot in the
+// checkpoint dir, returning its day index, or -1 when the dir holds
+// none (the study then runs from the start). Called once, before the
+// daily loop, with the world freshly generated and the probing
+// schedule already on the clock.
 func (st *Study) resumeFromCheckpoint() (int, error) {
-	path, _, ok, err := checkpoint.Latest(st.Cfg.Checkpoint.Dir)
+	snap, skipped, err := checkpoint.Latest(st.Cfg.Durability.Dir)
 	if err != nil {
 		return -1, fmt.Errorf("resume: %w", err)
 	}
-	if !ok {
+	// Corrupt snapshots are environmental, not part of the study's
+	// deterministic output, so the counter only exists when the
+	// fallback actually fired — a clean resume's metrics snapshot
+	// stays byte-identical to an uninterrupted run's. Logged again
+	// after the registry Restore below, which would wipe it.
+	logSkipped := func() {
+		if skipped > 0 {
+			st.obs.Root.Counter("checkpoint.skipped_corrupt").Add(int64(skipped))
+		}
+	}
+	if snap == nil {
+		logSkipped()
 		return -1, nil
 	}
-	f, err := checkpoint.ReadFile(path)
-	if err != nil {
-		return -1, fmt.Errorf("resume: %w", err)
-	}
+	f, path := snap.File, snap.Path
 	have, found := f.Section("fingerprint")
 	if !found {
 		return -1, fmt.Errorf("resume: %s has no config fingerprint", path)
@@ -257,8 +246,8 @@ func (st *Study) resumeFromCheckpoint() (int, error) {
 			path, strings.Join(fingerprintDiff(have, want), ", "))
 	}
 	var (
-		meta         checkpointMeta
-		ds           checkpointDatasets
+		meta         CheckpointMeta
+		ds           CheckpointDatasets
 		metrics      obs.MetricsDump
 		worldMetrics obs.MetricsDump
 		seqs         []simnet.ConnSeqSnapshot
@@ -315,5 +304,78 @@ func (st *Study) resumeFromCheckpoint() (int, error) {
 			return -1, fmt.Errorf("resume: %w", err)
 		}
 	}
+	logSkipped()
 	return meta.Day, nil
+}
+
+// StudySnapshot is the read-only view of a checkpointed study, the
+// serving layer's unit of ingest. Unlike resume it does not replay a
+// world: it carries exactly what the snapshot recorded — the four
+// datasets, the scalar meta, and the two metric registries' dumps —
+// plus the content-addressed generation id the response cache keys
+// on.
+type StudySnapshot struct {
+	// Path and Day locate the snapshot in its directory.
+	Path string
+	Day  int
+	// Generation is the snapshot file's SHA-256 integrity footer in
+	// hex: two byte-identical snapshots (e.g. the same study run at
+	// different worker counts) share a generation.
+	Generation string
+	// SkippedCorrupt counts newer snapshots in the directory that
+	// were passed over as corrupt or truncated.
+	SkippedCorrupt int
+
+	Meta     CheckpointMeta
+	Datasets CheckpointDatasets
+}
+
+// OpenStudySnapshot loads the newest valid checkpoint in dir for
+// read-only serving, skipping corrupt snapshots like resume does. It
+// returns (nil, nil) when dir holds no loadable checkpoint. The
+// returned metrics registry is reconstructed the way a finished
+// study's Metrics() would read: the checkpointed study-plane
+// registry, the dataset-size gauges, and the world-plane registry
+// merged under the "world." prefix.
+func OpenStudySnapshot(dir string) (*StudySnapshot, *obs.Registry, error) {
+	snap, skipped, err := checkpoint.Latest(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open snapshot: %w", err)
+	}
+	if snap == nil {
+		return nil, nil, nil
+	}
+	ss := &StudySnapshot{
+		Path:           snap.Path,
+		Day:            snap.Day,
+		Generation:     snap.SumHex(),
+		SkippedCorrupt: skipped,
+	}
+	var metrics, worldMetrics obs.MetricsDump
+	for _, s := range []struct {
+		name string
+		v    any
+	}{
+		{"meta", &ss.Meta},
+		{"datasets", &ss.Datasets},
+		{"metrics", &metrics},
+		{"world-metrics", &worldMetrics},
+	} {
+		if err := snap.JSON(s.name, s.v); err != nil {
+			return nil, nil, fmt.Errorf("open snapshot: %s: %w", snap.Path, err)
+		}
+	}
+	if ss.Datasets.C2s == nil {
+		ss.Datasets.C2s = map[string]*C2Record{}
+	}
+	reg := obs.NewRegistry()
+	reg.Restore(metrics)
+	reg.Gauge("study.samples").Set(int64(len(ss.Datasets.Samples)))
+	reg.Gauge("study.c2s").Set(int64(len(ss.Datasets.C2s)))
+	reg.Gauge("study.exploit_findings").Set(int64(len(ss.Datasets.Exploits)))
+	reg.Gauge("study.ddos_observations").Set(int64(len(ss.Datasets.DDoS)))
+	wreg := obs.NewRegistry()
+	wreg.Restore(worldMetrics)
+	reg.MergePrefixed("world.", wreg)
+	return ss, reg, nil
 }

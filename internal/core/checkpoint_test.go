@@ -25,8 +25,8 @@ func ckptWorldConfig(seed int64) world.Config {
 
 func ckptStudyConfig(seed int64, workers int) StudyConfig {
 	scfg := DefaultStudyConfig(seed)
-	scfg.ProbeRounds = 4
-	scfg.Workers = workers
+	scfg.Analysis.ProbeRounds = 4
+	scfg.Determinism.Workers = workers
 	return scfg
 }
 
@@ -47,15 +47,15 @@ func runCkptStudy(t *testing.T, seed int64, workers int, journalPath, ckptDir st
 	t.Helper()
 	w := world.Generate(ckptWorldConfig(seed))
 	scfg := ckptStudyConfig(seed, workers)
-	scfg.Checkpoint = CheckpointConfig{Dir: ckptDir, Resume: resume}
+	scfg.Durability = CheckpointConfig{Dir: ckptDir, Resume: resume}
 
 	jf, err := os.OpenFile(journalPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer jf.Close()
-	scfg.Obs = obs.NewObserver()
-	scfg.Obs.SetJournal(jf)
+	scfg.Observability.Obs = obs.NewObserver()
+	scfg.Observability.Obs.SetJournal(jf)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -70,7 +70,7 @@ func runCkptStudy(t *testing.T, seed int64, workers int, journalPath, ckptDir st
 	} else if err != nil {
 		t.Fatalf("study failed: %v", err)
 	}
-	if err := scfg.Obs.Flush(); err != nil {
+	if err := scfg.Observability.Obs.Flush(); err != nil {
 		t.Fatalf("journal flush: %v", err)
 	}
 	jb, err := os.ReadFile(journalPath)
@@ -141,6 +141,49 @@ func TestCheckpointResumeEquivalence(t *testing.T) {
 	}
 }
 
+// TestResumeSkipsCorruptCheckpoint: a corrupt snapshot shadowing the
+// newest valid one must not strand the run — resume falls back to
+// the valid snapshot, produces output byte-identical to an
+// uninterrupted study, and logs the fallback on the
+// checkpoint.skipped_corrupt counter (which exists only when the
+// fallback fired, so clean runs stay byte-identical).
+func TestResumeSkipsCorruptCheckpoint(t *testing.T) {
+	const seed = 11
+	base := t.TempDir()
+	ref := runCkptStudy(t, seed, 1, filepath.Join(base, "ref.jsonl"), "", false, -1)
+
+	ckptDir := filepath.Join(base, "ckpt")
+	journal := filepath.Join(base, "run.jsonl")
+	runCkptStudy(t, seed, 2, journal, ckptDir, false, 17)
+
+	// Shadow the kill point's snapshot with a newer, truncated one —
+	// the shape a crash mid-write leaves on a filesystem without
+	// atomic rename.
+	snap, _, err := checkpoint.Latest(ckptDir)
+	if err != nil || snap == nil {
+		t.Fatalf("killed run left no checkpoint: %v", err)
+	}
+	enc, err := os.ReadFile(snap.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpoint.DayPath(ckptDir, snap.Day+40), enc[:len(enc)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := runCkptStudy(t, seed, 2, journal, ckptDir, true, -1)
+	if got.datasets != ref.datasets {
+		t.Fatal("resume past a corrupt snapshot diverged from the uninterrupted run")
+	}
+	const marker = "counter checkpoint.skipped_corrupt 1\n"
+	if !strings.Contains(got.metrics, marker) {
+		t.Fatalf("metrics snapshot does not log the skipped snapshot:\n%s", got.metrics)
+	}
+	if strings.Replace(got.metrics, marker, "", 1) != ref.metrics {
+		t.Fatal("resumed metrics differ from reference beyond the skipped_corrupt counter")
+	}
+}
+
 // TestCheckpointFingerprintMismatch asserts the refusal path: a
 // snapshot written by one configuration must not silently seed a
 // differently configured run, and the error must name the offending
@@ -149,24 +192,24 @@ func TestCheckpointFingerprintMismatch(t *testing.T) {
 	ckptDir := t.TempDir()
 	w := world.Generate(ckptWorldConfig(7))
 	scfg := ckptStudyConfig(7, 2)
-	scfg.Probing = false
-	scfg.Checkpoint = CheckpointConfig{Dir: ckptDir}
+	scfg.Analysis.Probing = false
+	scfg.Durability = CheckpointConfig{Dir: ckptDir}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	w.Clock.Schedule(world.StudyStart().AddDate(0, 0, 17), cancel)
 	if _, err := RunStudyContext(ctx, w, scfg); !errors.Is(err, context.Canceled) {
 		t.Fatalf("killed run: %v", err)
 	}
-	if _, _, ok, _ := checkpoint.Latest(ckptDir); !ok {
+	if snap, _, _ := checkpoint.Latest(ckptDir); snap == nil {
 		t.Fatal("killed run left no checkpoint to test against")
 	}
 
 	w2 := world.Generate(ckptWorldConfig(7))
 	scfg2 := ckptStudyConfig(7, 2)
-	scfg2.Probing = false
-	scfg2.Seed = 8
-	scfg2.MinEngines = 7
-	scfg2.Checkpoint = CheckpointConfig{Dir: ckptDir, Resume: true}
+	scfg2.Analysis.Probing = false
+	scfg2.Determinism.Seed = 8
+	scfg2.Analysis.MinEngines = 7
+	scfg2.Durability = CheckpointConfig{Dir: ckptDir, Resume: true}
 	_, err := RunStudyContext(context.Background(), w2, scfg2)
 	if err == nil {
 		t.Fatal("resume under a different config did not fail")

@@ -279,7 +279,7 @@ func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
 
 	// Collection gate: >= MinEngines corroborating detections.
 	dets := st.W.Intel.ScanSample(sha, out.at)
-	if avclass.MaliciousCount(dets) < st.Cfg.MinEngines {
+	if avclass.MaliciousCount(dets) < st.Cfg.Analysis.MinEngines {
 		out.rejected = true
 		reg.Counter("feed.rejected_intel").Inc()
 		sp.SetAttr("verdict", "rejected_intel")
@@ -305,9 +305,9 @@ func (st *Study) analyzeStatic(sh *shard, out *sampleOutcome) {
 	iso := sp.Child("stage.isolated", out.at)
 	isoRep, err := sh.run(out.at, raw, sandbox.RunOptions{
 		Mode:                sandbox.ModeIsolated,
-		Duration:            st.Cfg.SandboxWindow,
-		HandshakerThreshold: st.Cfg.HandshakerThreshold,
-		EventBudget:         st.Cfg.EventBudget,
+		Duration:            st.Cfg.Windows.Sandbox,
+		HandshakerThreshold: st.Cfg.Analysis.HandshakerThreshold,
+		EventBudget:         st.Cfg.Determinism.EventBudget,
 	}, out.obs)
 	if err != nil {
 		reg.Counter("sandbox.parse_failures").Inc()
@@ -421,7 +421,7 @@ func (st *Study) finishSample(out *sampleOutcome) {
 		}
 	}
 	st.processed++
-	if st.Cfg.Progress != nil && st.processed%progressEvery == 0 {
+	if st.Cfg.Observability.Progress != nil && st.processed%progressEvery == 0 {
 		st.emitProgress()
 	}
 }

@@ -29,8 +29,8 @@ func equivStudy(t *testing.T, seed int64, workers int) *Study {
 	wcfg := world.DefaultConfig(seed)
 	wcfg.TotalSamples = equivWorldSamples()
 	scfg := DefaultStudyConfig(seed)
-	scfg.ProbeRounds = 6
-	scfg.Workers = workers
+	scfg.Analysis.ProbeRounds = 6
+	scfg.Determinism.Workers = workers
 	return RunStudy(world.Generate(wcfg), scfg)
 }
 
@@ -178,8 +178,8 @@ func TestStudyCancellationLeaksNoGoroutines(t *testing.T) {
 	wcfg.TotalSamples = equivWorldSamples()
 	w := world.Generate(wcfg)
 	scfg := DefaultStudyConfig(5)
-	scfg.ProbeRounds = 4
-	scfg.Workers = 8
+	scfg.Analysis.ProbeRounds = 4
+	scfg.Determinism.Workers = 8
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // abort before the first batch: every dispatch must bail
@@ -236,8 +236,8 @@ func BenchmarkExecutorWorkers(b *testing.B) {
 				wcfg.TotalSamples = 300
 				w := world.Generate(wcfg)
 				scfg := DefaultStudyConfig(7)
-				scfg.ProbeRounds = 6
-				scfg.Workers = workers
+				scfg.Analysis.ProbeRounds = 6
+				scfg.Determinism.Workers = workers
 				b.StartTimer()
 				RunStudy(w, scfg)
 			}

@@ -19,14 +19,14 @@ func obsStudy(t *testing.T, seed int64, workers int) (*Study, string, string) {
 	wcfg := world.DefaultConfig(seed)
 	wcfg.TotalSamples = equivWorldSamples()
 	scfg := DefaultStudyConfig(seed)
-	scfg.ProbeRounds = 4
-	scfg.Workers = workers
-	scfg.Faults = true
-	scfg.FaultSeed = seed + 1000
+	scfg.Analysis.ProbeRounds = 4
+	scfg.Determinism.Workers = workers
+	scfg.Determinism.Faults = true
+	scfg.Determinism.FaultSeed = seed + 1000
 	var journal bytes.Buffer
 	observer := obs.NewObserver()
 	observer.SetJournal(&journal)
-	scfg.Obs = observer
+	scfg.Observability.Obs = observer
 	st := RunStudy(world.Generate(wcfg), scfg)
 	if err := observer.Flush(); err != nil {
 		t.Fatalf("journal flush: %v", err)

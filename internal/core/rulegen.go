@@ -76,7 +76,7 @@ func GenerateRules(st *Study) []*ids.Rule {
 		SID:    3000001,
 		Action: ids.ActionAlert,
 		Msg:    "MalNet flood rate",
-		MinPPS: st.Cfg.DDoS.RateThreshold,
+		MinPPS: st.Cfg.Analysis.DDoS.RateThreshold,
 	})
 	return rules
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 	"time"
 
 	"malnet/internal/c2"
@@ -15,35 +17,72 @@ import (
 	"malnet/internal/world"
 )
 
-// StudyConfig parameterizes the year-long measurement run.
+// StudyConfig parameterizes the year-long measurement run. It is
+// grouped into sub-configs by concern; json.Marshal over a StudyConfig
+// yields the run's canonical serialization — the non-reproducible
+// surfaces (worker count, callbacks, checkpoint paths) are excluded
+// via struct tags, so two configs marshal identically exactly when
+// they would produce byte-identical study output. The checkpoint
+// config fingerprint is built on that property (see checkpoint.go).
 type StudyConfig struct {
-	// Seed drives per-run determinism.
-	Seed int64
-	// SandboxWindow is the isolated analysis window per sample.
-	SandboxWindow time.Duration
-	// LiveWindow is the restricted live window for samples with a
-	// live C2 (the paper's 2 hours).
-	LiveWindow time.Duration
+	// Analysis holds the paper's measurement knobs.
+	Analysis AnalysisConfig `json:"analysis"`
+	// Windows holds the virtual-time sandbox windows.
+	Windows WindowsConfig `json:"windows"`
+	// Determinism holds the seeds and the execution knobs covered by
+	// the byte-identical-output contract.
+	Determinism DeterminismConfig `json:"determinism"`
+	// Durability makes the run resumable: snapshots written at
+	// day-batch boundaries. Where a snapshot lives never changes what
+	// the study computes, so the group is excluded from the canonical
+	// serialization. See checkpoint.go.
+	Durability CheckpointConfig `json:"-"`
+	// Observability carries the run's telemetry sinks and callbacks;
+	// wall-clock only, never part of the canonical serialization.
+	Observability ObservabilityConfig `json:"-"`
+}
+
+// AnalysisConfig groups the measurement-pipeline knobs (§2's
+// collection, validation, and extraction parameters).
+type AnalysisConfig struct {
 	// HandshakerThreshold is the distinct-IP port threshold
 	// (paper: 20).
-	HandshakerThreshold int
+	HandshakerThreshold int `json:"handshaker_threshold"`
 	// MinEngines is the corroboration threshold (paper: 5).
-	MinEngines int
+	MinEngines int `json:"min_engines"`
 	// DDoS tunes command extraction.
-	DDoS DDoSExtractorConfig
-	// Probing enables the D-PC2 study; Rounds 0 means the paper's
-	// 84.
-	Probing     bool
-	ProbeRounds int
-	// AnalysisDelayDays delays each sample's analysis past its
-	// publication day (0 = same-day, the paper's headline
-	// practice; ablations vary it).
-	AnalysisDelayDays int
+	DDoS DDoSExtractorConfig `json:"ddos"`
+	// Probing enables the D-PC2 study; ProbeRounds 0 means the
+	// paper's 84.
+	Probing     bool `json:"probing"`
+	ProbeRounds int  `json:"probe_rounds"`
+	// DelayDays delays each sample's analysis past its publication
+	// day (0 = same-day, the paper's headline practice; ablations
+	// vary it).
+	DelayDays int `json:"analysis_delay_days"`
+}
+
+// WindowsConfig groups the virtual-time analysis windows.
+type WindowsConfig struct {
+	// Sandbox is the isolated analysis window per sample.
+	Sandbox time.Duration `json:"sandbox_window"`
+	// Live is the restricted live window for samples with a live C2
+	// (the paper's 2 hours).
+	Live time.Duration `json:"live_window"`
+}
+
+// DeterminismConfig groups the seeds and execution knobs under the
+// determinism contract: for a fixed group value, study output is
+// byte-identical at every worker count.
+type DeterminismConfig struct {
+	// Seed drives per-run determinism.
+	Seed int64 `json:"seed"`
 	// Workers sizes the worker pool for the parallel static +
 	// isolated-sandbox stage. 0 means GOMAXPROCS; values below 0
 	// are clamped to 1. Study output is byte-identical at every
-	// worker count (see TestParallelStudyEquivalence).
-	Workers int
+	// worker count (see TestParallelStudyEquivalence), which is why
+	// Workers is excluded from the canonical serialization.
+	Workers int `json:"-"`
 	// Faults installs a deterministic fault-injection plan (packet
 	// loss, resets, latency spikes, blackouts, slow drips) on the
 	// world network and on every worker shard, arms probe retries,
@@ -51,30 +90,34 @@ type StudyConfig struct {
 	// schedule is a pure function of FaultSeed, so a faulted study is
 	// still byte-identical at any worker count (the chaos equivalence
 	// suite asserts this).
-	Faults bool
+	Faults bool `json:"faults"`
 	// FaultSeed seeds the fault plan; 0 means Seed.
-	FaultSeed int64
+	FaultSeed int64 `json:"fault_seed"`
 	// EventBudget arms the per-activation watchdog (events per
 	// sandbox run before a hung emulation is aborted as TimedOut).
 	// 0 with Faults on picks a generous default; 0 without Faults
 	// leaves the watchdog off, the historical behavior.
-	EventBudget int
+	EventBudget int `json:"event_budget"`
+}
+
+// ObservabilityConfig groups the run's telemetry sinks. Everything
+// here is wall-clock-plane: present or absent, it never changes the
+// deterministic outputs (the journal's *contents* are deterministic,
+// but whether one is attached is fingerprinted separately because it
+// decides whether events are retained at all).
+type ObservabilityConfig struct {
 	// Obs receives the study's telemetry: deterministic metrics and
 	// virtual-time trace on the Root recorder (journaled when a
 	// Journal is set), wall-clock profiling on Wall. Nil gets a fresh
 	// Observer, so instrumentation is always on; the snapshot is part
 	// of the determinism contract (byte-identical at any worker
 	// count), the Wall plane is not.
-	Obs *obs.Observer
+	Obs *obs.Observer `json:"-"`
 	// Progress, when non-nil, is called from the merge goroutine
 	// every 1000 merged feed entries (and once at study end) with
 	// wall-clock throughput so long studies are not silent. The
 	// callback must not mutate study state.
-	Progress func(ProgressUpdate)
-	// Checkpoint makes the run durable: snapshots written at
-	// day-batch boundaries, resumable with byte-identical output.
-	// See checkpoint.go.
-	Checkpoint CheckpointConfig
+	Progress func(ProgressUpdate) `json:"-"`
 }
 
 // progressEvery is the merge-count period of Progress callbacks.
@@ -95,27 +138,77 @@ type ProgressUpdate struct {
 
 // faultPlan derives the study's fault plan; nil when faults are off.
 func (cfg *StudyConfig) faultPlan() *faultinject.Plan {
-	if !cfg.Faults {
+	if !cfg.Determinism.Faults {
 		return nil
 	}
-	seed := cfg.FaultSeed
+	seed := cfg.Determinism.FaultSeed
 	if seed == 0 {
-		seed = cfg.Seed
+		seed = cfg.Determinism.Seed
 	}
 	return faultinject.New(faultinject.DefaultConfig(seed))
 }
 
-// DefaultStudyConfig returns the paper's settings.
-func DefaultStudyConfig(seed int64) StudyConfig {
+// Defaults returns the paper's settings for seed.
+func Defaults(seed int64) StudyConfig {
 	return StudyConfig{
-		Seed:                seed,
-		SandboxWindow:       15 * time.Minute,
-		LiveWindow:          2 * time.Hour,
-		HandshakerThreshold: 20,
-		MinEngines:          5,
-		DDoS:                DefaultDDoSExtractorConfig(),
-		Probing:             true,
+		Analysis: AnalysisConfig{
+			HandshakerThreshold: 20,
+			MinEngines:          5,
+			DDoS:                DefaultDDoSExtractorConfig(),
+			Probing:             true,
+		},
+		Windows: WindowsConfig{
+			Sandbox: 15 * time.Minute,
+			Live:    2 * time.Hour,
+		},
+		Determinism: DeterminismConfig{Seed: seed},
 	}
+}
+
+// DefaultStudyConfig is Defaults under its historical name.
+func DefaultStudyConfig(seed int64) StudyConfig { return Defaults(seed) }
+
+// Validate checks the config for values no defaulting rule can
+// repair, and names every offending field (dotted-path into the
+// canonical serialization) in the error. A zero or defaulted config
+// is always valid.
+func (cfg *StudyConfig) Validate() error {
+	var bad []string
+	reject := func(field, why string) { bad = append(bad, field+" ("+why+")") }
+	if cfg.Windows.Sandbox < 0 {
+		reject("windows.sandbox_window", "negative")
+	}
+	if cfg.Windows.Live < 0 {
+		reject("windows.live_window", "negative")
+	}
+	if cfg.Analysis.HandshakerThreshold < 0 {
+		reject("analysis.handshaker_threshold", "negative")
+	}
+	if cfg.Analysis.MinEngines < 0 {
+		reject("analysis.min_engines", "negative")
+	}
+	if cfg.Analysis.ProbeRounds < 0 {
+		reject("analysis.probe_rounds", "negative")
+	}
+	if cfg.Analysis.DelayDays < 0 {
+		reject("analysis.analysis_delay_days", "negative")
+	}
+	if cfg.Analysis.DDoS.RateThreshold < 0 {
+		reject("analysis.ddos.rate_threshold", "negative")
+	}
+	if cfg.Determinism.EventBudget < 0 {
+		reject("determinism.event_budget", "negative")
+	}
+	if cfg.Durability.Every < 0 {
+		reject("durability.every", "negative")
+	}
+	if cfg.Durability.Resume && cfg.Durability.Dir == "" {
+		reject("durability.resume", "needs durability.dir")
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid study config: %s", strings.Join(bad, ", "))
 }
 
 // Disposition classifies how a sample's day-0 C2 liveness resolved
@@ -309,45 +402,48 @@ func RunStudy(w *world.World, cfg StudyConfig) *Study {
 // study together with ctx's error. A nil error means the study ran
 // to completion.
 func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Study, error) {
-	if cfg.SandboxWindow <= 0 {
-		cfg.SandboxWindow = 15 * time.Minute
+	if err := cfg.Validate(); err != nil {
+		return &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}}, err
 	}
-	if cfg.LiveWindow <= 0 {
-		cfg.LiveWindow = 2 * time.Hour
+	if cfg.Windows.Sandbox <= 0 {
+		cfg.Windows.Sandbox = 15 * time.Minute
 	}
-	if cfg.MinEngines <= 0 {
-		cfg.MinEngines = 5
+	if cfg.Windows.Live <= 0 {
+		cfg.Windows.Live = 2 * time.Hour
 	}
-	if cfg.Obs == nil {
-		cfg.Obs = obs.NewObserver()
+	if cfg.Analysis.MinEngines <= 0 {
+		cfg.Analysis.MinEngines = 5
+	}
+	if cfg.Observability.Obs == nil {
+		cfg.Observability.Obs = obs.NewObserver()
 	}
 	plan := cfg.faultPlan()
 	if plan != nil {
-		if cfg.EventBudget <= 0 {
+		if cfg.Determinism.EventBudget <= 0 {
 			// Generous per-activation ceiling: orders of magnitude
 			// above a healthy run, small enough that a retry storm
 			// cannot wedge a worker.
-			cfg.EventBudget = 1 << 20
+			cfg.Determinism.EventBudget = 1 << 20
 		}
 		w.Net.InstallFaults(plan)
 	}
-	st := &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}, obs: cfg.Obs, wallStart: obs.Now()}
+	st := &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}, obs: cfg.Observability.Obs, wallStart: obs.Now()}
 	// World-network events (live windows, probing) are retained only
 	// when a journal will consume them; the merge goroutine drains
 	// them per batch.
-	w.Net.Obs().EnableEvents(cfg.Obs.Journal != nil)
-	defer cfg.Obs.Flush()
+	w.Net.Obs().EnableEvents(st.obs.Journal != nil)
+	defer st.obs.Flush()
 	clock := w.Clock
 
 	sb := sandbox.New(w.Net, sandbox.Config{
 		DNS:  w.Resolve,
-		Seed: cfg.Seed,
+		Seed: cfg.Determinism.Seed,
 	})
 
 	// Schedule the probing study; its rounds interleave with the
 	// daily loop as the clock advances.
-	if cfg.Probing {
-		rounds := cfg.ProbeRounds
+	if cfg.Analysis.Probing {
+		rounds := cfg.Analysis.ProbeRounds
 		if rounds <= 0 {
 			rounds = 84
 		}
@@ -361,18 +457,18 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 				Family:   family,
 				SourceIP: netip.MustParseAddr(src),
 			}
-			if cfg.Faults {
+			if cfg.Determinism.Faults {
 				// Under injected faults, probes get a bounded retry
 				// budget; on a clean network retries would also fire
 				// on dead space, so they stay off there to keep the
 				// historical schedule.
 				pc.Retries = 3
-				pc.Seed = cfg.Seed
+				pc.Seed = cfg.Determinism.Seed
 			}
 			// Probe callbacks fire on the merge goroutine while it
 			// drives the shared clock, so metering straight onto the
 			// root recorder is race-free and feed-order stable.
-			pc.Obs = cfg.Obs.Root
+			pc.Obs = st.obs.Root
 			return pc
 		}
 		clock.Schedule(w.ProbeStart, func() {
@@ -386,17 +482,17 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 	// Daily loop: each day's feed runs through the staged executor
 	// (encode → publish → parallel static+isolated → serial
 	// merge+live; see executor.go).
-	ex := newExecutor(ctx, resolveWorkers(cfg.Workers), cfg.Seed, w.Resolve, clock.Now(), plan, cfg.Obs.Wall)
+	ex := newExecutor(ctx, resolveWorkers(cfg.Determinism.Workers), cfg.Determinism.Seed, w.Resolve, clock.Now(), plan, st.obs.Wall)
 	defer ex.close()
 	resumedThrough := -1
-	if cfg.Checkpoint.Resume && cfg.Checkpoint.Dir != "" {
+	if cfg.Durability.Resume && cfg.Durability.Dir != "" {
 		day, err := st.resumeFromCheckpoint()
 		if err != nil {
 			return st, err
 		}
 		resumedThrough = day
 	}
-	saveEvery := cfg.Checkpoint.Every
+	saveEvery := cfg.Durability.Every
 	if saveEvery <= 0 {
 		saveEvery = 1
 	}
@@ -405,7 +501,7 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 		if dayIndex(day) <= resumedThrough {
 			continue
 		}
-		analysisDay := day.AddDate(0, 0, cfg.AnalysisDelayDays)
+		analysisDay := day.AddDate(0, 0, cfg.Analysis.DelayDays)
 		if clock.Now().Before(analysisDay) {
 			clock.RunUntil(analysisDay)
 		}
@@ -416,7 +512,7 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 			st.finalProgress()
 			return st, err
 		}
-		if cfg.Checkpoint.Dir != "" && len(specs) > 0 {
+		if cfg.Durability.Dir != "" && len(specs) > 0 {
 			if batches++; batches%saveEvery == 0 {
 				if err := st.saveCheckpoint(dayIndex(day)); err != nil {
 					return st, err
@@ -425,8 +521,8 @@ func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Stu
 		}
 	}
 	// Drain to study end (late probe rounds, timers).
-	end := world.StudyEnd().AddDate(0, 0, cfg.AnalysisDelayDays+2)
-	if cfg.Probing {
+	end := world.StudyEnd().AddDate(0, 0, cfg.Analysis.DelayDays+2)
+	if cfg.Analysis.Probing {
 		probeEnd := w.ProbeStart.Add(15 * 24 * time.Hour)
 		if probeEnd.After(end) {
 			end = probeEnd
@@ -460,7 +556,7 @@ func (st *Study) finalizeObs() {
 // since the previous one — on completion and on the cancellation
 // path, so a killed run still reports its true processed count.
 func (st *Study) finalProgress() {
-	if st.Cfg.Progress != nil && st.processed != st.lastProgress {
+	if st.Cfg.Observability.Progress != nil && st.processed != st.lastProgress {
 		st.emitProgress()
 	}
 }
@@ -490,7 +586,7 @@ func (st *Study) emitProgress() {
 	if elapsed > 0 {
 		rate = float64(st.processed) / elapsed.Seconds()
 	}
-	st.Cfg.Progress(ProgressUpdate{
+	st.Cfg.Observability.Progress(ProgressUpdate{
 		Processed:    st.processed,
 		Accepted:     len(st.Samples),
 		Dispositions: disp,
@@ -512,7 +608,7 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 		Duration:        10 * time.Minute,
 		RestrictToC2:    true,
 		DisableScanning: true,
-		EventBudget:     st.Cfg.EventBudget,
+		EventBudget:     st.Cfg.Determinism.EventBudget,
 	})
 	if err != nil {
 		reg.Counter("sandbox.parse_failures").Inc()
@@ -550,7 +646,7 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 	}
 	// Commands can land during the liveness window too; extract
 	// from it as well as from the long watch.
-	ddos := ExtractDDoS(liveRep, rec.Family, rec.C2s, st.Cfg.DDoS)
+	ddos := ExtractDDoS(liveRep, rec.Family, rec.C2s, st.Cfg.Analysis.DDoS)
 	if !rec.LiveDay0 {
 		rec.DDoS = ddos
 		st.DDoS = append(st.DDoS, ddos...)
@@ -562,10 +658,10 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 	lw := sp.Child("stage.live_watch", st.W.Clock.Now())
 	watchRep, err := sb.Run(raw, sandbox.RunOptions{
 		Mode:            sandbox.ModeLive,
-		Duration:        st.Cfg.LiveWindow,
+		Duration:        st.Cfg.Windows.Live,
 		RestrictToC2:    true,
 		DisableScanning: true,
-		EventBudget:     st.Cfg.EventBudget,
+		EventBudget:     st.Cfg.Determinism.EventBudget,
 	})
 	if err != nil {
 		reg.Counter("sandbox.parse_failures").Inc()
@@ -584,7 +680,7 @@ func (st *Study) liveStage(sb *sandbox.Sandbox, rec *SampleRecord, raw []byte, i
 		rec.Disposition = DispTimedOut
 	}
 	st.markLive(DetectC2(watchRep, 1))
-	ddos = append(ddos, ExtractDDoS(watchRep, rec.Family, rec.C2s, st.Cfg.DDoS)...)
+	ddos = append(ddos, ExtractDDoS(watchRep, rec.Family, rec.C2s, st.Cfg.Analysis.DDoS)...)
 	rec.DDoS = ddos
 	st.DDoS = append(st.DDoS, ddos...)
 }

@@ -26,7 +26,7 @@ func smallStudy(t *testing.T) *Study {
 	wcfg.TotalSamples = smallStudySamples()
 	w := world.Generate(wcfg)
 	scfg := DefaultStudyConfig(7)
-	scfg.ProbeRounds = 12
+	scfg.Analysis.ProbeRounds = 12
 	return RunStudy(w, scfg)
 }
 

@@ -26,10 +26,10 @@ func TestGoldenFaultedStudy(t *testing.T) {
 	wcfg := world.DefaultConfig(7)
 	wcfg.TotalSamples = 60
 	scfg := core.DefaultStudyConfig(7)
-	scfg.ProbeRounds = 2
-	scfg.Workers = 2
-	scfg.Faults = true
-	scfg.FaultSeed = 1007
+	scfg.Analysis.ProbeRounds = 2
+	scfg.Determinism.Workers = 2
+	scfg.Determinism.Faults = true
+	scfg.Determinism.FaultSeed = 1007
 	st := core.RunStudy(world.Generate(wcfg), scfg)
 
 	var b strings.Builder
@@ -82,11 +82,11 @@ func TestGoldenMetricsSection(t *testing.T) {
 	wcfg := world.DefaultConfig(7)
 	wcfg.TotalSamples = 60
 	scfg := core.DefaultStudyConfig(7)
-	scfg.ProbeRounds = 2
-	scfg.Workers = 4
-	scfg.Faults = true
-	scfg.FaultSeed = 1007
-	scfg.Obs = obs.NewObserver()
+	scfg.Analysis.ProbeRounds = 2
+	scfg.Determinism.Workers = 4
+	scfg.Determinism.Faults = true
+	scfg.Determinism.FaultSeed = 1007
+	scfg.Observability.Obs = obs.NewObserver()
 	st := core.RunStudy(world.Generate(wcfg), scfg)
 
 	got := results.NewMetricsSection(st).Render()

@@ -14,29 +14,31 @@ import (
 // a clean study all counters are zero except the alive/dead split.
 type FaultSummary struct {
 	// Dispositions counts D-Samples rows per liveness disposition,
-	// in the Disposition enum's order.
-	Dispositions map[core.Disposition]int
+	// keyed by Disposition.String() so the summary serializes
+	// readably.
+	Dispositions map[string]int `json:"dispositions"`
 	// C2Retries totals failed C2 dial attempts across samples.
-	C2Retries int
+	C2Retries int `json:"c2_retries"`
 	// TimedOut counts watchdog-aborted samples (same figure as the
 	// DispTimedOut bucket, surfaced for headlines).
-	TimedOut int
+	TimedOut int `json:"timed_out"`
 	// ProbesSent / ProbeRetries total the weaponized sweeps' dials
 	// and re-dials.
-	ProbesSent, ProbeRetries int
+	ProbesSent   int `json:"probes_sent"`
+	ProbeRetries int `json:"probe_retries"`
 	// Faults sums injected faults over every sample's sandbox
 	// windows.
-	Faults simnet.FaultStats
+	Faults simnet.FaultStats `json:"faults"`
 	// WorldFaults are the faults injected on the shared world
 	// network (probing, live windows, background traffic).
-	WorldFaults simnet.FaultStats
+	WorldFaults simnet.FaultStats `json:"world_faults"`
 }
 
 // NewFaultSummary computes the robustness counters of a study.
 func NewFaultSummary(st *core.Study) FaultSummary {
-	s := FaultSummary{Dispositions: map[core.Disposition]int{}}
+	s := FaultSummary{Dispositions: map[string]int{}}
 	for _, rec := range st.Samples {
-		s.Dispositions[rec.Disposition]++
+		s.Dispositions[rec.Disposition.String()]++
 		s.C2Retries += rec.C2Retries
 		s.Faults = s.Faults.Add(rec.Faults)
 		if rec.Disposition == core.DispTimedOut {
@@ -59,7 +61,7 @@ func NewFaultSummary(st *core.Study) FaultSummary {
 func (s FaultSummary) Render() string {
 	pairs := [][2]string{}
 	for d := core.DispNone; d <= core.DispTimedOut; d++ {
-		pairs = append(pairs, [2]string{"samples " + d.String(), fmt.Sprint(s.Dispositions[d])})
+		pairs = append(pairs, [2]string{"samples " + d.String(), fmt.Sprint(s.Dispositions[d.String()])})
 	}
 	pairs = append(pairs,
 		[2]string{"C2 re-dials", fmt.Sprint(s.C2Retries)},

@@ -2,6 +2,7 @@ package results
 
 import (
 	"fmt"
+	"sort"
 
 	"malnet/internal/analysis"
 	"malnet/internal/core"
@@ -13,35 +14,47 @@ import (
 type Headlines struct {
 	// DeadC2Day0Share: §3.2 "60% of the samples have a dead C2
 	// server on that day".
-	DeadC2Day0Share float64
+	DeadC2Day0Share float64 `json:"dead_c2_day0_share"`
 	// MeanLifespanDays / AttackC2MeanLifespanDays: §3.2's 4 days
 	// vs §5's ~10 days for attack-launching C2s.
-	MeanLifespanDays         float64
-	AttackC2MeanLifespanDays float64
+	MeanLifespanDays         float64 `json:"mean_lifespan_days"`
+	AttackC2MeanLifespanDays float64 `json:"attack_c2_mean_lifespan_days"`
 	// DistinctAttackC2s / AttackReceivers: §5's 17 servers and 20
 	// binaries.
-	DistinctAttackC2s int
-	AttackReceivers   int
+	DistinctAttackC2s int `json:"distinct_attack_c2s"`
+	AttackReceivers   int `json:"attack_receivers"`
 	// VerifiedCommands is the D-DDOS size after verification.
-	VerifiedCommands int
+	VerifiedCommands int `json:"verified_commands"`
 	// Downloaders: §3.1's 47 distinct addresses, 12 not C2s.
-	Downloaders      int
-	DownloadersNotC2 int
+	Downloaders      int `json:"downloaders"`
+	DownloadersNotC2 int `json:"downloaders_not_c2"`
 	// Port80AttackShare / Port443AttackShare: §5.2's 21% and 7%.
-	Port80AttackShare, Port443AttackShare float64
+	Port80AttackShare  float64 `json:"port80_attack_share"`
+	Port443AttackShare float64 `json:"port443_attack_share"`
 	// DoubleAttackedShare: §5.2's 25% of target IPs hit by two
 	// attack types in one session.
-	DoubleAttackedShare float64
+	DoubleAttackedShare float64 `json:"double_attacked_share"`
 	// MultiBinaryC2Share: §3.3's "60% of C2 servers are contacted
 	// by more than one distinct binaries".
-	MultiBinaryC2Share float64
+	MultiBinaryC2Share float64 `json:"multi_binary_c2_share"`
 	// ActivationRate: §6f's "Our activation rate is at 90%" — the
 	// share of samples whose anti-sandbox gate the sandbox defeats.
-	ActivationRate float64
+	ActivationRate float64 `json:"activation_rate"`
 }
 
 // NewHeadlines computes them from a study.
 func NewHeadlines(st *core.Study) Headlines {
+	return HeadlinesFrom(core.CheckpointDatasets{
+		Samples: st.Samples, C2s: st.C2s,
+		Exploits: st.Exploits, DDoS: st.DDoS,
+	})
+}
+
+// HeadlinesFrom computes the findings from the four datasets alone —
+// the serving path, where the datasets come out of a checkpoint and
+// no *core.Study exists.
+func HeadlinesFrom(ds core.CheckpointDatasets) Headlines {
+	st := ds
 	var h Headlines
 
 	// Activation rate over all accepted samples.
@@ -85,7 +98,17 @@ func NewHeadlines(st *core.Study) Headlines {
 	var allSum, atkSum float64
 	var allN, atkN int
 	var multi int
-	for addr, r := range st.C2s {
+	// Sorted iteration: float accumulation order must not depend on
+	// map order, or two calls over the same datasets could disagree
+	// in the last bits — the daemon serves these bytes and promises
+	// identical JSON for identical snapshots.
+	addrs := make([]string, 0, len(st.C2s))
+	for addr := range st.C2s {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		r := st.C2s[addr]
 		d := r.LifespanDays()
 		allSum += d
 		allN++

@@ -15,13 +15,13 @@ import (
 // higher; the mechanics being scored are the paper's.
 type DetectionQuality struct {
 	// TruePositives are detected addresses present in ground truth.
-	TruePositives int
+	TruePositives int `json:"true_positives"`
 	// FalsePositives are detected addresses with no ground-truth
 	// server behind them.
-	FalsePositives int
+	FalsePositives int `json:"false_positives"`
 	// FalseNegatives are ground-truth C2s referenced by accepted
 	// samples that the pipeline never surfaced.
-	FalseNegatives int
+	FalseNegatives int `json:"false_negatives"`
 }
 
 // Precision is TP / (TP + FP).

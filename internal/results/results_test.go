@@ -1,6 +1,7 @@
 package results
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ func study(t *testing.T) *core.Study {
 		wcfg.TotalSamples = 400
 		w := world.Generate(wcfg)
 		scfg := core.DefaultStudyConfig(11)
-		scfg.ProbeRounds = 12
+		scfg.Analysis.ProbeRounds = 12
 		stVal = core.RunStudy(w, scfg)
 	})
 	return stVal
@@ -324,5 +325,54 @@ func TestDetectionQuality(t *testing.T) {
 	}
 	if !strings.Contains(q.Render(), "precision") {
 		t.Fatal("render missing precision")
+	}
+}
+
+// TestResultsSerializable is the results-API contract: every table,
+// figure, and summary is a plain data struct the daemon can serve as
+// JSON — marshaling never fails and never produces an empty object
+// (which would mean a section quietly lost its exported fields).
+func TestResultsSerializable(t *testing.T) {
+	st := study(t)
+	sections := map[string]any{
+		"table1":   NewTable1(st),
+		"table2":   NewTable2(st),
+		"table3":   NewTable3(st),
+		"table4":   NewTable4(st),
+		"table5":   NewTable5(),
+		"table6":   NewTable6(),
+		"table7":   NewTable7(st),
+		"figure1":  NewFigure1(st),
+		"figure4":  NewFigure4(st),
+		"figure8":  NewFigure8(st),
+		"figure10": NewFigure10(st),
+		"figure11": NewFigure11(st),
+		"figure12": NewFigure12(st),
+		"figure13": NewFigure13(st),
+		"headline": NewHeadlines(st),
+		"metrics":  NewMetricsSection(st),
+		"faults":   NewFaultSummary(st),
+		"quality":  NewDetectionQuality(st),
+	}
+	for name, v := range sections {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Errorf("%s does not marshal: %v", name, err)
+			continue
+		}
+		if s := string(b); s == "{}" || s == "null" {
+			t.Errorf("%s marshals to %s", name, s)
+		}
+	}
+	// The snapshot-path constructors must agree with the study-path
+	// ones: the daemon's JSON is the report's data.
+	fromDS := HeadlinesFrom(core.CheckpointDatasets{
+		Samples: st.Samples, C2s: st.C2s, Exploits: st.Exploits, DDoS: st.DDoS,
+	})
+	if fromDS != NewHeadlines(st) {
+		t.Error("HeadlinesFrom(datasets) != NewHeadlines(study)")
+	}
+	if MetricsSectionFrom(st.Metrics()) != NewMetricsSection(st) {
+		t.Error("MetricsSectionFrom(registry) != NewMetricsSection(study)")
 	}
 }

@@ -21,8 +21,12 @@ import (
 
 // Table1 is the dataset summary.
 type Table1 struct {
-	DSamples, DC2s, DPC2Measurements, DExploitSamples, DDDoS int
-	ProbeLiveC2s                                             int
+	DSamples         int `json:"d_samples"`
+	DC2s             int `json:"d_c2s"`
+	DPC2Measurements int `json:"d_pc2_measurements"`
+	DExploitSamples  int `json:"d_exploit_samples"`
+	DDDoS            int `json:"d_ddos"`
+	ProbeLiveC2s     int `json:"probe_live_c2s"`
 }
 
 // NewTable1 computes the dataset sizes.

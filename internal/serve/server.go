@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"malnet/internal/core"
+	"malnet/internal/obs"
+	"malnet/internal/results"
+)
+
+// Server answers the /v1 query API from an atomically swappable
+// Store. Load/Reload ingest the newest valid snapshot from the
+// checkpoint directory; every request resolves the store pointer
+// once, so a swap mid-request is invisible to that request.
+type Server struct {
+	dir   string
+	store atomic.Pointer[Store]
+	// swaps counts store generations ingested (the store_generation
+	// wall gauge): 1 after the initial load, +1 per hot reload.
+	swaps    atomic.Int64
+	inflight atomic.Int64
+
+	// Response cache, read-through, keyed by (store generation,
+	// normalized query). Entries never go stale — a generation's
+	// responses are immutable — so the only invalidation is the
+	// wholesale clear on swap.
+	mu     sync.Mutex
+	cache  map[string][]byte
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// maxCacheEntries bounds cache memory. The cache is cleared (not
+// LRU-evicted) when full: generations turn over wholesale, and a
+// daemon hot enough to fill the cap is about to repopulate it with
+// exactly the queries that filled it.
+const maxCacheEntries = 4096
+
+// New opens the checkpoint directory and builds the first store. It
+// fails when dir holds no loadable snapshot — a daemon with nothing
+// to serve should say so at startup, not 500 forever.
+func New(dir string, wall *obs.Wall) (*Server, error) {
+	s := &Server{dir: dir, cache: map[string][]byte{}}
+	changed, err := s.Reload()
+	if err != nil {
+		return nil, err
+	}
+	if !changed {
+		return nil, fmt.Errorf("serve: no checkpoint found in %s", dir)
+	}
+	wall.SetGauge("serve.requests_in_flight", s.inflight.Load)
+	wall.SetGauge("serve.store_generation", s.swaps.Load)
+	wall.SetGauge("serve.cache_hits", s.hits.Load)
+	wall.SetGauge("serve.cache_misses", s.misses.Load)
+	wall.SetGauge("serve.cache_hit_pct", func() int64 {
+		h, m := s.hits.Load(), s.misses.Load()
+		if h+m == 0 {
+			return 0
+		}
+		return 100 * h / (h + m)
+	})
+	return s, nil
+}
+
+// Store is the current snapshot generation.
+func (s *Server) Store() *Store { return s.store.Load() }
+
+// Reload checks the checkpoint directory and, when it holds a
+// snapshot of a different generation than the one being served,
+// ingests it and swaps the store pointer. In-flight requests finish
+// against the old store; the response cache starts over. Returns
+// whether a swap happened. Safe to call concurrently with requests
+// (though the daemon calls it from a single ticker goroutine).
+func (s *Server) Reload() (bool, error) {
+	ss, reg, err := core.OpenStudySnapshot(s.dir)
+	if err != nil {
+		return false, err
+	}
+	if ss == nil {
+		return false, nil
+	}
+	if cur := s.store.Load(); cur != nil && cur.Generation == ss.Generation {
+		return false, nil
+	}
+	s.store.Store(BuildStore(ss, reg))
+	s.swaps.Add(1)
+	s.mu.Lock()
+	s.cache = map[string][]byte{}
+	s.mu.Unlock()
+	return true, nil
+}
+
+// Handler returns the /v1 API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/headline", s.cached(s.handleHeadline))
+	mux.HandleFunc("GET /v1/metrics", s.cached(s.handleMetrics))
+	mux.HandleFunc("GET /v1/samples", s.cached(s.handleSamples))
+	mux.HandleFunc("GET /v1/attacks", s.cached(s.handleAttacks))
+	mux.HandleFunc("GET /v1/c2", s.cached(s.handleC2Index))
+	mux.HandleFunc("GET /v1/c2/{addr}", s.cached(s.handleC2))
+	return mux
+}
+
+// httpError carries a client-visible status + message out of an
+// endpoint.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// endpoint computes a response body against one resolved store.
+type endpoint func(st *Store, r *http.Request) (any, *httpError)
+
+// cacheKey normalizes the request's query so equivalent queries
+// (reordered, repeated-defaulted parameters) share a cache slot.
+func cacheKey(gen string, r *http.Request) string {
+	q := r.URL.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(gen)
+	b.WriteByte(0)
+	b.WriteString(r.URL.Path)
+	for _, k := range keys {
+		vals := q[k]
+		sort.Strings(vals)
+		for _, v := range vals {
+			b.WriteByte('&')
+			b.WriteString(url.QueryEscape(k))
+			b.WriteByte('=')
+			b.WriteString(url.QueryEscape(v))
+		}
+	}
+	return b.String()
+}
+
+// cached wraps an endpoint with the in-flight gauge, the read-through
+// response cache, and JSON encoding. Only 200s are cached; error
+// responses are cheap to recompute and should never mask a later
+// success.
+func (s *Server) cached(fn endpoint) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		st := s.store.Load()
+		key := cacheKey(st.Generation, r)
+		s.mu.Lock()
+		body, ok := s.cache[key]
+		s.mu.Unlock()
+		if ok {
+			s.hits.Add(1)
+			writeJSON(w, http.StatusOK, body)
+			return
+		}
+		s.misses.Add(1)
+
+		v, herr := fn(st, r)
+		if herr != nil {
+			b, _ := json.Marshal(map[string]string{"error": herr.msg})
+			writeJSON(w, herr.status, append(b, '\n'))
+			return
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			b, _ := json.Marshal(map[string]string{"error": "encoding response"})
+			writeJSON(w, http.StatusInternalServerError, append(b, '\n'))
+			return
+		}
+		b = append(b, '\n')
+		s.mu.Lock()
+		// The store may have swapped while computing; the key still
+		// names the generation the response was computed from, so
+		// caching it remains correct — the next request for the new
+		// generation misses and recomputes.
+		if len(s.cache) >= maxCacheEntries {
+			s.cache = map[string][]byte{}
+		}
+		s.cache[key] = b
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, b)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// page parses limit/cursor pagination. limit defaults to 50, capped
+// at 500; cursor is a plain offset into the filtered result, so it
+// stays valid (if approximate) across snapshot swaps.
+func page(r *http.Request) (limit, cursor int, herr *httpError) {
+	limit = 50
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return 0, 0, badRequest("limit: want a positive integer, got %q", raw)
+		}
+		if n > 500 {
+			n = 500
+		}
+		limit = n
+	}
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return 0, 0, badRequest("cursor: want a non-negative integer, got %q", raw)
+		}
+		cursor = n
+	}
+	return limit, cursor, nil
+}
+
+// checkParams rejects unknown query parameters: a typoed filter that
+// silently matches everything is worse than a 400.
+func checkParams(r *http.Request, known ...string) *httpError {
+	for k := range r.URL.Query() {
+		found := false
+		for _, want := range known {
+			if k == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return badRequest("unknown query parameter %q (known: %s)", k, strings.Join(known, ", "))
+		}
+	}
+	return nil
+}
+
+// pageEnvelope is the shared pagination wrapper.
+type pageEnvelope struct {
+	Generation string `json:"generation"`
+	Day        int    `json:"day"`
+	Total      int    `json:"total"`
+	Count      int    `json:"count"`
+	// NextCursor is present while more results remain.
+	NextCursor *int `json:"next_cursor,omitempty"`
+}
+
+func envelope(st *Store, total, cursor, count int) pageEnvelope {
+	e := pageEnvelope{Generation: st.Generation, Day: st.Day, Total: total, Count: count}
+	if next := cursor + count; next < total {
+		e.NextCursor = &next
+	}
+	return e
+}
+
+// clampPage slices [cursor, cursor+limit) out of positions.
+func clampPage(positions []int, cursor, limit int) []int {
+	if cursor >= len(positions) {
+		return nil
+	}
+	end := cursor + limit
+	if end > len(positions) {
+		end = len(positions)
+	}
+	return positions[cursor:end]
+}
+
+func (s *Server) handleHeadline(st *Store, r *http.Request) (any, *httpError) {
+	if herr := checkParams(r); herr != nil {
+		return nil, herr
+	}
+	samples, c2s, exploits, ddos := st.Sizes()
+	return struct {
+		Generation     string            `json:"generation"`
+		Day            int               `json:"day"`
+		SkippedCorrupt int               `json:"skipped_corrupt,omitempty"`
+		Datasets       map[string]int    `json:"datasets"`
+		Headline       results.Headlines `json:"headline"`
+	}{
+		Generation:     st.Generation,
+		Day:            st.Day,
+		SkippedCorrupt: st.SkippedCorrupt,
+		Datasets: map[string]int{
+			"samples": samples, "c2s": c2s, "exploits": exploits, "ddos": ddos,
+		},
+		Headline: st.Headline(),
+	}, nil
+}
+
+func (s *Server) handleMetrics(st *Store, r *http.Request) (any, *httpError) {
+	if herr := checkParams(r); herr != nil {
+		return nil, herr
+	}
+	return struct {
+		Generation string                 `json:"generation"`
+		Day        int                    `json:"day"`
+		Metrics    results.MetricsSection `json:"metrics"`
+	}{Generation: st.Generation, Day: st.Day, Metrics: st.Metrics()}, nil
+}
+
+func (s *Server) handleSamples(st *Store, r *http.Request) (any, *httpError) {
+	if herr := checkParams(r, "family", "day", "c2", "limit", "cursor"); herr != nil {
+		return nil, herr
+	}
+	limit, cursor, herr := page(r)
+	if herr != nil {
+		return nil, herr
+	}
+	q := SampleQuery{
+		Family: r.URL.Query().Get("family"),
+		Day:    -1,
+		C2:     r.URL.Query().Get("c2"),
+	}
+	if raw := r.URL.Query().Get("day"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return nil, badRequest("day: want a non-negative study-day index, got %q", raw)
+		}
+		q.Day = n
+	}
+	positions := st.Samples(q)
+	pg := clampPage(positions, cursor, limit)
+	recs := make([]*core.SampleRecord, len(pg))
+	for i, p := range pg {
+		recs[i] = st.Sample(p)
+	}
+	return struct {
+		pageEnvelope
+		Samples []*core.SampleRecord `json:"samples"`
+	}{envelope(st, len(positions), cursor, len(pg)), recs}, nil
+}
+
+func (s *Server) handleAttacks(st *Store, r *http.Request) (any, *httpError) {
+	if herr := checkParams(r, "type", "limit", "cursor"); herr != nil {
+		return nil, herr
+	}
+	limit, cursor, herr := page(r)
+	if herr != nil {
+		return nil, herr
+	}
+	typ := r.URL.Query().Get("type")
+	if typ != "" && len(st.Attacks(typ)) == 0 {
+		known := st.AttackTypes()
+		found := false
+		for _, t := range known {
+			if t == typ {
+				found = true
+			}
+		}
+		if !found {
+			return nil, badRequest("type: unknown attack type %q (known: %s)", typ, strings.Join(known, ", "))
+		}
+	}
+	positions := st.Attacks(typ)
+	pg := clampPage(positions, cursor, limit)
+	obsv := make([]core.DDoSObservation, len(pg))
+	for i, p := range pg {
+		obsv[i] = st.Attack(p)
+	}
+	return struct {
+		pageEnvelope
+		Types   []string               `json:"types"`
+		Attacks []core.DDoSObservation `json:"attacks"`
+	}{envelope(st, len(positions), cursor, len(pg)), st.AttackTypes(), obsv}, nil
+}
+
+func (s *Server) handleC2Index(st *Store, r *http.Request) (any, *httpError) {
+	if herr := checkParams(r, "limit", "cursor"); herr != nil {
+		return nil, herr
+	}
+	limit, cursor, herr := page(r)
+	if herr != nil {
+		return nil, herr
+	}
+	addrs := st.C2Addresses()
+	var pg []string
+	if cursor < len(addrs) {
+		end := cursor + limit
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		pg = addrs[cursor:end]
+	}
+	return struct {
+		pageEnvelope
+		Addresses []string `json:"addresses"`
+	}{envelope(st, len(addrs), cursor, len(pg)), pg}, nil
+}
+
+func (s *Server) handleC2(st *Store, r *http.Request) (any, *httpError) {
+	if herr := checkParams(r); herr != nil {
+		return nil, herr
+	}
+	addr := r.PathValue("addr")
+	rec, positions := st.C2(addr)
+	if rec == nil {
+		return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no such C2 endpoint %q", addr)}
+	}
+	shas := make([]string, len(positions))
+	for i, p := range positions {
+		shas[i] = st.Sample(p).SHA
+	}
+	return struct {
+		Generation string         `json:"generation"`
+		Day        int            `json:"day"`
+		Record     *core.C2Record `json:"record"`
+		SampleSHAs []string       `json:"sample_shas"`
+		Lifespan   float64        `json:"lifespan_days"`
+	}{Generation: st.Generation, Day: st.Day, Record: rec, SampleSHAs: shas, Lifespan: rec.LifespanDays()}, nil
+}

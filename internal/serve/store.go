@@ -1,0 +1,218 @@
+// Package serve is the read side of a MalNet study: it loads a
+// checkpointed study into an immutable in-memory store with inverted
+// indexes (per family, per collection day, per C2 endpoint, per
+// attack type) and answers the daemon's JSON queries from those
+// indexes — no query ever scans the full sample table. A Store is
+// built once per snapshot generation and never mutated afterwards,
+// which is what makes the hot-reload swap safe: in-flight requests
+// keep reading the store they resolved at dispatch time while new
+// requests see the freshly ingested one.
+//
+// The package deliberately never reads the wall clock (the repo's
+// vettime lint holds it to the same rule as the pipeline); the
+// daemon owns the reload ticker and calls Reload itself.
+package serve
+
+import (
+	"sort"
+
+	"malnet/internal/core"
+	"malnet/internal/obs"
+	"malnet/internal/results"
+	"malnet/internal/world"
+)
+
+// Store is one snapshot generation, indexed for point lookups. All
+// fields are write-once at build time; every accessor is safe for
+// concurrent readers.
+type Store struct {
+	// Generation is the snapshot file's SHA-256 footer (hex) — the
+	// cache key prefix and the client-visible snapshot id.
+	Generation string
+	// Day is the snapshot's study-day index; SkippedCorrupt counts
+	// newer snapshots the loader passed over as corrupt.
+	Day            int
+	SkippedCorrupt int
+
+	samples  []*core.SampleRecord
+	exploits []core.ExploitFinding
+	ddos     []core.DDoSObservation
+	c2s      map[string]*core.C2Record
+
+	// Inverted indexes over samples (positions in feed order) and
+	// attacks (positions in D-DDOS order).
+	byFamily map[string][]int
+	byDay    map[int][]int
+	byC2     map[string][]int
+	byAttack map[string][]int
+
+	headline results.Headlines
+	metrics  results.MetricsSection
+}
+
+// BuildStore indexes a loaded snapshot. The registry carries the
+// snapshot's reconstructed deterministic metrics (may be nil: the
+// metrics section then reads all-zero).
+func BuildStore(ss *core.StudySnapshot, reg *obs.Registry) *Store {
+	ds := ss.Datasets
+	s := &Store{
+		Generation:     ss.Generation,
+		Day:            ss.Day,
+		SkippedCorrupt: ss.SkippedCorrupt,
+		samples:        ds.Samples,
+		exploits:       ds.Exploits,
+		ddos:           ds.DDoS,
+		c2s:            ds.C2s,
+		byFamily:       map[string][]int{},
+		byDay:          map[int][]int{},
+		byC2:           map[string][]int{},
+		byAttack:       map[string][]int{},
+		headline:       results.HeadlinesFrom(ds),
+		metrics:        results.MetricsSectionFrom(reg),
+	}
+	start := world.StudyStart()
+	for i, rec := range s.samples {
+		s.byFamily[rec.Family] = append(s.byFamily[rec.Family], i)
+		day := int(rec.Date.Sub(start).Hours() / 24)
+		s.byDay[day] = append(s.byDay[day], i)
+		// A sample referencing the same endpoint twice still posts
+		// one index entry.
+		seen := map[string]bool{}
+		for _, c := range rec.C2s {
+			addr := c.Address
+			if !seen[addr] {
+				seen[addr] = true
+				s.byC2[addr] = append(s.byC2[addr], i)
+			}
+		}
+	}
+	for i, o := range s.ddos {
+		s.byAttack[o.Command.Attack.String()] = append(s.byAttack[o.Command.Attack.String()], i)
+	}
+	return s
+}
+
+// SampleQuery is the /v1/samples filter: zero-valued fields don't
+// constrain. Day is a study-day index; -1 means any day.
+type SampleQuery struct {
+	Family string
+	Day    int
+	C2     string
+}
+
+// Samples returns the feed-order positions matching q. The returned
+// slice aliases the index — callers must not mutate it.
+func (s *Store) Samples(q SampleQuery) []int {
+	// Intersect the narrowest applicable indexes. Each index is
+	// sorted (built in feed order), so intersection preserves order.
+	var lists [][]int
+	if q.Family != "" {
+		lists = append(lists, s.byFamily[q.Family])
+	}
+	if q.Day >= 0 {
+		lists = append(lists, s.byDay[q.Day])
+	}
+	if q.C2 != "" {
+		lists = append(lists, s.byC2[q.C2])
+	}
+	if len(lists) == 0 {
+		all := make([]int, len(s.samples))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = intersect(out, l)
+	}
+	return out
+}
+
+// intersect merges two ascending position lists.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Sample returns the record at feed position i.
+func (s *Store) Sample(i int) *core.SampleRecord { return s.samples[i] }
+
+// NumSamples is the store's D-Samples size.
+func (s *Store) NumSamples() int { return len(s.samples) }
+
+// C2 returns the record for addr together with the feed positions of
+// the samples that reference it.
+func (s *Store) C2(addr string) (*core.C2Record, []int) {
+	return s.c2s[addr], s.byC2[addr]
+}
+
+// C2Addresses lists every known endpoint, sorted.
+func (s *Store) C2Addresses() []string {
+	out := make([]string, 0, len(s.c2s))
+	for a := range s.c2s {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Attacks returns the D-DDOS positions for an attack type, or every
+// position when typ is empty.
+func (s *Store) Attacks(typ string) []int {
+	if typ == "" {
+		all := make([]int, len(s.ddos))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return s.byAttack[typ]
+}
+
+// Attack returns the observation at D-DDOS position i.
+func (s *Store) Attack(i int) core.DDoSObservation { return s.ddos[i] }
+
+// AttackTypes lists the attack types present, sorted.
+func (s *Store) AttackTypes() []string {
+	out := make([]string, 0, len(s.byAttack))
+	for t := range s.byAttack {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Families lists the sample families present, sorted.
+func (s *Store) Families() []string {
+	out := make([]string, 0, len(s.byFamily))
+	for f := range s.byFamily {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Headline is the snapshot's precomputed headline findings.
+func (s *Store) Headline() results.Headlines { return s.headline }
+
+// Metrics is the snapshot's precomputed metrics section.
+func (s *Store) Metrics() results.MetricsSection { return s.metrics }
+
+// Sizes reports the four dataset sizes (the /v1/headline banner).
+func (s *Store) Sizes() (samples, c2s, exploits, ddos int) {
+	return len(s.samples), len(s.c2s), len(s.exploits), len(s.ddos)
+}

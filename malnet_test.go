@@ -20,7 +20,7 @@ func TestPublicAPISmoke(t *testing.T) {
 	cfg.TotalSamples = 80
 	w := malnet.GenerateWorld(cfg)
 	scfg := malnet.DefaultStudyConfig(13)
-	scfg.Probing = false
+	scfg.Analysis.Probing = false
 	st := malnet.RunStudy(w, scfg)
 	if len(st.Samples) == 0 || len(st.C2s) == 0 {
 		t.Fatalf("samples=%d c2s=%d", len(st.Samples), len(st.C2s))
@@ -60,8 +60,8 @@ func TestTimelinessDelayDegradesLiveRate(t *testing.T) {
 		wcfg.TotalSamples = 120
 		w := world.Generate(wcfg)
 		scfg := malnet.DefaultStudyConfig(17)
-		scfg.Probing = false
-		scfg.AnalysisDelayDays = delay
+		scfg.Analysis.Probing = false
+		scfg.Analysis.DelayDays = delay
 		st := malnet.RunStudy(w, scfg)
 		var withC2, live int
 		for _, s := range st.Samples {
@@ -93,7 +93,7 @@ func TestRenderSurface(t *testing.T) {
 	cfg.TotalSamples = 80
 	w := malnet.GenerateWorld(cfg)
 	scfg := malnet.DefaultStudyConfig(19)
-	scfg.ProbeRounds = 6
+	scfg.Analysis.ProbeRounds = 6
 	st := malnet.RunStudy(w, scfg)
 	for n := 1; n <= 7; n++ {
 		out, err := malnet.RenderTable(st, n)

@@ -17,6 +17,6 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "running benchmarks (-bench '$pattern' -benchtime $benchtime)..." >&2
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . ./internal/serve/ | tee "$tmp" >&2
 go run ./tools/benchjson <"$tmp" >"$out"
 echo "wrote $out" >&2

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving path: run a short checkpointed
+# study, point malnetd at its checkpoint directory, query the /v1 API,
+# and diff the responses against committed goldens. The study, the
+# checkpoint bytes, and the serving layer are all deterministic, so
+# any drift anywhere in that chain shows up as a golden mismatch.
+#
+# Usage:  scripts/smoke_serve.sh           # check against goldens
+#         scripts/smoke_serve.sh -update   # regenerate the goldens
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden=scripts/testdata
+mode="${1:-check}"
+tmp="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+echo "running the fixture study (-short, checkpointed)..." >&2
+go run ./cmd/malnet -short -checkpoint-dir "$tmp/ckpt" -out "$tmp/out" >/dev/null
+
+echo "starting malnetd..." >&2
+go build -o "$tmp/malnetd" ./cmd/malnetd
+"$tmp/malnetd" -checkpoint-dir "$tmp/ckpt" -listen 127.0.0.1:0 -reload-every 0 \
+  >"$tmp/stdout" 2>"$tmp/stderr" &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 100); do
+  base="$(sed -n 's#^listening on ##p' "$tmp/stdout" | head -n1)"
+  [ -n "$base" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$base" ]; then
+  echo "malnetd did not come up:" >&2
+  cat "$tmp/stderr" >&2
+  exit 1
+fi
+
+status=0
+check() { # <golden-file> <path>
+  local name="$1" path="$2"
+  curl -sfS "$base$path" >"$tmp/$name"
+  if [ "$mode" = "-update" ]; then
+    cp "$tmp/$name" "$golden/$name"
+    echo "updated $golden/$name" >&2
+  elif ! diff -u "$golden/$name" "$tmp/$name"; then
+    echo "smoke: $path drifted from $golden/$name" >&2
+    status=1
+  fi
+}
+
+check serve_headline.json "/v1/headline"
+check serve_samples.json "/v1/samples?family=mirai&limit=2"
+
+[ "$status" -eq 0 ] && echo "serve smoke OK ($base)" >&2
+exit "$status"
