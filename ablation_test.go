@@ -38,6 +38,7 @@ func BenchmarkAblationProbeInterval(b *testing.B) {
 	for _, interval := range []time.Duration{time.Hour, 4 * time.Hour, 12 * time.Hour, 24 * time.Hour} {
 		interval := interval
 		b.Run(interval.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var found, engagements int
 			for i := 0; i < b.N; i++ {
 				clock := simclock.New(ablT0)
@@ -87,6 +88,7 @@ func BenchmarkAblationHandshakerThreshold(b *testing.B) {
 	for _, threshold := range []int{5, 20, 100, 500} {
 		threshold := threshold
 		b.Run(fmt.Sprintf("threshold=%d", threshold), func(b *testing.B) {
+			b.ReportAllocs()
 			var captured int
 			for i := 0; i < b.N; i++ {
 				clock := simclock.New(ablT0)
@@ -116,6 +118,7 @@ func BenchmarkAblationDDoSThreshold(b *testing.B) {
 	for _, threshold := range []float64{10, 100, 1000, 1e6} {
 		threshold := threshold
 		b.Run(fmt.Sprintf("pps=%.0f", threshold), func(b *testing.B) {
+			b.ReportAllocs()
 			var observed int
 			for i := 0; i < b.N; i++ {
 				clock := simclock.New(ablT0)
@@ -163,6 +166,7 @@ func BenchmarkAblationFeedAggregation(b *testing.B) {
 	for _, k := range []int{1, 2, 5, 10, 44} {
 		k := k
 		b.Run(fmt.Sprintf("feeds=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			var missRate float64
 			for i := 0; i < b.N; i++ {
 				svc := intel.NewService(42)
@@ -206,6 +210,7 @@ func BenchmarkAblationAnalysisDelay(b *testing.B) {
 	for _, delay := range []int{0, 1, 2, 7} {
 		delay := delay
 		b.Run(fmt.Sprintf("delay=%dd", delay), func(b *testing.B) {
+			b.ReportAllocs()
 			var liveRate float64
 			for i := 0; i < b.N; i++ {
 				wcfg := world.DefaultConfig(21)
@@ -270,6 +275,7 @@ func BenchmarkAblationInetSim(b *testing.B) {
 		}
 		disable := disable
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var rate float64
 			for i := 0; i < b.N; i++ {
 				clock := simclock.New(ablT0)
@@ -311,6 +317,7 @@ func BenchmarkAblationDetectC2MinAttempts(b *testing.B) {
 	for _, minAttempts := range []int{1, 2, 5, 12} {
 		minAttempts := minAttempts
 		b.Run(fmt.Sprintf("min=%d", minAttempts), func(b *testing.B) {
+			b.ReportAllocs()
 			var found int
 			for i := 0; i < b.N; i++ {
 				clock := simclock.New(ablT0)

@@ -48,6 +48,7 @@ func sharedStudy(b *testing.B) *core.Study {
 // ---- Tables ----
 
 func BenchmarkTable1Datasets(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var t results.Table1
 	b.ResetTimer()
@@ -61,6 +62,7 @@ func BenchmarkTable1Datasets(b *testing.B) {
 }
 
 func BenchmarkTable2TopASes(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var t results.Table2
 	b.ResetTimer()
@@ -72,6 +74,7 @@ func BenchmarkTable2TopASes(b *testing.B) {
 }
 
 func BenchmarkTable3TIMiss(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var t results.Table3
 	b.ResetTimer()
@@ -85,6 +88,7 @@ func BenchmarkTable3TIMiss(b *testing.B) {
 }
 
 func BenchmarkTable4Vulns(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var t results.Table4
 	b.ResetTimer()
@@ -101,6 +105,7 @@ func BenchmarkTable4Vulns(b *testing.B) {
 }
 
 func BenchmarkTable7Vendors(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var t results.Table7
 	b.ResetTimer()
@@ -116,6 +121,7 @@ func BenchmarkTable7Vendors(b *testing.B) {
 // ---- Figures ----
 
 func BenchmarkFigure1Heatmap(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure1
 	b.ResetTimer()
@@ -126,6 +132,7 @@ func BenchmarkFigure1Heatmap(b *testing.B) {
 }
 
 func BenchmarkFigure2LifetimeIP(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure2
 	b.ResetTimer()
@@ -137,6 +144,7 @@ func BenchmarkFigure2LifetimeIP(b *testing.B) {
 }
 
 func BenchmarkFigure3LifetimeDomain(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure3
 	b.ResetTimer()
@@ -147,6 +155,7 @@ func BenchmarkFigure3LifetimeDomain(b *testing.B) {
 }
 
 func BenchmarkFigure4ProbeRaster(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure4
 	b.ResetTimer()
@@ -159,6 +168,7 @@ func BenchmarkFigure4ProbeRaster(b *testing.B) {
 }
 
 func BenchmarkFigure5SamplesPerC2(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure5
 	b.ResetTimer()
@@ -169,6 +179,7 @@ func BenchmarkFigure5SamplesPerC2(b *testing.B) {
 }
 
 func BenchmarkFigure6SamplesPerDomain(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure6
 	b.ResetTimer()
@@ -179,6 +190,7 @@ func BenchmarkFigure6SamplesPerDomain(b *testing.B) {
 }
 
 func BenchmarkFigure7VendorCDF(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure7
 	b.ResetTimer()
@@ -189,6 +201,7 @@ func BenchmarkFigure7VendorCDF(b *testing.B) {
 }
 
 func BenchmarkFigure8VulnSeries(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure8
 	b.ResetTimer()
@@ -199,6 +212,7 @@ func BenchmarkFigure8VulnSeries(b *testing.B) {
 }
 
 func BenchmarkFigure9Loaders(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure9
 	b.ResetTimer()
@@ -209,6 +223,7 @@ func BenchmarkFigure9Loaders(b *testing.B) {
 }
 
 func BenchmarkFigure10AttackProto(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure10
 	b.ResetTimer()
@@ -219,6 +234,7 @@ func BenchmarkFigure10AttackProto(b *testing.B) {
 }
 
 func BenchmarkFigure11AttackTypes(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure11
 	b.ResetTimer()
@@ -229,6 +245,7 @@ func BenchmarkFigure11AttackTypes(b *testing.B) {
 }
 
 func BenchmarkFigure12Targets(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure12
 	b.ResetTimer()
@@ -241,6 +258,7 @@ func BenchmarkFigure12Targets(b *testing.B) {
 }
 
 func BenchmarkFigure13ASCDF(b *testing.B) {
+	b.ReportAllocs()
 	st := sharedStudy(b)
 	var f results.Figure13
 	b.ResetTimer()
@@ -290,6 +308,7 @@ func BenchmarkELFEncode(b *testing.B) {
 }
 
 func BenchmarkYARAFamilyOf(b *testing.B) {
+	b.ReportAllocs()
 	raw, err := binfmt.Encode(binfmt.BotConfig{Family: "gafgyt", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"}},
 		rand.New(rand.NewSource(1)), nil)
 	if err != nil {
@@ -305,6 +324,7 @@ func BenchmarkYARAFamilyOf(b *testing.B) {
 }
 
 func BenchmarkSandboxIsolatedRun(b *testing.B) {
+	b.ReportAllocs()
 	raw, err := binfmt.Encode(binfmt.BotConfig{
 		Family: "mirai", Variant: "v1", C2Addrs: []string{"60.0.0.9:23"},
 		ScanPorts: []uint16{23},
@@ -356,8 +376,10 @@ func BenchmarkCheckpointRoundTrip(b *testing.B) {
 // on an N-core machine expect speedup to flatten at N; the rendered
 // datasets are byte-identical at every worker count either way.
 func BenchmarkStudyWorkers(b *testing.B) {
+	b.ReportAllocs()
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				w := world.Generate(world.DefaultConfig(42))
@@ -372,6 +394,7 @@ func BenchmarkStudyWorkers(b *testing.B) {
 }
 
 func BenchmarkProbeSweepRound(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		clock := simclock.New(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))
 		net := simnet.New(clock, simnet.DefaultConfig())

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"malnet/internal/core"
+	"malnet/internal/loadgen"
 	"malnet/internal/obs"
 	"malnet/internal/world"
 )
@@ -107,6 +108,52 @@ func (c *CheckpointFlags) Register(fs *flag.FlagSet) {
 func (c *CheckpointFlags) InterruptHint(name string, err error) {
 	if c.Dir != "" && errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "%s: re-run with -resume to continue from the last checkpoint\n", name)
+	}
+}
+
+// LoadFlags is cmd/malnetbench's flag group: the load shape (target,
+// concurrency, open-loop rate, duration), the schedule seed, and the
+// output plumbing. It lives here with the other flag groups so the
+// bench CLI stays a translation layer like the study CLIs.
+type LoadFlags struct {
+	Target      string
+	Concurrency int
+	Rate        float64
+	Duration    time.Duration
+	Seed        int64
+	Timeout     time.Duration
+	Debug       string
+	Out         string
+	ScheduleN   int
+	RequireOK   bool
+}
+
+// NewLoadFlags registers the load-generator flag group on fs.
+func NewLoadFlags(fs *flag.FlagSet) *LoadFlags {
+	f := &LoadFlags{}
+	fs.StringVar(&f.Target, "target", "", "base URL of the malnetd to load (e.g. http://127.0.0.1:8377)")
+	fs.IntVar(&f.Concurrency, "concurrency", 8, "sender pool size")
+	fs.Float64Var(&f.Rate, "rate", 500, "open-loop arrival rate in requests/sec (0 = closed loop, as fast as the daemon answers)")
+	fs.DurationVar(&f.Duration, "duration", 10*time.Second, "how long to drive load (0 = schedule-only: print the deterministic query schedule and exit)")
+	fs.Int64Var(&f.Seed, "seed", 42, "query-schedule seed; same seed replays the same query sequence")
+	fs.DurationVar(&f.Timeout, "timeout", 10*time.Second, "per-request client timeout")
+	fs.StringVar(&f.Debug, "debug", "", "the daemon's -debug-addr; when set, server-side allocs/op is sampled from its expvar memstats")
+	fs.StringVar(&f.Out, "out", "", "write the JSON summary to FILE (default stdout)")
+	fs.IntVar(&f.ScheduleN, "schedule", 64, "schedule entries to emit in -duration 0 mode")
+	fs.BoolVar(&f.RequireOK, "require-success", false, "exit 1 unless the run had zero errors and nonzero throughput (CI smoke mode)")
+	return f
+}
+
+// Config translates the parsed flags into a loadgen run config.
+func (f *LoadFlags) Config() loadgen.Config {
+	return loadgen.Config{
+		Target:      f.Target,
+		Concurrency: f.Concurrency,
+		Rate:        f.Rate,
+		Duration:    f.Duration,
+		Seed:        f.Seed,
+		Timeout:     f.Timeout,
+		DebugAddr:   f.Debug,
 	}
 }
 

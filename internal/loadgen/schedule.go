@@ -1,0 +1,123 @@
+// Package loadgen is the open-loop HTTP load generator behind
+// cmd/malnetbench: a deterministic, zipf-distributed query schedule
+// over the malnetd /v1 API, a paced dispatcher that measures latency
+// from each request's *scheduled* start (so queueing delay under
+// overload is charged to the server, not silently absorbed — the
+// coordinated-omission correction), and a machine-readable summary
+// whose rows merge into BENCH_<date>.json via tools/benchjson.
+//
+// The schedule is a pure function of the seed: same seed, same
+// sequence of queries, byte for byte. C2 point queries carry a zipf
+// *rank* rather than an address — the runner resolves ranks against
+// the live daemon's /v1/c2 index at startup, so the schedule stays
+// deterministic while the addresses track whatever snapshot the
+// daemon is serving.
+//
+// Unlike the rest of ./internal, this package reads the wall clock —
+// measuring a live daemon is its whole job. tools/vettime allows it
+// alongside obs and realprobe.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Query is one scheduled request. Endpoint is the latency bucket the
+// request reports into; Path is the URL path+query as issued (for C2
+// point lookups, a "{rank-N}" placeholder the runner resolves against
+// the live C2 index). C2Rank is that rank, -1 for every other
+// endpoint.
+type Query struct {
+	Endpoint string `json:"endpoint"`
+	Path     string `json:"path"`
+	C2Rank   int    `json:"c2_rank"`
+}
+
+// canonicalFamilies is the schedule's family vocabulary, zipf-ranked:
+// rank 0 (mirai) dominates, as it does in the paper's feed. Families
+// absent from the served snapshot cost the daemon an index miss and
+// return an empty 200 — still a legitimate load shape.
+var canonicalFamilies = []string{
+	"mirai", "gafgyt", "tsunami", "hajime", "xorddos",
+	"mozi", "dofloo", "pnscan", "hiddenwasp", "vpnfilter",
+}
+
+// c2RankSpace is how many distinct C2 ranks the schedule draws from;
+// the runner folds ranks into the live index size with a modulus.
+const c2RankSpace = 512
+
+// studyDays is the day-filter range (a year-long study).
+const studyDays = 365
+
+// Schedule generates the deterministic query sequence. Not safe for
+// concurrent use — the runner's single dispatcher goroutine owns it.
+type Schedule struct {
+	rng      *rand.Rand
+	famZipf  *rand.Zipf
+	dayZipf  *rand.Zipf
+	c2Zipf   *rand.Zipf
+	limZipf  *rand.Zipf
+	pageLims [4]int
+}
+
+// NewSchedule returns the schedule for seed. Two instances with the
+// same seed emit identical sequences.
+func NewSchedule(seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	return &Schedule{
+		rng: rng,
+		// s=1.2 keeps a heavy head without starving the tail: the
+		// hot families/days dominate (cache-friendly), but cold keys
+		// keep arriving (cache-hostile), which is the mix that makes
+		// a response cache worth stampede-protecting.
+		famZipf:  rand.NewZipf(rng, 1.2, 1, uint64(len(canonicalFamilies)-1)),
+		dayZipf:  rand.NewZipf(rng, 1.2, 1, studyDays-1),
+		c2Zipf:   rand.NewZipf(rng, 1.2, 1, c2RankSpace-1),
+		limZipf:  rand.NewZipf(rng, 1.6, 1, 3),
+		pageLims: [4]int{100, 50, 250, 500},
+	}
+}
+
+// Next emits the next scheduled query.
+func (s *Schedule) Next() Query {
+	switch roll := s.rng.Intn(100); {
+	case roll < 55:
+		return s.samplesQuery()
+	case roll < 75:
+		rank := int(s.c2Zipf.Uint64())
+		return Query{Endpoint: "c2_point", Path: fmt.Sprintf("/v1/c2/{rank-%d}", rank), C2Rank: rank}
+	case roll < 83:
+		return Query{Endpoint: "c2_index", Path: fmt.Sprintf("/v1/c2?limit=%d", s.limit()), C2Rank: -1}
+	case roll < 93:
+		return Query{Endpoint: "attacks", Path: fmt.Sprintf("/v1/attacks?limit=%d", s.limit()), C2Rank: -1}
+	case roll < 97:
+		return Query{Endpoint: "headline", Path: "/v1/headline", C2Rank: -1}
+	default:
+		return Query{Endpoint: "metrics", Path: "/v1/metrics", C2Rank: -1}
+	}
+}
+
+// samplesQuery draws the /v1/samples filter shape: family-only is the
+// head, family+day and day-only the body, a full unfiltered page the
+// tail.
+func (s *Schedule) samplesQuery() Query {
+	family := canonicalFamilies[s.famZipf.Uint64()]
+	day := int(s.dayZipf.Uint64())
+	lim := s.limit()
+	var path string
+	switch roll := s.rng.Intn(100); {
+	case roll < 40:
+		path = fmt.Sprintf("/v1/samples?family=%s&limit=%d", family, lim)
+	case roll < 70:
+		path = fmt.Sprintf("/v1/samples?family=%s&day=%d&limit=%d", family, day, lim)
+	case roll < 85:
+		path = fmt.Sprintf("/v1/samples?day=%d&limit=%d", day, lim)
+	default:
+		path = fmt.Sprintf("/v1/samples?limit=%d", lim)
+	}
+	return Query{Endpoint: "samples", Path: path, C2Rank: -1}
+}
+
+// limit draws a page size, zipf-biased toward the default-ish 100.
+func (s *Schedule) limit() int { return s.pageLims[s.limZipf.Uint64()] }

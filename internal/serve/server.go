@@ -1,10 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,11 +31,15 @@ type Server struct {
 	// Response cache, read-through, keyed by (store generation,
 	// normalized query). Entries never go stale — a generation's
 	// responses are immutable — so the only invalidation is the
-	// wholesale clear on swap.
-	mu     sync.Mutex
-	cache  map[string][]byte
-	hits   atomic.Int64
-	misses atomic.Int64
+	// wholesale clear on swap. Concurrent misses for the same key
+	// coalesce through flights: one store scan per (generation,
+	// query), no matter how wide the post-swap thundering herd.
+	mu        sync.Mutex
+	cache     map[string][]byte
+	flights   flightGroup
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
 }
 
 // maxCacheEntries bounds cache memory. The cache is cleared (not
@@ -60,6 +64,7 @@ func New(dir string, wall *obs.Wall) (*Server, error) {
 	wall.SetGauge("serve.store_generation", s.swaps.Load)
 	wall.SetGauge("serve.cache_hits", s.hits.Load)
 	wall.SetGauge("serve.cache_misses", s.misses.Load)
+	wall.SetGauge("serve.cache_coalesced", s.coalesced.Load)
 	wall.SetGauge("serve.cache_hit_pct", func() int64 {
 		h, m := s.hits.Load(), s.misses.Load()
 		if h+m == 0 {
@@ -126,78 +131,123 @@ func badRequest(format string, args ...any) *httpError {
 // endpoint computes a response body against one resolved store.
 type endpoint func(st *Store, r *http.Request) (any, *httpError)
 
-// cacheKey normalizes the request's query so equivalent queries
-// (reordered, repeated-defaulted parameters) share a cache slot.
-func cacheKey(gen string, r *http.Request) string {
-	q := r.URL.Query()
-	keys := make([]string, 0, len(q))
-	for k := range q {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString(gen)
-	b.WriteByte(0)
-	b.WriteString(r.URL.Path)
-	for _, k := range keys {
-		vals := q[k]
-		sort.Strings(vals)
-		for _, v := range vals {
-			b.WriteByte('&')
-			b.WriteString(url.QueryEscape(k))
-			b.WriteByte('=')
-			b.WriteString(url.QueryEscape(v))
-		}
-	}
-	return b.String()
+// keyScratch is the reusable scratch behind cache-key construction:
+// the key bytes and the query-segment slice survive across requests
+// in a pool, so the warm path builds its key without allocating.
+type keyScratch struct {
+	buf  []byte
+	segs []string
 }
 
+var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// appendKey normalizes (generation, path, raw query) into a cache
+// key: raw query segments are sorted, so reordered parameters share a
+// slot. Segments are compared unescaped-as-sent — two escapings of
+// the same parameter land in separate slots, which costs a duplicate
+// entry but can never conflate distinct queries.
+func (ks *keyScratch) appendKey(gen, path, rawQuery string) []byte {
+	b := append(ks.buf[:0], gen...)
+	b = append(b, 0)
+	b = append(b, path...)
+	segs := ks.segs[:0]
+	for len(rawQuery) > 0 {
+		seg := rawQuery
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			seg, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		if seg != "" {
+			segs = append(segs, seg)
+		}
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		b = append(b, '&')
+		b = append(b, seg...)
+	}
+	ks.buf, ks.segs = b, segs
+	return b
+}
+
+// encodeBufPool recycles the JSON serialization scratch: responses
+// are encoded into a pooled buffer and copied out once, sized
+// exactly, instead of growing a fresh buffer per computation.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // cached wraps an endpoint with the in-flight gauge, the read-through
-// response cache, and JSON encoding. Only 200s are cached; error
-// responses are cheap to recompute and should never mask a later
-// success.
+// response cache, miss coalescing, and JSON encoding. Only 200s are
+// cached; error responses are cheap to recompute and should never
+// mask a later success. The store pointer is resolved once, before
+// the key is built — the flight a request joins is always for the
+// generation it resolved, so a hot swap mid-flight cannot mix
+// generations into one response.
 func (s *Server) cached(fn endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 
 		st := s.store.Load()
-		key := cacheKey(st.Generation, r)
+		ks := keyScratchPool.Get().(*keyScratch)
+		kb := ks.appendKey(st.Generation, r.URL.Path, r.URL.RawQuery)
 		s.mu.Lock()
-		body, ok := s.cache[key]
+		body, ok := s.cache[string(kb)]
 		s.mu.Unlock()
 		if ok {
+			keyScratchPool.Put(ks)
 			s.hits.Add(1)
 			writeJSON(w, http.StatusOK, body)
 			return
 		}
-		s.misses.Add(1)
+		key := string(kb)
+		keyScratchPool.Put(ks)
 
-		v, herr := fn(st, r)
+		body, herr, leader := s.flights.do(key, func() ([]byte, *httpError) {
+			v, herr := fn(st, r)
+			if herr != nil {
+				return nil, herr
+			}
+			buf := encodeBufPool.Get().(*bytes.Buffer)
+			buf.Reset()
+			if err := json.NewEncoder(buf).Encode(v); err != nil {
+				encodeBufPool.Put(buf)
+				return nil, &httpError{status: http.StatusInternalServerError, msg: "encoding response"}
+			}
+			out := append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+			encodeBufPool.Put(buf)
+			s.putCache(key, st.Generation, out)
+			return out, nil
+		})
+		if leader {
+			s.misses.Add(1)
+		} else {
+			s.coalesced.Add(1)
+		}
 		if herr != nil {
 			b, _ := json.Marshal(map[string]string{"error": herr.msg})
 			writeJSON(w, herr.status, append(b, '\n'))
 			return
 		}
-		b, err := json.Marshal(v)
-		if err != nil {
-			b, _ := json.Marshal(map[string]string{"error": "encoding response"})
-			writeJSON(w, http.StatusInternalServerError, append(b, '\n'))
-			return
-		}
-		b = append(b, '\n')
-		s.mu.Lock()
-		// The store may have swapped while computing; the key still
-		// names the generation the response was computed from, so
-		// caching it remains correct — the next request for the new
-		// generation misses and recomputes.
-		if len(s.cache) >= maxCacheEntries {
-			s.cache = map[string][]byte{}
-		}
-		s.cache[key] = b
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, b)
+		writeJSON(w, http.StatusOK, body)
 	}
+}
+
+// putCache inserts a computed 200 body — unless the store has swapped
+// since the computation started, in which case the entry would be
+// correct (its key names the old generation) but unreachable, and a
+// long miss landing after several swaps would strand dead bytes until
+// the next wholesale clear.
+func (s *Server) putCache(key, gen string, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur := s.store.Load(); cur == nil || cur.Generation != gen {
+		return
+	}
+	if len(s.cache) >= maxCacheEntries {
+		s.cache = map[string][]byte{}
+	}
+	s.cache[key] = body
 }
 
 func writeJSON(w http.ResponseWriter, status int, body []byte) {

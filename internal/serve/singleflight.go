@@ -1,0 +1,75 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent cache misses for the same key into
+// one computation. The serving cache is keyed by (generation,
+// normalized query) and a snapshot hot-swap clears it wholesale, so a
+// popular query's first miss after a swap arrives as a thundering
+// herd: without coalescing, every one of those requests would rebuild
+// the same response from the store at once. With it, the first caller
+// (the leader) computes; everyone else parks on the flight and shares
+// the leader's bytes.
+//
+// Keys embed the store generation, which is what keeps a mid-flight
+// hot swap from mixing generations: a request that resolves the new
+// store derives a different key, lands in a different flight, and
+// never joins a computation running against the old snapshot.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress computation. done is closed when body and
+// herr are final; n counts joined callers (leader included), which the
+// stampede test uses to park a deterministic herd before release.
+type flight struct {
+	done chan struct{}
+	n    int
+	body []byte
+	herr *httpError
+}
+
+// do returns the computed response for key, running compute exactly
+// once per concurrent group of callers. leader reports whether this
+// caller ran the computation (the caller that did counts the cache
+// miss; the rest count as coalesced).
+func (g *flightGroup) do(key string, compute func() ([]byte, *httpError)) (body []byte, herr *httpError, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		f.n++
+		g.mu.Unlock()
+		<-f.done
+		return f.body, f.herr, false
+	}
+	f := &flight{done: make(chan struct{}), n: 1}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// The flight is removed before done is closed: a caller arriving
+	// after that either hits the cache (the leader populated it before
+	// returning) or starts a fresh flight — it never joins a finished
+	// one.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.body, f.herr = compute()
+	return f.body, f.herr, true
+}
+
+// joined reports how many callers are parked on key's flight (leader
+// included), zero when no flight is open. Test instrumentation.
+func (g *flightGroup) joined(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.n
+	}
+	return 0
+}

@@ -46,6 +46,13 @@ type Store struct {
 	byC2     map[string][]int
 	byAttack map[string][]int
 
+	// Unfiltered position lists, built once so the no-filter fast
+	// path (the most common load-test query) doesn't allocate a full
+	// identity slice per request.
+	allSamples []int
+	allAttacks []int
+	c2Addrs    []string
+
 	headline results.Headlines
 	metrics  results.MetricsSection
 }
@@ -89,6 +96,19 @@ func BuildStore(ss *core.StudySnapshot, reg *obs.Registry) *Store {
 	for i, o := range s.ddos {
 		s.byAttack[o.Command.Attack.String()] = append(s.byAttack[o.Command.Attack.String()], i)
 	}
+	s.allSamples = make([]int, len(s.samples))
+	for i := range s.allSamples {
+		s.allSamples[i] = i
+	}
+	s.allAttacks = make([]int, len(s.ddos))
+	for i := range s.allAttacks {
+		s.allAttacks[i] = i
+	}
+	s.c2Addrs = make([]string, 0, len(s.c2s))
+	for a := range s.c2s {
+		s.c2Addrs = append(s.c2Addrs, a)
+	}
+	sort.Strings(s.c2Addrs)
 	return s
 }
 
@@ -116,11 +136,7 @@ func (s *Store) Samples(q SampleQuery) []int {
 		lists = append(lists, s.byC2[q.C2])
 	}
 	if len(lists) == 0 {
-		all := make([]int, len(s.samples))
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return s.allSamples
 	}
 	out := lists[0]
 	for _, l := range lists[1:] {
@@ -160,25 +176,15 @@ func (s *Store) C2(addr string) (*core.C2Record, []int) {
 	return s.c2s[addr], s.byC2[addr]
 }
 
-// C2Addresses lists every known endpoint, sorted.
-func (s *Store) C2Addresses() []string {
-	out := make([]string, 0, len(s.c2s))
-	for a := range s.c2s {
-		out = append(out, a)
-	}
-	sort.Strings(out)
-	return out
-}
+// C2Addresses lists every known endpoint, sorted. The returned slice
+// is the store's own — callers must not mutate it.
+func (s *Store) C2Addresses() []string { return s.c2Addrs }
 
 // Attacks returns the D-DDOS positions for an attack type, or every
 // position when typ is empty.
 func (s *Store) Attacks(typ string) []int {
 	if typ == "" {
-		all := make([]int, len(s.ddos))
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return s.allAttacks
 	}
 	return s.byAttack[typ]
 }

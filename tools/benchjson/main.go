@@ -8,6 +8,14 @@
 //
 // keeping ns/op, B/op, allocs/op, and any b.ReportMetric extras, plus
 // the goos/goarch/pkg/cpu header lines as run metadata.
+//
+// -merge FILE (repeatable) folds the result rows of an existing JSON
+// document — a previous benchjson run, or a cmd/malnetbench summary,
+// whose "results" arrays share this schema — into the output after
+// the stdin rows. That is how a load-test run lands next to the Go
+// benchmarks in one BENCH_<date>.json:
+//
+//	benchjson -merge BENCH_2026-08-07.json -merge load_summary.json </dev/null
 package main
 
 import (
@@ -36,7 +44,29 @@ type doc struct {
 	Results []result `json:"results"`
 }
 
+// multiFlag collects a repeatable -merge flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
+	var merges multiFlag
+	args := os.Args[1:]
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-merge" && len(args) > 1:
+			merges.Set(args[1])
+			args = args[2:]
+		case strings.HasPrefix(args[0], "-merge="):
+			merges.Set(strings.TrimPrefix(args[0], "-merge="))
+			args = args[1:]
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q (usage: benchjson [-merge FILE]... < bench.txt)\n", args[0])
+			os.Exit(2)
+		}
+	}
+
 	var d doc
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -61,8 +91,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	for _, path := range merges {
+		if err := mergeFile(&d, path); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	if len(d.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin and nothing merged")
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -71,6 +107,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// mergeFile appends the result rows of a benchjson-schema document
+// into d, adopting its run metadata when stdin supplied none (the
+// </dev/null -merge-only invocation).
+func mergeFile(d *doc, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var m doc
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(m.Results) == 0 {
+		return fmt.Errorf("%s has no results rows to merge", path)
+	}
+	if d.GOOS == "" {
+		d.GOOS = m.GOOS
+	}
+	if d.GOARCH == "" {
+		d.GOARCH = m.GOARCH
+	}
+	if d.Pkg == "" {
+		d.Pkg = m.Pkg
+	}
+	if d.CPU == "" {
+		d.CPU = m.CPU
+	}
+	d.Results = append(d.Results, m.Results...)
+	return nil
 }
 
 // parseLine decodes one benchmark result line. Fields come in

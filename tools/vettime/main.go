@@ -41,10 +41,12 @@ var banned = map[string]bool{
 }
 
 // allowed packages own a telemetry or real-network plane where wall
-// time is the point.
+// time is the point: obs (profiling), realprobe (real-TCP probing),
+// loadgen (latency measurement of a live daemon).
 var allowed = []string{
 	filepath.Join("internal", "obs"),
 	filepath.Join("internal", "realprobe"),
+	filepath.Join("internal", "loadgen"),
 }
 
 func main() {
