@@ -1,7 +1,8 @@
 // Command malnetbench load-tests a live malnetd: an open-loop HTTP
 // generator that replays a deterministic, zipf-distributed query
 // schedule (hot families, hot days, hot C2 endpoints dominating, the
-// long tail always arriving) against the /v1 API and reports
+// long tail always arriving) against the /v1 API — point lookups,
+// index pages, and /v1/query columnar aggregations — and reports
 // p50/p99/p999 latency, throughput, and error rate per endpoint.
 //
 //	go run ./cmd/malnetbench -target http://127.0.0.1:8377 \

@@ -9,6 +9,9 @@
 //	GET /v1/c2                  every known C2 endpoint, paginated
 //	GET /v1/c2/{addr}           one endpoint + the samples citing it
 //	GET /v1/attacks?type=&limit=&cursor=
+//	GET /v1/query?q=            columnar filter+aggregate expressions,
+//	                            e.g. family=="mirai" and day in
+//	                            100..200 | count() by c2
 //
 // While a study is still running, malnetd polls the directory and
 // hot-reloads newer snapshots: the indexed store is swapped

@@ -1,0 +1,196 @@
+package colstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseValid walks the grammar: every query here must parse and
+// validate, and the parsed shape must match the spot checks.
+func TestParseValid(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"| count()",
+		"| count() by family",
+		"| topk(5) by c2",
+		"| sum(detections)",
+		"| sum(retries) by disposition",
+		`family=="mirai"`,
+		`family != "gafgyt"`,
+		`family in ("mirai", "gafgyt", "tsunami")`,
+		"day in 100..200",
+		"day in 7..7",
+		"day <= 100 and detections > 3",
+		"retries in (0, 1, 2)",
+		`c2=="10.0.0.1:23" or attack=="UDP Flood"`,
+		`not family=="mirai" and not (day < 10 or day > 300)`,
+		`family=="mirai" and day in 100..200 | count() by c2`,
+		`disposition=="alive" | topk(3) by attack`,
+		`  family  ==  "mirai"  |  count ( )  by  family  `,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Validate(%q): %v", src, err)
+		}
+	}
+
+	q, err := Parse(`family=="mirai" and day in 100..200 | count() by c2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, ok := q.Filter.(*Logic)
+	if !ok || land.Op != "and" {
+		t.Fatalf("top filter node = %#v, want and", q.Filter)
+	}
+	if cmp, ok := land.X.(*Cmp); !ok || cmp.Field != "family" || cmp.Op != "==" || cmp.Str != "mirai" {
+		t.Fatalf("left operand = %#v", land.X)
+	}
+	if in, ok := land.Y.(*In); !ok || !in.IsRange || in.Lo != 100 || in.Hi != 200 {
+		t.Fatalf("right operand = %#v", land.Y)
+	}
+	if q.Agg.Fn != "count" || q.Agg.By != "c2" {
+		t.Fatalf("agg = %+v", q.Agg)
+	}
+
+	// Omitted stages default to all-rows count().
+	q, err = Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Filter != nil || q.Agg.Fn != "count" || q.Agg.By != "" {
+		t.Fatalf("empty query = %#v %+v", q.Filter, q.Agg)
+	}
+}
+
+// TestParseErrors pins the parser's and validator's error messages:
+// these are client-visible 400 bodies, so changes are deliberate.
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want string
+	}{
+		// lexer
+		{`family = "mirai"`, `pos 7: unexpected "=" (did you mean ==?)`},
+		{`family ! "mirai"`, `pos 7: unexpected "!" (did you mean !=?)`},
+		{`family=="mirai`, `pos 8: unterminated string literal`},
+		{`day in 1.5`, `pos 8: unexpected "." (ranges are written lo..hi)`},
+		{`day == 99999999999999999999`, `pos 7: integer "99999999999999999999" out of range`},
+		{`family=="mirai" ; | count()`, `pos 16: unexpected character ";"`},
+		// parser
+		{`family==`, `pos 8: expected a string or integer literal, got end of query`},
+		{`family`, `pos 6: expected a comparison operator or "in" after field "family", got end of query`},
+		{`day in`, `pos 6: expected a lo..hi range or a (v1, v2, ...) list after "in", got end of query`},
+		{`day in 100..`, `pos 12: expected the range's upper bound, got end of query`},
+		{`day in 200..100`, `pos 7: empty range 200..100 (lower bound exceeds upper)`},
+		{`family in ("mirai", 3)`, `pos 20: mixed string and integer literals in one list`},
+		{`family in ("mirai"`, `pos 18: expected ")", got end of query`},
+		{`(family=="mirai"`, `pos 16: expected ")", got end of query`},
+		{`by=="x"`, `pos 0: expected a field name, got reserved word "by"`},
+		{`| frobnicate()`, `pos 2: unknown aggregation "frobnicate" (want count, sum, or topk)`},
+		{`| count 5`, `pos 8: expected "(", got integer 5`},
+		{`| topk(5)`, `pos 9: topk needs a "by" group field`},
+		{`| count() by`, `pos 12: expected a field name, got end of query`},
+		{`family=="mirai" family=="gafgyt"`, `pos 16: unexpected "family" after complete query`},
+		{`| count() extra`, `pos 10: unexpected "extra" after complete query`},
+	} {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error %q", tc.src, tc.want)
+		}
+		if err.Error() != tc.want {
+			t.Fatalf("Parse(%q) error:\n got %q\nwant %q", tc.src, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestValidateErrors pins the type checker's messages the same way.
+func TestValidateErrors(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want string
+	}{
+		{`frobnicate=="x"`, `pos 0: unknown field "frobnicate" (known: attack, c2, day, detections, disposition, family, retries)`},
+		{`family==3`, `pos 0: field "family" holds strings; compare it to a quoted literal`},
+		{`day=="tuesday"`, `pos 0: field "day" holds integers; compare it to a number`},
+		{`family < "mirai"`, `pos 0: ordering operator "<" needs an integer field, and "family" holds strings`},
+		{`family in 1..3`, `pos 0: range lo..hi needs an integer field, and "family" holds strings`},
+		{`day in ("a", "b")`, `pos 0: field "day" holds integers; list numbers`},
+		{`family in (1, 2)`, `pos 0: field "family" holds strings; list quoted literals`},
+		{`not (day in 1..2 and family==3)`, `pos 21: field "family" holds strings; compare it to a quoted literal`},
+		{`| sum(family)`, `pos 2: sum needs an integer field, and "family" holds strings`},
+		{`| sum(bogus)`, `pos 2: unknown field "bogus" (known: attack, c2, day, detections, disposition, family, retries)`},
+		{`| count() by day`, `pos 2: group by needs a dictionary field (family, disposition, c2, attack), and "day" holds integers`},
+		{`| count() by bogus`, `pos 2: unknown group field "bogus" (known: attack, c2, day, detections, disposition, family, retries)`},
+		{`| topk(0) by family`, `pos 2: topk group count must be in 1..1000, got 0`},
+		{`| topk(5000) by family`, `pos 2: topk group count must be in 1..1000, got 5000`},
+	} {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): unexpected syntax error %v", tc.src, err)
+		}
+		verr := q.Validate()
+		if verr == nil {
+			t.Fatalf("Validate(%q) succeeded, want error %q", tc.src, tc.want)
+		}
+		if verr.Error() != tc.want {
+			t.Fatalf("Validate(%q) error:\n got %q\nwant %q", tc.src, verr.Error(), tc.want)
+		}
+	}
+}
+
+// FuzzQueryParse is the 4xx-safety contract for the expression
+// parser: arbitrary input never panics, never loops, and fails only
+// with a position-carrying *ParseError whose message is non-empty —
+// exactly what /v1/query turns into a 400 body. Inputs that parse
+// must also validate without panicking and, when valid, run against
+// an empty batch without panicking.
+func FuzzQueryParse(f *testing.F) {
+	f.Add("")
+	f.Add(`family=="mirai" and day in 100..200 | count() by c2`)
+	f.Add(`not (a=="b" or c!=3) | topk(10) by attack`)
+	f.Add(`day in (1,2,3) | sum(retries) by disposition`)
+	f.Add(`family=="mir`)
+	f.Add("| count() by")
+	f.Add("((((")
+	f.Add("in in in")
+	f.Add(`"unbalanced`)
+	f.Add("day..5 | | |")
+	empty := Encode(nil)
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("Parse(%q) returned a %T, want *ParseError", src, err)
+			}
+			if pe.Msg == "" || pe.Pos < 0 || pe.Pos > len(src) {
+				t.Fatalf("Parse(%q) error out of bounds: %+v", src, pe)
+			}
+			return
+		}
+		plan, err := empty.Compile(q)
+		if err != nil {
+			if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("Compile(%q) returned a %T, want *ParseError", src, err)
+			}
+			return
+		}
+		plan.Run()
+	})
+}
+
+// TestParseErrorsAre4xxSafe double-checks the property the fuzz
+// target asserts on its corpus: messages never echo raw control
+// bytes (they go into JSON error bodies as-is).
+func TestParseErrorsAre4xxSafe(t *testing.T) {
+	_, err := Parse("family==\x01\x02")
+	if err == nil {
+		t.Fatal("control bytes parsed")
+	}
+	if msg := err.Error(); strings.ContainsAny(msg, "\x01\x02") {
+		t.Fatalf("error message echoes raw control bytes: %q", msg)
+	}
+}

@@ -1,0 +1,130 @@
+package colstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"malnet/internal/detrand"
+)
+
+// QueryGen emits a deterministic stream of syntactically and
+// semantically valid query strings, with literals drawn from a
+// batch's actual vocabularies (plus a sprinkling of unknown values,
+// which are legal and must select nothing). Every choice is a pure
+// function of (seed, query index, choice role) via detrand, so the
+// differential suite replays the exact same queries on every run and
+// at every worker count — no math/rand state to thread.
+type QueryGen struct {
+	seed int64
+	i    int
+
+	fams, disps, c2s, attacks []string
+}
+
+// NewQueryGen builds a generator over b's vocabularies.
+func NewQueryGen(seed int64, b *Batch) *QueryGen {
+	return &QueryGen{
+		seed:    seed,
+		fams:    b.Vocab("family"),
+		disps:   b.Vocab("disposition"),
+		c2s:     b.Vocab("c2"),
+		attacks: b.Vocab("attack"),
+	}
+}
+
+// roll draws a uniform int in [0, n) for this query's choice role.
+func (g *QueryGen) roll(n int, role string) int {
+	return detrand.Intn(g.seed, n, "qgen", strconv.Itoa(g.i), role)
+}
+
+// pick draws from vocab, or an unknown literal ~1 time in 8 (and
+// always when the vocabulary is empty).
+func (g *QueryGen) pick(vocab []string, role string) string {
+	if len(vocab) == 0 || g.roll(8, role+"/unknown") == 0 {
+		return fmt.Sprintf("no-such-%s-%d", role, g.roll(99, role+"/unk-id"))
+	}
+	return vocab[g.roll(len(vocab), role)]
+}
+
+// Next emits query number i and advances the stream.
+func (g *QueryGen) Next() string {
+	defer func() { g.i++ }()
+	var b strings.Builder
+
+	// 0–3 predicates, joined and/or, occasionally negated.
+	nPred := g.roll(4, "npred")
+	for p := 0; p < nPred; p++ {
+		role := "pred" + strconv.Itoa(p)
+		if p > 0 {
+			if g.roll(3, role+"/conj") == 0 {
+				b.WriteString(" or ")
+			} else {
+				b.WriteString(" and ")
+			}
+		}
+		if g.roll(6, role+"/not") == 0 {
+			b.WriteString("not ")
+		}
+		b.WriteString(g.pred(role))
+	}
+
+	if agg := g.agg(); agg != "" {
+		if nPred > 0 {
+			b.WriteString(" | ")
+		} else {
+			b.WriteString("| ")
+		}
+		b.WriteString(agg)
+	}
+	return b.String()
+}
+
+// pred draws one comparison.
+func (g *QueryGen) pred(role string) string {
+	switch g.roll(9, role+"/shape") {
+	case 0:
+		return fmt.Sprintf("family==%q", g.pick(g.fams, role+"/family"))
+	case 1:
+		return fmt.Sprintf("family!=%q", g.pick(g.fams, role+"/family"))
+	case 2:
+		return fmt.Sprintf("family in (%q, %q)",
+			g.pick(g.fams, role+"/fam-a"), g.pick(g.fams, role+"/fam-b"))
+	case 3:
+		return fmt.Sprintf("disposition==%q", g.pick(g.disps, role+"/disp"))
+	case 4:
+		return fmt.Sprintf("c2==%q", g.pick(g.c2s, role+"/c2"))
+	case 5:
+		return fmt.Sprintf("attack==%q", g.pick(g.attacks, role+"/attack"))
+	case 6:
+		lo := g.roll(400, role+"/day-lo")
+		return fmt.Sprintf("day in %d..%d", lo, lo+g.roll(120, role+"/day-span"))
+	case 7:
+		ops := []string{"<", "<=", ">", ">=", "==", "!="}
+		return fmt.Sprintf("day %s %d", ops[g.roll(len(ops), role+"/day-op")], g.roll(400, role+"/day"))
+	default:
+		if g.roll(2, role+"/ctr") == 0 {
+			return fmt.Sprintf("detections >= %d", g.roll(9, role+"/det"))
+		}
+		return fmt.Sprintf("retries == %d", g.roll(4, role+"/retries"))
+	}
+}
+
+// agg draws the aggregation stage ("" keeps the implicit count()).
+func (g *QueryGen) agg() string {
+	groups := []string{"family", "disposition", "c2", "attack"}
+	by := groups[g.roll(len(groups), "agg/by")]
+	switch g.roll(6, "agg/shape") {
+	case 0:
+		return ""
+	case 1:
+		return "count()"
+	case 2, 3:
+		return "count() by " + by
+	case 4:
+		args := []string{"detections", "retries", "day"}
+		return fmt.Sprintf("sum(%s) by %s", args[g.roll(len(args), "agg/sum-arg")], by)
+	default:
+		return fmt.Sprintf("topk(%d) by %s", 1+g.roll(20, "agg/k"), by)
+	}
+}

@@ -1,0 +1,167 @@
+package colstore
+
+import (
+	"malnet/internal/core"
+	"malnet/internal/world"
+)
+
+// RefEval is the row-at-a-time reference evaluator: the same query
+// semantics as Batch.Compile + Plan.Run, written the naive way —
+// walk every record, compare strings, accumulate in maps. It exists
+// for two reasons: the differential suite asserts the vectorized
+// engine returns byte-identical results to this one across thousands
+// of generated queries, and the benchmarks quantify what the
+// columnar encoding buys over it.
+func RefEval(q *Query, samples []*core.SampleRecord) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	start := world.StudyStart().Unix()
+	res := &Result{Agg: q.Agg.Fn, By: q.Agg.By}
+
+	var scalar int64
+	sums := map[string]int64{}
+	counts := map[string]int64{}
+	var scratch []string
+	for _, rec := range samples {
+		if q.Filter != nil && !refMatch(q.Filter, rec, start) {
+			continue
+		}
+		res.Matched++
+		a := q.Agg
+		switch {
+		case a.By == "" && a.Fn == "sum":
+			scalar += refInt(a.Arg, rec, start)
+		case a.By == "":
+			scalar++
+		default:
+			val := int64(1)
+			if a.Fn == "sum" {
+				val = refInt(a.Arg, rec, start)
+			}
+			if sampleSchema[a.By] == kindList {
+				for _, key := range refList(a.By, rec, scratch[:0]) {
+					counts[key]++
+					sums[key] += val
+				}
+			} else {
+				key := refStr(a.By, rec)
+				counts[key]++
+				sums[key] += val
+			}
+		}
+	}
+
+	if q.Agg.By == "" {
+		res.Rows = []ResultRow{{Value: scalar}}
+		return res, nil
+	}
+	acc := counts
+	if q.Agg.Fn == "sum" {
+		acc = sums
+	}
+	rows := make([]ResultRow, 0, len(counts))
+	for key := range counts { // counts keys = groups with a selected row
+		rows = append(rows, ResultRow{Key: key, Value: acc[key]})
+	}
+	res.Rows = finishGroups(rows, q.Agg)
+	return res, nil
+}
+
+// refMatch evaluates a filter node against one record.
+func refMatch(e Expr, rec *core.SampleRecord, start int64) bool {
+	switch e := e.(type) {
+	case *Not:
+		return !refMatch(e.X, rec, start)
+	case *Logic:
+		if e.Op == "and" {
+			return refMatch(e.X, rec, start) && refMatch(e.Y, rec, start)
+		}
+		return refMatch(e.X, rec, start) || refMatch(e.Y, rec, start)
+	case *Cmp:
+		switch sampleSchema[e.Field] {
+		case kindDict:
+			eq := refStr(e.Field, rec) == e.Str
+			if e.Op == "!=" {
+				return !eq
+			}
+			return eq
+		case kindList:
+			any := false
+			for _, v := range refList(e.Field, rec, nil) {
+				if v == e.Str {
+					any = true
+					break
+				}
+			}
+			if e.Op == "!=" {
+				return !any
+			}
+			return any
+		default:
+			v := refInt(e.Field, rec, start)
+			switch e.Op {
+			case "==":
+				return v == e.Int
+			case "!=":
+				return v != e.Int
+			case "<":
+				return v < e.Int
+			case "<=":
+				return v <= e.Int
+			case ">":
+				return v > e.Int
+			default:
+				return v >= e.Int
+			}
+		}
+	case *In:
+		switch sampleSchema[e.Field] {
+		case kindDict:
+			return containsStr(e.Strs, refStr(e.Field, rec))
+		case kindList:
+			for _, v := range refList(e.Field, rec, nil) {
+				if containsStr(e.Strs, v) {
+					return true
+				}
+			}
+			return false
+		default:
+			v := refInt(e.Field, rec, start)
+			if e.IsRange {
+				return v >= e.Lo && v <= e.Hi
+			}
+			for _, x := range e.Ints {
+				if v == x {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func refStr(field string, rec *core.SampleRecord) string {
+	if field == "family" {
+		return rec.Family
+	}
+	return rec.Disposition.String()
+}
+
+func refList(field string, rec *core.SampleRecord, buf []string) []string {
+	if field == "c2" {
+		return rowC2s(rec, buf)
+	}
+	return rowAttacks(rec, buf)
+}
+
+func refInt(field string, rec *core.SampleRecord, start int64) int64 {
+	switch field {
+	case "day":
+		return dayOf(rec, start)
+	case "retries":
+		return int64(rec.C2Retries)
+	}
+	return int64(rec.Detections)
+}

@@ -87,7 +87,7 @@ func TestScheduleMix(t *testing.T) {
 			}
 		}
 	}
-	for _, ep := range []string{"samples", "c2_point", "c2_index", "attacks", "headline", "metrics"} {
+	for _, ep := range []string{"samples", "c2_point", "c2_index", "attacks", "query", "headline", "metrics"} {
 		if counts[ep] == 0 {
 			t.Fatalf("endpoint %s never scheduled in %d draws: %v", ep, n, counts)
 		}
@@ -140,7 +140,7 @@ func TestRunAgainstStub(t *testing.T) {
 		}
 		fmt.Fprintln(w, `{"record":{}}`)
 	})
-	for _, p := range []string{"/v1/samples", "/v1/attacks", "/v1/metrics"} {
+	for _, p := range []string{"/v1/samples", "/v1/attacks", "/v1/query", "/v1/metrics"} {
 		mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
 			hits.Add(1)
 			fmt.Fprintln(w, `{}`)

@@ -21,6 +21,7 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"net/url"
 )
 
 // Query is one scheduled request. Endpoint is the latency bucket the
@@ -82,20 +83,45 @@ func NewSchedule(seed int64) *Schedule {
 // Next emits the next scheduled query.
 func (s *Schedule) Next() Query {
 	switch roll := s.rng.Intn(100); {
-	case roll < 55:
+	case roll < 50:
 		return s.samplesQuery()
-	case roll < 75:
+	case roll < 68:
 		rank := int(s.c2Zipf.Uint64())
 		return Query{Endpoint: "c2_point", Path: fmt.Sprintf("/v1/c2/{rank-%d}", rank), C2Rank: rank}
-	case roll < 83:
+	case roll < 76:
 		return Query{Endpoint: "c2_index", Path: fmt.Sprintf("/v1/c2?limit=%d", s.limit()), C2Rank: -1}
-	case roll < 93:
+	case roll < 84:
 		return Query{Endpoint: "attacks", Path: fmt.Sprintf("/v1/attacks?limit=%d", s.limit()), C2Rank: -1}
+	case roll < 94:
+		return s.queryQuery()
 	case roll < 97:
 		return Query{Endpoint: "headline", Path: "/v1/headline", C2Rank: -1}
 	default:
 		return Query{Endpoint: "metrics", Path: "/v1/metrics", C2Rank: -1}
 	}
+}
+
+// queryQuery draws a /v1/query expression: grouped aggregations over
+// a zipf-hot family (the dashboard refresh shape, cache-friendly) in
+// the head, filtered day-window scans in the body, and a topk over
+// the whole store in the tail. The expression is URL-escaped into the
+// q parameter by hand — the vocabulary is ASCII, so %-escaping quotes
+// and spaces is all it takes, and the schedule stays readable.
+func (s *Schedule) queryQuery() Query {
+	family := canonicalFamilies[s.famZipf.Uint64()]
+	day := int(s.dayZipf.Uint64())
+	var expr string
+	switch roll := s.rng.Intn(100); {
+	case roll < 40:
+		expr = fmt.Sprintf("family==%q | count() by c2", family)
+	case roll < 65:
+		expr = fmt.Sprintf("family==%q and day in %d..%d | count() by attack", family, day, day+30)
+	case roll < 85:
+		expr = fmt.Sprintf("day in %d..%d | sum(detections) by family", day, day+7)
+	default:
+		expr = "| topk(10) by c2"
+	}
+	return Query{Endpoint: "query", Path: "/v1/query?q=" + url.QueryEscape(expr), C2Rank: -1}
 }
 
 // samplesQuery draws the /v1/samples filter shape: family-only is the

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"malnet/internal/colstore"
 	"malnet/internal/core"
 	"malnet/internal/obs"
 	"malnet/internal/results"
@@ -112,6 +113,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/attacks", s.cached(s.handleAttacks))
 	mux.HandleFunc("GET /v1/c2", s.cached(s.handleC2Index))
 	mux.HandleFunc("GET /v1/c2/{addr}", s.cached(s.handleC2))
+	mux.HandleFunc("GET /v1/query", s.cached(s.handleQuery))
 	return mux
 }
 
@@ -449,6 +451,36 @@ func (s *Server) handleC2Index(st *Store, r *http.Request) (any, *httpError) {
 		pageEnvelope
 		Addresses []string `json:"addresses"`
 	}{envelope(st, len(addrs), cursor, len(pg)), pg}, nil
+}
+
+// handleQuery is the vectorized filter+aggregate endpoint: ?q= holds
+// a colstore expression (`family=="mirai" and day in 100..200 |
+// count() by c2`), parsed and type-checked per request — malformed
+// queries are 400s carrying the parser's position — then compiled to
+// kernel calls over the store's columnar batch. Responses ride the
+// same generation-keyed cache, singleflight, and hot-swap machinery
+// as every other endpoint: the query string is part of the cache
+// key, and a repeated aggregation is a cache hit that never touches
+// the columns.
+func (s *Server) handleQuery(st *Store, r *http.Request) (any, *httpError) {
+	if herr := checkParams(r, "q"); herr != nil {
+		return nil, herr
+	}
+	src := r.URL.Query().Get("q")
+	q, err := colstore.Parse(src)
+	if err != nil {
+		return nil, badRequest("q: %v", err)
+	}
+	plan, err := st.batch.Compile(q)
+	if err != nil {
+		return nil, badRequest("q: %v", err)
+	}
+	return struct {
+		Generation string           `json:"generation"`
+		Day        int              `json:"day"`
+		Query      string           `json:"query"`
+		Result     *colstore.Result `json:"result"`
+	}{Generation: st.Generation, Day: st.Day, Query: src, Result: plan.Run()}, nil
 }
 
 func (s *Server) handleC2(st *Store, r *http.Request) (any, *httpError) {

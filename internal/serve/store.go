@@ -16,6 +16,7 @@ package serve
 import (
 	"sort"
 
+	"malnet/internal/colstore"
 	"malnet/internal/core"
 	"malnet/internal/obs"
 	"malnet/internal/results"
@@ -52,6 +53,11 @@ type Store struct {
 	allSamples []int
 	allAttacks []int
 	c2Addrs    []string
+
+	// batch is the columnar mirror of the sample table: the /v1/query
+	// engine's dictionary-encoded columns and kernels live in
+	// internal/colstore; the row store keeps serving point lookups.
+	batch *colstore.Batch
 
 	headline results.Headlines
 	metrics  results.MetricsSection
@@ -109,8 +115,13 @@ func BuildStore(ss *core.StudySnapshot, reg *obs.Registry) *Store {
 		s.c2Addrs = append(s.c2Addrs, a)
 	}
 	sort.Strings(s.c2Addrs)
+	s.batch = colstore.Encode(s.samples)
 	return s
 }
+
+// Batch is the store's columnar sample table, the /v1/query engine's
+// scan target. Like every Store field it is write-once at build time.
+func (s *Store) Batch() *colstore.Batch { return s.batch }
 
 // SampleQuery is the /v1/samples filter: zero-valued fields don't
 // constrain. Day is a study-day index; -1 means any day.

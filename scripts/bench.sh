@@ -32,6 +32,6 @@ for f in ${MERGE:-}; do
 done
 
 echo "running benchmarks (-bench '$pattern' -benchtime $benchtime)..." >&2
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . ./internal/serve/ | tee "$tmp" >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . ./internal/serve/ ./internal/colstore/ | tee "$tmp" >&2
 go run ./tools/benchjson ${merge_flags[@]+"${merge_flags[@]}"} <"$tmp" >"$out"
 echo "wrote $out" >&2

@@ -51,8 +51,32 @@ check() { # <golden-file> <path>
   fi
 }
 
+check_status() { # <golden-file> <want-status> <path>
+  local name="$1" want="$2" path="$3" got
+  got="$(curl -sS -o "$tmp/$name" -w '%{http_code}' "$base$path")"
+  if [ "$got" != "$want" ]; then
+    echo "smoke: $path returned HTTP $got, want $want" >&2
+    status=1
+    return
+  fi
+  if [ "$mode" = "-update" ]; then
+    cp "$tmp/$name" "$golden/$name"
+    echo "updated $golden/$name" >&2
+  elif ! diff -u "$golden/$name" "$tmp/$name"; then
+    echo "smoke: $path drifted from $golden/$name" >&2
+    status=1
+  fi
+}
+
 check serve_headline.json "/v1/headline"
 check serve_samples.json "/v1/samples?family=mirai&limit=2"
+# /v1/query expressions, pre-escaped: %3D%3D is ==, %20 space, %22 ".
+check serve_query_count.json "/v1/query?q=%7C%20count()%20by%20family"
+check serve_query_filter.json "/v1/query?q=family%3D%3D%22mirai%22%20and%20day%20in%200..365%20%7C%20count()%20by%20c2"
+check serve_query_topk.json "/v1/query?q=%7C%20topk(3)%20by%20attack"
+# A malformed expression must be a stable 400, not a 500 — the error
+# body (with the parser's position) is part of the API surface.
+check_status serve_query_bad.json 400 "/v1/query?q=family%3D%3D"
 
 [ "$status" -eq 0 ] && echo "serve smoke OK ($base)" >&2
 exit "$status"

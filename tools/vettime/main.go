@@ -13,6 +13,14 @@
 // pattern that makes snapshot writes atomic. A direct write could
 // leave a half-written day-NNN.ckpt for a resume to trip over.
 //
+// And it holds internal/colstore to a stricter purity rule: non-test
+// files there may not import "time" or "math/rand" at all. The
+// columnar engine's differential suite replays generated queries
+// across worker counts and sessions, so even seeded-but-stateful
+// randomness (a shared *rand.Rand advancing per call) is a hazard;
+// colstore draws every choice through internal/detrand's pure hash
+// instead.
+//
 // Usage:  go run ./tools/vettime [dir]     (default ./internal)
 //
 // Exits 1 listing each offending call site. _test.go files are
@@ -80,6 +88,9 @@ func main() {
 		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "checkpoint")) {
 			findings = append(findings, checkAtomicWrites(fset, file, path)...)
 		}
+		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "colstore")) {
+			findings = append(findings, checkPureImports(fset, file)...)
+		}
 		return nil
 	})
 	if err != nil {
@@ -144,6 +155,28 @@ func checkAtomicWrites(fset *token.FileSet, file *ast.File, path string) []strin
 		return nil
 	}
 	return creators
+}
+
+// impureImports are whole packages banned from internal/colstore:
+// the query engine and its generator must be pure functions of their
+// inputs, with randomness routed through internal/detrand's stateless
+// hash.
+var impureImports = map[string]bool{
+	"time": true, "math/rand": true, "math/rand/v2": true,
+}
+
+// checkPureImports flags internal/colstore files that import a banned
+// package, whatever they do with it.
+func checkPureImports(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	for _, imp := range file.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); impureImports[p] {
+			out = append(out, fmt.Sprintf(
+				"%s: colstore imports %q — the columnar engine must stay pure (use internal/detrand)",
+				fset.Position(imp.Pos()), p))
+		}
+	}
+	return out
 }
 
 // check scans one file for selector uses of the banned functions on
