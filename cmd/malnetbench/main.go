@@ -17,7 +17,12 @@
 // With the daemon's -debug-addr passed as -debug, the summary also
 // reports server-side allocs per request, sampled from the daemon's
 // expvar memstats — the binary-centric view of what each query costs
-// the serving process.
+// the serving process — and scrapes the daemon's /metrics exposition
+// before and after the run: the "server" rows carry the daemon's own
+// RED deltas for the same burst (request counts, 5xx, cache
+// hit/miss/coalesced, rows scanned) plus histogram-interpolated
+// p50/p99/p999 service time. Client p99 minus server p99 is the
+// queueing the daemon never saw.
 //
 // The summary is JSON; its "results" rows use the same schema as
 // tools/benchjson, so a load run merges into the repo's archived
@@ -103,5 +108,13 @@ func report(sum *loadgen.Summary) {
 	for _, ep := range sum.Endpoints {
 		fmt.Fprintf(os.Stderr, "  %-10s %7d req  p50 %8.0fns  p99 %8.0fns  p999 %8.0fns  err %d\n",
 			ep.Endpoint, ep.Requests, ep.P50Ns, ep.P99Ns, ep.P999Ns, ep.Errors)
+	}
+	if len(sum.Server) > 0 {
+		fmt.Fprintf(os.Stderr, "  server-side (/metrics deltas; service time, no client queueing):\n")
+		for _, ep := range sum.Server {
+			fmt.Fprintf(os.Stderr, "  %-10s %7d req  p50 %8.0fns  p99 %8.0fns  p999 %8.0fns  5xx %d  hit/miss/coal %d/%d/%d\n",
+				ep.Endpoint, ep.Requests, ep.P50Ns, ep.P99Ns, ep.P999Ns, ep.Errors,
+				ep.CacheHit, ep.CacheMiss, ep.CacheCoal)
+		}
 	}
 }

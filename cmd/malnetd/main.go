@@ -20,7 +20,13 @@
 // which is what makes the smoke test's golden-JSON diff possible.
 //
 // The serving library (internal/serve) never reads the wall clock;
-// the reload ticker lives here, in the command.
+// the reload ticker lives here, in the command, and request timing is
+// delegated to internal/obs/redplane — the one serving-path package
+// allowed to touch `time`. With -debug-addr set, the debug listener
+// additionally exposes per-endpoint RED metrics in Prometheus text
+// format at /metrics and a slow-query ring at /debug/slowlog
+// (threshold via -slowlog-threshold); -access-log FILE appends one
+// JSON line per request.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 
 	"malnet/internal/cli"
 	"malnet/internal/obs"
+	"malnet/internal/obs/redplane"
 	"malnet/internal/serve"
 )
 
@@ -40,6 +47,9 @@ func main() {
 	dir := flag.String("checkpoint-dir", "", "directory of day-NNN.ckpt study snapshots to serve (required)")
 	listen := flag.String("listen", "127.0.0.1:8377", "address to serve the /v1 API on (use :0 for an ephemeral port)")
 	reload := flag.Duration("reload-every", 5*time.Second, "how often to check -checkpoint-dir for a newer snapshot (0 = never)")
+	accessLog := flag.String("access-log", "", "append one JSON line per request (id, endpoint, status, stages) to FILE")
+	slowThreshold := flag.Duration("slowlog-threshold", 250*time.Millisecond, "record requests at least this slow in /debug/slowlog (0 = record everything, negative = disable)")
+	slowCap := flag.Int("slowlog-cap", 64, "how many recent slow requests /debug/slowlog retains")
 	var obsFlags cli.ObsFlags
 	obsFlags.RegisterDebug(flag.CommandLine)
 	flag.Parse()
@@ -50,8 +60,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	redOpts := redplane.Options{SlowThreshold: *slowThreshold, SlowCap: *slowCap}
+	if *accessLog != "" {
+		fh, err := os.OpenFile(*accessLog, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		redOpts.AccessLog = fh
+	}
+	red := redplane.New(redOpts)
+
 	wall := obs.NewWall()
-	srv, err := serve.New(*dir, wall)
+	srv, err := serve.New(*dir, wall, serve.WithRedPlane(red))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
 		os.Exit(1)
@@ -65,13 +87,13 @@ func main() {
 
 	if obsFlags.DebugAddr != "" {
 		wall.PublishExpvar("malnetd")
-		dbg, addr, err := obs.ServeDebug(obsFlags.DebugAddr, wall)
+		dbg, addr, err := obs.ServeDebug(obsFlags.DebugAddr, wall, red.Mount)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
 			os.Exit(1)
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/wall)\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /metrics, /debug/slowlog, /debug/vars, /debug/wall)\n", addr)
 	}
 
 	if *reload > 0 {

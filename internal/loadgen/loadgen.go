@@ -86,6 +86,9 @@ type Summary struct {
 	ThroughputRPS  float64           `json:"throughput_rps"`
 	ServerAllocsOp *float64          `json:"server_allocs_per_op,omitempty"`
 	Endpoints      []EndpointSummary `json:"endpoints,omitempty"`
+	// Server holds the daemon's own RED view of the run window,
+	// scraped from its /metrics before and after (needs DebugAddr).
+	Server         []ServerEndpoint  `json:"server,omitempty"`
 	Schedule       []Query           `json:"schedule,omitempty"`
 	Results        []BenchRow        `json:"results,omitempty"`
 }
@@ -145,6 +148,9 @@ func Run(cfg Config) (*Summary, error) {
 		return nil, err
 	}
 	mallocs0, haveMallocs := serverMallocs(client, cfg.DebugAddr)
+	// The pre-run scrape happens after discover, so the discovery
+	// requests themselves are excluded from the server-side deltas.
+	scrape0, haveScrape := scrapeMetrics(client, cfg.DebugAddr)
 
 	// The queue is sized for the whole open-loop backlog: a stalled
 	// daemon must never push back on the arrival process.
@@ -200,7 +206,12 @@ func Run(cfg Config) (*Summary, error) {
 			sum.ServerAllocsOp = &v
 		}
 	}
-	sum.Results = benchRows(sum)
+	if haveScrape {
+		if scrape1, ok := scrapeMetrics(client, cfg.DebugAddr); ok {
+			sum.Server = serverDeltas(scrape0, scrape1)
+		}
+	}
+	sum.Results = append(benchRows(sum), serverBenchRows(sum.Server)...)
 	return sum, nil
 }
 

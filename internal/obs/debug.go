@@ -11,16 +11,21 @@ import (
 // ServeDebug starts an HTTP debug server on addr exposing
 // /debug/pprof/* (live CPU/heap/goroutine profiling), /debug/vars
 // (expvar, including any published Wall), and /debug/wall (the wall
-// profile alone as JSON). It returns the server and the bound
-// address (useful with ":0"). The server runs until Close; it only
-// reads the wall-clock plane, so serving it during a study cannot
-// perturb deterministic outputs.
-func ServeDebug(addr string, wall *Wall) (*http.Server, string, error) {
+// profile alone as JSON). Optional mount hooks run against the debug
+// mux before the server starts — that is how the serving red plane
+// adds /metrics and /debug/slowlog without this package importing it.
+// It returns the server and the bound address (useful with ":0").
+// The server runs until Close; it only reads the wall-clock plane,
+// so serving it during a study cannot perturb deterministic outputs.
+func ServeDebug(addr string, wall *Wall, mounts ...func(mux *http.ServeMux)) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	mux := http.NewServeMux()
+	for _, mount := range mounts {
+		mount(mux)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

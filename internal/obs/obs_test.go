@@ -171,6 +171,7 @@ func TestWallConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	w.SetGauge("depth", func() int64 { return 42 })
+	w.SetCounter("served", func() int64 { return 800 })
 	snap := w.Snapshot()
 	stages := snap["stages"].(map[string]any)
 	if stages["busy"].(map[string]int64)["count"] != 800 {
@@ -178,5 +179,25 @@ func TestWallConcurrent(t *testing.T) {
 	}
 	if snap["gauges"].(map[string]int64)["depth"] != 42 {
 		t.Fatalf("gauge: %v", snap)
+	}
+	if snap["counters"].(map[string]int64)["served"] != 800 {
+		t.Fatalf("counter: %v", snap)
+	}
+}
+
+func TestHistogramBucketAccessors(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	if got := h.Bounds(); len(got) != 2 || got[0] != 10 || got[1] != 100 {
+		t.Fatalf("bounds = %v", got)
+	}
+	if got := h.BucketCounts(); len(got) != 3 || got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("bucket counts = %v", got)
+	}
+	var nilH *Histogram
+	if nilH.Bounds() != nil || nilH.BucketCounts() != nil {
+		t.Fatal("nil histogram exposes buckets")
 	}
 }

@@ -61,6 +61,13 @@ type Histogram struct {
 	n      int64
 }
 
+// NewHistogram returns an empty histogram with the given sorted
+// inclusive upper bucket bounds. Standalone constructor for callers
+// (the serving red plane) that manage histograms outside a Registry.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
 // Observe records one observation.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
@@ -70,6 +77,25 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i]++
 	h.sum += v
 	h.n++
+}
+
+// Bounds returns the histogram's inclusive upper bucket bounds. The
+// returned slice is the histogram's own — callers must not mutate it.
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the per-bucket observation counts
+// (len(Bounds())+1; the last entry is the +Inf bucket). The returned
+// slice is the histogram's own — callers must not mutate it.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	return h.counts
 }
 
 // Count returns the number of observations.

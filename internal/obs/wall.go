@@ -14,9 +14,10 @@ import (
 // design. Nothing here ever flows into the deterministic snapshot
 // or the journal. A nil Wall absorbs all calls.
 type Wall struct {
-	mu     sync.Mutex
-	stages map[string]*wallStage
-	gauges map[string]func() int64
+	mu       sync.Mutex
+	stages   map[string]*wallStage
+	gauges   map[string]func() int64
+	counters map[string]func() int64
 }
 
 type wallStage struct {
@@ -26,7 +27,11 @@ type wallStage struct {
 
 // NewWall returns an empty wall profile.
 func NewWall() *Wall {
-	return &Wall{stages: map[string]*wallStage{}, gauges: map[string]func() int64{}}
+	return &Wall{
+		stages:   map[string]*wallStage{},
+		gauges:   map[string]func() int64{},
+		counters: map[string]func() int64{},
+	}
 }
 
 // Timer starts timing one occurrence of stage and returns the stop
@@ -66,8 +71,24 @@ func (w *Wall) SetGauge(name string, fn func() int64) {
 	w.mu.Unlock()
 }
 
+// SetCounter registers (or replaces) a func-backed monotone counter,
+// read on demand at snapshot time. Counters and gauges share the
+// namespace of live values but are reported separately: a counter
+// only ever goes up (request totals, cache hits), a gauge is a level
+// (in-flight requests, queue depth). fn must be safe to call from any
+// goroutine.
+func (w *Wall) SetCounter(name string, fn func() int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.counters[name] = fn
+	w.mu.Unlock()
+}
+
 // Snapshot returns the current profile as a JSON-friendly map:
-// {"stages": {name: {count, total_ns, mean_ns}}, "gauges": {name: v}}.
+// {"stages": {name: {count, total_ns, mean_ns}}, "gauges": {name: v},
+// "counters": {name: v}}.
 func (w *Wall) Snapshot() map[string]any {
 	if w == nil {
 		return nil
@@ -81,23 +102,38 @@ func (w *Wall) Snapshot() map[string]any {
 		}
 		stages[name] = map[string]int64{"count": s.count, "total_ns": s.nanos, "mean_ns": mean}
 	}
-	fns := make(map[string]func() int64, len(w.gauges))
+	gaugeFns := make(map[string]func() int64, len(w.gauges))
 	for name, fn := range w.gauges {
-		fns[name] = fn
+		gaugeFns[name] = fn
+	}
+	counterFns := make(map[string]func() int64, len(w.counters))
+	for name, fn := range w.counters {
+		counterFns[name] = fn
 	}
 	w.mu.Unlock()
-	// Gauge functions run outside the lock: they may touch other
-	// structures (channel lengths) and must not deadlock through us.
-	gauges := map[string]int64{}
+	// Gauge and counter functions run outside the lock: they may touch
+	// other structures (channel lengths) and must not deadlock through
+	// us.
+	return map[string]any{
+		"stages":   stages,
+		"gauges":   readLiveValues(gaugeFns),
+		"counters": readLiveValues(counterFns),
+	}
+}
+
+// readLiveValues evaluates func-backed live values in sorted name
+// order, so snapshots of the same state render stably.
+func readLiveValues(fns map[string]func() int64) map[string]int64 {
+	out := map[string]int64{}
 	names := make([]string, 0, len(fns))
 	for name := range fns {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		gauges[name] = fns[name]()
+		out[name] = fns[name]()
 	}
-	return map[string]any{"stages": stages, "gauges": gauges}
+	return out
 }
 
 // PublishExpvar exposes the wall profile as the named expvar (served

@@ -14,6 +14,7 @@ import (
 	"malnet/internal/colstore"
 	"malnet/internal/core"
 	"malnet/internal/obs"
+	"malnet/internal/obs/redplane"
 	"malnet/internal/results"
 )
 
@@ -41,6 +42,22 @@ type Server struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
+
+	// red is the serving-plane observability hub (RED metrics,
+	// request spans, access + slow-query logs). Optional: a nil plane
+	// absorbs every call, so an unobserved daemon pays one nil check
+	// per request.
+	red *redplane.Plane
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithRedPlane arms per-request observability: every request gets a
+// span threaded through cache lookup → singleflight → scan → encode,
+// and the plane's RED metrics/slow-query ring see every response.
+func WithRedPlane(p *redplane.Plane) Option {
+	return func(s *Server) { s.red = p }
 }
 
 // maxCacheEntries bounds cache memory. The cache is cleared (not
@@ -52,8 +69,16 @@ const maxCacheEntries = 4096
 // New opens the checkpoint directory and builds the first store. It
 // fails when dir holds no loadable snapshot — a daemon with nothing
 // to serve should say so at startup, not 500 forever.
-func New(dir string, wall *obs.Wall) (*Server, error) {
+//
+// Wall exposition: levels (requests_in_flight, store_generation,
+// cache_hit_pct) are gauges; monotone totals (cache_hits,
+// cache_misses, cache_coalesced) are counters — see DESIGN.md's
+// expvar key table.
+func New(dir string, wall *obs.Wall, opts ...Option) (*Server, error) {
 	s := &Server{dir: dir, cache: map[string][]byte{}}
+	for _, opt := range opts {
+		opt(s)
+	}
 	changed, err := s.Reload()
 	if err != nil {
 		return nil, err
@@ -63,9 +88,9 @@ func New(dir string, wall *obs.Wall) (*Server, error) {
 	}
 	wall.SetGauge("serve.requests_in_flight", s.inflight.Load)
 	wall.SetGauge("serve.store_generation", s.swaps.Load)
-	wall.SetGauge("serve.cache_hits", s.hits.Load)
-	wall.SetGauge("serve.cache_misses", s.misses.Load)
-	wall.SetGauge("serve.cache_coalesced", s.coalesced.Load)
+	wall.SetCounter("serve.cache_hits", s.hits.Load)
+	wall.SetCounter("serve.cache_misses", s.misses.Load)
+	wall.SetCounter("serve.cache_coalesced", s.coalesced.Load)
 	wall.SetGauge("serve.cache_hit_pct", func() int64 {
 		h, m := s.hits.Load(), s.misses.Load()
 		if h+m == 0 {
@@ -98,22 +123,26 @@ func (s *Server) Reload() (bool, error) {
 	}
 	s.store.Store(BuildStore(ss, reg))
 	s.swaps.Add(1)
+	s.red.StoreSwapped()
 	s.mu.Lock()
 	s.cache = map[string][]byte{}
 	s.mu.Unlock()
 	return true, nil
 }
 
-// Handler returns the /v1 API handler.
+// Handler returns the /v1 API handler. The endpoint labels handed to
+// cached are the RED-metric `endpoint` label values; they match the
+// latency-bucket names cmd/malnetbench reports client-side, so the
+// two views of one load run diff column-for-column.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/headline", s.cached(s.handleHeadline))
-	mux.HandleFunc("GET /v1/metrics", s.cached(s.handleMetrics))
-	mux.HandleFunc("GET /v1/samples", s.cached(s.handleSamples))
-	mux.HandleFunc("GET /v1/attacks", s.cached(s.handleAttacks))
-	mux.HandleFunc("GET /v1/c2", s.cached(s.handleC2Index))
-	mux.HandleFunc("GET /v1/c2/{addr}", s.cached(s.handleC2))
-	mux.HandleFunc("GET /v1/query", s.cached(s.handleQuery))
+	mux.HandleFunc("GET /v1/headline", s.cached("headline", s.handleHeadline))
+	mux.HandleFunc("GET /v1/metrics", s.cached("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/samples", s.cached("samples", s.handleSamples))
+	mux.HandleFunc("GET /v1/attacks", s.cached("attacks", s.handleAttacks))
+	mux.HandleFunc("GET /v1/c2", s.cached("c2_index", s.handleC2Index))
+	mux.HandleFunc("GET /v1/c2/{addr}", s.cached("c2_point", s.handleC2))
+	mux.HandleFunc("GET /v1/query", s.cached("query", s.handleQuery))
 	return mux
 }
 
@@ -130,8 +159,10 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// endpoint computes a response body against one resolved store.
-type endpoint func(st *Store, r *http.Request) (any, *httpError)
+// endpoint computes a response body against one resolved store. The
+// span carries the request's trace context; handlers report rows
+// scanned into it (a nil span absorbs the call).
+type endpoint func(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError)
 
 // keyScratch is the reusable scratch behind cache-key construction:
 // the key bytes and the query-segment slice survive across requests
@@ -179,60 +210,102 @@ func (ks *keyScratch) appendKey(gen, path, rawQuery string) []byte {
 var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // cached wraps an endpoint with the in-flight gauge, the read-through
-// response cache, miss coalescing, and JSON encoding. Only 200s are
-// cached; error responses are cheap to recompute and should never
-// mask a later success. The store pointer is resolved once, before
-// the key is built — the flight a request joins is always for the
-// generation it resolved, so a hot swap mid-flight cannot mix
-// generations into one response.
-func (s *Server) cached(fn endpoint) http.HandlerFunc {
+// response cache, miss coalescing, JSON encoding, and the request
+// span. Only 200s are cached; error responses are cheap to recompute
+// and should never mask a later success. The store pointer is
+// resolved once, before the key is built — the flight a request joins
+// is always for the generation it resolved, so a hot swap mid-flight
+// cannot mix generations into one response.
+//
+// The span (nil unless a red plane is armed) is owned by this
+// request's goroutine end to end: the singleflight compute closure
+// only ever runs on the leader's own goroutine, so the leader's
+// scan/encode stages land on the leader's span and a joiner's span
+// records only its flight wait — spans never cross requests. Stage
+// tree: cache_lookup, then flight (for the leader it brackets
+// scan + encode, whose offsets nest inside; for a joiner it is pure
+// singleflight wait).
+func (s *Server) cached(name string, fn endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 
 		st := s.store.Load()
+		sp := s.red.Start(name, requestPath(r), st.Generation)
 		ks := keyScratchPool.Get().(*keyScratch)
 		kb := ks.appendKey(st.Generation, r.URL.Path, r.URL.RawQuery)
+		stopLookup := sp.Stage("cache_lookup")
 		s.mu.Lock()
 		body, ok := s.cache[string(kb)]
 		s.mu.Unlock()
+		stopLookup()
 		if ok {
 			keyScratchPool.Put(ks)
 			s.hits.Add(1)
-			writeJSON(w, http.StatusOK, body)
+			sp.SetCache("hit")
+			finishJSON(w, sp, http.StatusOK, body)
 			return
 		}
 		key := string(kb)
 		keyScratchPool.Put(ks)
 
+		stopFlight := sp.Stage("flight")
 		body, herr, leader := s.flights.do(key, func() ([]byte, *httpError) {
-			v, herr := fn(st, r)
+			stopScan := sp.Stage("scan")
+			v, herr := fn(st, r, sp)
+			stopScan()
 			if herr != nil {
 				return nil, herr
 			}
+			stopEncode := sp.Stage("encode")
 			buf := encodeBufPool.Get().(*bytes.Buffer)
 			buf.Reset()
 			if err := json.NewEncoder(buf).Encode(v); err != nil {
 				encodeBufPool.Put(buf)
+				stopEncode()
 				return nil, &httpError{status: http.StatusInternalServerError, msg: "encoding response"}
 			}
 			out := append(make([]byte, 0, buf.Len()), buf.Bytes()...)
 			encodeBufPool.Put(buf)
+			stopEncode()
 			s.putCache(key, st.Generation, out)
 			return out, nil
 		})
+		stopFlight()
 		if leader {
 			s.misses.Add(1)
+			sp.SetCache("miss")
 		} else {
 			s.coalesced.Add(1)
+			sp.SetCache("coalesced")
 		}
 		if herr != nil {
 			b, _ := json.Marshal(map[string]string{"error": herr.msg})
-			writeJSON(w, herr.status, append(b, '\n'))
+			finishJSON(w, sp, herr.status, append(b, '\n'))
 			return
 		}
-		writeJSON(w, http.StatusOK, body)
+		finishJSON(w, sp, http.StatusOK, body)
 	}
+}
+
+// requestPath renders the request path with its raw query, the form
+// access and slow-query log entries carry.
+func requestPath(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return r.URL.Path
+	}
+	return r.URL.Path + "?" + r.URL.RawQuery
+}
+
+// finishJSON writes the response and closes the span. The request ID
+// goes out as X-Request-Id, so a client-side latency outlier can be
+// joined against the daemon's access and slow-query logs.
+func finishJSON(w http.ResponseWriter, sp *redplane.Span, status int, body []byte) {
+	if id := sp.ID(); id != "" {
+		w.Header().Set("X-Request-Id", id)
+	}
+	writeJSON(w, status, body)
+	sp.Finish(status, len(body))
 }
 
 // putCache inserts a computed 200 body — unless the store has swapped
@@ -331,7 +404,7 @@ func clampPage(positions []int, cursor, limit int) []int {
 	return positions[cursor:end]
 }
 
-func (s *Server) handleHeadline(st *Store, r *http.Request) (any, *httpError) {
+func (s *Server) handleHeadline(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 	if herr := checkParams(r); herr != nil {
 		return nil, herr
 	}
@@ -353,7 +426,7 @@ func (s *Server) handleHeadline(st *Store, r *http.Request) (any, *httpError) {
 	}, nil
 }
 
-func (s *Server) handleMetrics(st *Store, r *http.Request) (any, *httpError) {
+func (s *Server) handleMetrics(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 	if herr := checkParams(r); herr != nil {
 		return nil, herr
 	}
@@ -364,7 +437,7 @@ func (s *Server) handleMetrics(st *Store, r *http.Request) (any, *httpError) {
 	}{Generation: st.Generation, Day: st.Day, Metrics: st.Metrics()}, nil
 }
 
-func (s *Server) handleSamples(st *Store, r *http.Request) (any, *httpError) {
+func (s *Server) handleSamples(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 	if herr := checkParams(r, "family", "day", "c2", "limit", "cursor"); herr != nil {
 		return nil, herr
 	}
@@ -385,6 +458,7 @@ func (s *Server) handleSamples(st *Store, r *http.Request) (any, *httpError) {
 		q.Day = n
 	}
 	positions := st.Samples(q)
+	sp.AddRows(len(positions))
 	pg := clampPage(positions, cursor, limit)
 	recs := make([]*core.SampleRecord, len(pg))
 	for i, p := range pg {
@@ -396,7 +470,7 @@ func (s *Server) handleSamples(st *Store, r *http.Request) (any, *httpError) {
 	}{envelope(st, len(positions), cursor, len(pg)), recs}, nil
 }
 
-func (s *Server) handleAttacks(st *Store, r *http.Request) (any, *httpError) {
+func (s *Server) handleAttacks(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 	if herr := checkParams(r, "type", "limit", "cursor"); herr != nil {
 		return nil, herr
 	}
@@ -418,6 +492,7 @@ func (s *Server) handleAttacks(st *Store, r *http.Request) (any, *httpError) {
 		}
 	}
 	positions := st.Attacks(typ)
+	sp.AddRows(len(positions))
 	pg := clampPage(positions, cursor, limit)
 	obsv := make([]core.DDoSObservation, len(pg))
 	for i, p := range pg {
@@ -430,7 +505,7 @@ func (s *Server) handleAttacks(st *Store, r *http.Request) (any, *httpError) {
 	}{envelope(st, len(positions), cursor, len(pg)), st.AttackTypes(), obsv}, nil
 }
 
-func (s *Server) handleC2Index(st *Store, r *http.Request) (any, *httpError) {
+func (s *Server) handleC2Index(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 	if herr := checkParams(r, "limit", "cursor"); herr != nil {
 		return nil, herr
 	}
@@ -439,6 +514,7 @@ func (s *Server) handleC2Index(st *Store, r *http.Request) (any, *httpError) {
 		return nil, herr
 	}
 	addrs := st.C2Addresses()
+	sp.AddRows(len(addrs))
 	var pg []string
 	if cursor < len(addrs) {
 		end := cursor + limit
@@ -462,7 +538,7 @@ func (s *Server) handleC2Index(st *Store, r *http.Request) (any, *httpError) {
 // as every other endpoint: the query string is part of the cache
 // key, and a repeated aggregation is a cache hit that never touches
 // the columns.
-func (s *Server) handleQuery(st *Store, r *http.Request) (any, *httpError) {
+func (s *Server) handleQuery(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 	if herr := checkParams(r, "q"); herr != nil {
 		return nil, herr
 	}
@@ -475,6 +551,9 @@ func (s *Server) handleQuery(st *Store, r *http.Request) (any, *httpError) {
 	if err != nil {
 		return nil, badRequest("q: %v", err)
 	}
+	// A vectorized plan always scans every row of the batch; the
+	// selection happens inside the kernels.
+	sp.AddRows(st.batch.NumRows)
 	return struct {
 		Generation string           `json:"generation"`
 		Day        int              `json:"day"`
@@ -483,7 +562,7 @@ func (s *Server) handleQuery(st *Store, r *http.Request) (any, *httpError) {
 	}{Generation: st.Generation, Day: st.Day, Query: src, Result: plan.Run()}, nil
 }
 
-func (s *Server) handleC2(st *Store, r *http.Request) (any, *httpError) {
+func (s *Server) handleC2(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 	if herr := checkParams(r); herr != nil {
 		return nil, herr
 	}
@@ -492,6 +571,7 @@ func (s *Server) handleC2(st *Store, r *http.Request) (any, *httpError) {
 	if rec == nil {
 		return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("no such C2 endpoint %q", addr)}
 	}
+	sp.AddRows(len(positions))
 	shas := make([]string, len(positions))
 	for i, p := range positions {
 		shas[i] = st.Sample(p).SHA

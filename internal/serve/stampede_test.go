@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"malnet/internal/obs/redplane"
 )
 
 // stampedeServer builds a Server over a synthetic store with an
@@ -31,7 +33,7 @@ func TestServeStampedeSingleFlight(t *testing.T) {
 	s, st := stampedeServer(100)
 	var computes atomic.Int64
 	release := make(chan struct{})
-	h := s.cached(func(st *Store, r *http.Request) (any, *httpError) {
+	h := s.cached("test", func(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 		computes.Add(1)
 		<-release
 		return map[string]any{"generation": st.Generation, "n": st.NumSamples()}, nil
@@ -106,7 +108,7 @@ func TestServeHotSwapMidFlight(t *testing.T) {
 
 	var computes atomic.Int64
 	release := make(chan struct{})
-	h := s.cached(func(st *Store, r *http.Request) (any, *httpError) {
+	h := s.cached("test", func(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
 		computes.Add(1)
 		if st.Generation == stA.Generation {
 			<-release

@@ -30,7 +30,8 @@ go run ./cmd/malnet -short -checkpoint-dir "$tmp/ckpt" -out "$tmp/out" >/dev/nul
 echo "starting malnetd..." >&2
 go build -o "$tmp/malnetd" ./cmd/malnetd
 "$tmp/malnetd" -checkpoint-dir "$tmp/ckpt" -listen 127.0.0.1:0 -reload-every 0 \
-  -debug-addr 127.0.0.1:0 >"$tmp/stdout" 2>"$tmp/stderr" &
+  -debug-addr 127.0.0.1:0 -slowlog-threshold "${SLOWLOG_THRESHOLD:-250ms}" \
+  >"$tmp/stdout" 2>"$tmp/stderr" &
 daemon_pid=$!
 
 base=""
@@ -52,8 +53,17 @@ go run ./cmd/malnetbench -target "$base" ${dbg:+-debug "$dbg"} \
   -duration "$duration" -rate "$rate" -concurrency "$concurrency" \
   -seed "$seed" -require-success -out "$out"
 
+# With the debug plane up the summary must carry the server-side RED
+# rows scraped from /metrics, next to the client-side percentiles.
+if [ -n "$dbg" ] && ! grep -q '"LoadServe/server/' "$out"; then
+  echo "loadtest: summary has no server-side /metrics rows" >&2
+  exit 1
+fi
+
 if [ -n "${BENCH_FILE:-}" ]; then
-  go run ./tools/benchjson -merge "$BENCH_FILE" -merge "$out" </dev/null >"$tmp/merged.json"
+  # -replace: a re-archived run overwrites the previous LoadServe/
+  # rows by name instead of doubling them.
+  go run ./tools/benchjson -replace -merge "$BENCH_FILE" -merge "$out" </dev/null >"$tmp/merged.json"
   cp "$tmp/merged.json" "$BENCH_FILE"
   echo "merged load rows into $BENCH_FILE" >&2
 fi

@@ -22,6 +22,7 @@ go run ./cmd/malnet -short -checkpoint-dir "$tmp/ckpt" -out "$tmp/out" >/dev/nul
 echo "starting malnetd..." >&2
 go build -o "$tmp/malnetd" ./cmd/malnetd
 "$tmp/malnetd" -checkpoint-dir "$tmp/ckpt" -listen 127.0.0.1:0 -reload-every 0 \
+  -debug-addr 127.0.0.1:0 -slowlog-threshold 0 \
   >"$tmp/stdout" 2>"$tmp/stderr" &
 daemon_pid=$!
 
@@ -78,5 +79,52 @@ check serve_query_topk.json "/v1/query?q=%7C%20topk(3)%20by%20attack"
 # body (with the parser's position) is part of the API surface.
 check_status serve_query_bad.json 400 "/v1/query?q=family%3D%3D"
 
-[ "$status" -eq 0 ] && echo "serve smoke OK ($base)" >&2
+# --- serving-plane observability smoke --------------------------------
+# The golden walk above generated known traffic; the debug listener's
+# /metrics must now expose it in well-formed Prometheus text format.
+dbg="$(sed -n 's#^debug server on http://\([^/]*\)/.*#\1#p' "$tmp/stderr" | head -n1)"
+if [ -z "$dbg" ]; then
+  echo "smoke: malnetd never announced its debug server" >&2
+  cat "$tmp/stderr" >&2
+  exit 1
+fi
+curl -sfS "http://$dbg/metrics" >"$tmp/metrics"
+
+# Every non-comment line must parse as `name{label="v",...} value`.
+if ! awk '
+  /^#/ { next }
+  /^$/ { next }
+  !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?$/ {
+    printf "malformed exposition line: %s\n", $0; bad = 1
+  }
+  END { exit bad }
+' "$tmp/metrics"; then
+  echo "smoke: /metrics is not well-formed exposition text" >&2
+  status=1
+fi
+
+# The golden walk hit these endpoints, so their request counters must
+# be nonzero (and 2xx — golden responses all succeeded).
+for ep in headline samples query; do
+  if ! grep -Eq "^malnetd_requests_total\{endpoint=\"$ep\",code=\"2xx\"\} [1-9]" "$tmp/metrics"; then
+    echo "smoke: /metrics shows no 2xx traffic for endpoint \"$ep\":" >&2
+    grep '^malnetd_requests_total' "$tmp/metrics" >&2 || true
+    status=1
+  fi
+done
+# The deliberate 400 must land in the error-class counter.
+if ! grep -Eq '^malnetd_requests_total\{endpoint="query",code="4xx"\} [1-9]' "$tmp/metrics"; then
+  echo "smoke: /metrics did not count the golden 400" >&2
+  status=1
+fi
+
+# With -slowlog-threshold 0 every request is recorded, so the slowlog
+# must be serving entries for the walked endpoints.
+curl -sfS "http://$dbg/debug/slowlog" >"$tmp/slowlog"
+if ! grep -q '"endpoint": "headline"' "$tmp/slowlog"; then
+  echo "smoke: /debug/slowlog has no entry for the headline request" >&2
+  status=1
+fi
+
+[ "$status" -eq 0 ] && echo "serve smoke OK ($base, metrics on $dbg)" >&2
 exit "$status"

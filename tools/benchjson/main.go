@@ -16,6 +16,13 @@
 // benchmarks in one BENCH_<date>.json:
 //
 //	benchjson -merge BENCH_2026-08-07.json -merge load_summary.json </dev/null
+//
+// -replace dedupes the final document by row name, keeping the value
+// from the last source that produced it (stdin first, then the -merge
+// files in order). That is how a fresh load run re-archives over the
+// previous day's LoadServe/ rows without doubling them:
+//
+//	benchjson -replace -merge BENCH_2026-08-07.json -merge new_summary.json </dev/null
 package main
 
 import (
@@ -52,6 +59,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var merges multiFlag
+	replace := false
 	args := os.Args[1:]
 	for len(args) > 0 {
 		switch {
@@ -61,8 +69,11 @@ func main() {
 		case strings.HasPrefix(args[0], "-merge="):
 			merges.Set(strings.TrimPrefix(args[0], "-merge="))
 			args = args[1:]
+		case args[0] == "-replace":
+			replace = true
+			args = args[1:]
 		default:
-			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q (usage: benchjson [-merge FILE]... < bench.txt)\n", args[0])
+			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q (usage: benchjson [-replace] [-merge FILE]... < bench.txt)\n", args[0])
 			os.Exit(2)
 		}
 	}
@@ -96,6 +107,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+	}
+	if replace {
+		d.Results = dedupeByName(d.Results)
 	}
 	if len(d.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin and nothing merged")
@@ -138,6 +152,24 @@ func mergeFile(d *doc, path string) error {
 	}
 	d.Results = append(d.Results, m.Results...)
 	return nil
+}
+
+// dedupeByName keeps one row per name: the row stays at its first
+// position (so the document's ordering is stable across re-archives)
+// but carries the value of its last occurrence (so the newest merge
+// wins).
+func dedupeByName(rows []result) []result {
+	at := map[string]int{}
+	var out []result
+	for _, r := range rows {
+		if i, ok := at[r.Name]; ok {
+			out[i] = r
+			continue
+		}
+		at[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
 }
 
 // parseLine decodes one benchmark result line. Fields come in

@@ -21,6 +21,12 @@
 // colstore draws every choice through internal/detrand's pure hash
 // instead.
 //
+// internal/serve gets the same import-level ban on "time": request
+// timing on the serving path belongs to internal/obs/redplane (the
+// one blessed wall-clock reader there), so the serving library itself
+// must not even be able to reach the clock. The reload ticker lives
+// in cmd/malnetd, which is out of scope on purpose.
+//
 // Usage:  go run ./tools/vettime [dir]     (default ./internal)
 //
 // Exits 1 listing each offending call site. _test.go files are
@@ -90,6 +96,9 @@ func main() {
 		}
 		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "colstore")) {
 			findings = append(findings, checkPureImports(fset, file)...)
+		}
+		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "serve")) {
+			findings = append(findings, checkServeNoTime(fset, file)...)
 		}
 		return nil
 	})
@@ -173,6 +182,24 @@ func checkPureImports(fset *token.FileSet, file *ast.File) []string {
 		if p, _ := strconv.Unquote(imp.Path.Value); impureImports[p] {
 			out = append(out, fmt.Sprintf(
 				"%s: colstore imports %q — the columnar engine must stay pure (use internal/detrand)",
+				fset.Position(imp.Pos()), p))
+		}
+	}
+	return out
+}
+
+// checkServeNoTime flags internal/serve files that import "time" at
+// all: every wall-clock read on the serving path must go through
+// internal/obs/redplane, so request timing has exactly one owner and
+// the serving library stays byte-deterministic for the golden smoke
+// diff. (The banned-function scan would miss pure-value uses; the
+// import ban keeps the clock entirely out of reach.)
+func checkServeNoTime(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	for _, imp := range file.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == "time" {
+			out = append(out, fmt.Sprintf(
+				"%s: serve imports %q — serving-path timing belongs to internal/obs/redplane",
 				fset.Position(imp.Pos()), p))
 		}
 	}
