@@ -13,6 +13,16 @@
 //	                            e.g. family=="mirai" and day in
 //	                            100..200 | count() by c2
 //
+// When -checkpoint-dir holds a run lake (written by cmd/malnet with
+// -lake-dir), the whole lake is mounted: the default store tracks
+// -branch's head, every endpoint above additionally accepts run= and
+// asof= selectors that resolve through the commit journal to any
+// retained generation, and two lake-only endpoints appear:
+//
+//	GET /v1/runs?limit=         branches, runs, retained generations
+//	GET /v1/diff?a=&b=          headline/aggregate comparison across
+//	                            two selectors (branch-or-run[@day])
+//
 // While a study is still running, malnetd polls the directory and
 // hot-reloads newer snapshots: the indexed store is swapped
 // atomically, so in-flight requests finish against the snapshot they
@@ -44,7 +54,8 @@ import (
 )
 
 func main() {
-	dir := flag.String("checkpoint-dir", "", "directory of day-NNN.ckpt study snapshots to serve (required)")
+	dir := flag.String("checkpoint-dir", "", "directory of day-NNN.ckpt study snapshots — or a run lake — to serve (required)")
+	branch := flag.String("branch", "main", "lake branch the default store tracks (lake directories only)")
 	listen := flag.String("listen", "127.0.0.1:8377", "address to serve the /v1 API on (use :0 for an ephemeral port)")
 	reload := flag.Duration("reload-every", 5*time.Second, "how often to check -checkpoint-dir for a newer snapshot (0 = never)")
 	accessLog := flag.String("access-log", "", "append one JSON line per request (id, endpoint, status, stages) to FILE")
@@ -73,7 +84,7 @@ func main() {
 	red := redplane.New(redOpts)
 
 	wall := obs.NewWall()
-	srv, err := serve.New(*dir, wall, serve.WithRedPlane(red))
+	srv, err := serve.New(*dir, wall, serve.WithRedPlane(red), serve.WithBranch(*branch))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "malnetd: %v\n", err)
 		os.Exit(1)

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -178,10 +179,16 @@ func Decode(b []byte) (*File, error) {
 	return f, nil
 }
 
-// WriteFile encodes f and writes it to path atomically: the bytes go
-// to a temp file in path's directory, are fsync'd by Close, and the
-// temp file is os.Rename'd over path. Readers therefore only ever see
-// a complete, footer-sealed snapshot.
+// WriteFile encodes f and writes it to path atomically and durably:
+// the bytes go to a temp file in path's directory, are fsync'd to
+// stable storage (Close alone does NOT flush the kernel page cache),
+// and the temp file is os.Rename'd over path; the parent directory is
+// then fsync'd so the rename itself survives a power loss. Readers
+// therefore only ever see a complete, footer-sealed snapshot — never
+// an empty or vanished "committed" one. The temp file is chmod'd
+// 0644 before the rename: os.CreateTemp creates 0600, which would
+// stop a daemon running as a different user from mounting the
+// snapshot it is asked to serve.
 func WriteFile(path string, f *File) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -191,10 +198,19 @@ func WriteFile(path string, f *File) error {
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(Encode(f)); err != nil {
+	abort := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if _, err := tmp.Write(Encode(f)); err != nil {
+		return abort(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return abort(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -204,7 +220,23 @@ func WriteFile(path string, f *File) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making a just-renamed entry durable:
+// os.Rename updates the directory, and that update lives in the page
+// cache until the directory itself is flushed. Shared with
+// internal/lake, whose refs and journal follow the same discipline.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // ReadFile loads and decodes the checkpoint at path.
@@ -286,7 +318,9 @@ func Latest(dir string) (snap *Snapshot, skipped int, err error) {
 
 // Prune removes every checkpoint in dir older than keepDay, keeping
 // the newest snapshot as the single resume point. Removal failures
-// are reported but the newest checkpoint is never touched.
+// are reported but the newest checkpoint is never touched — and one
+// stubborn entry does not shield the rest: every removable checkpoint
+// is removed, and the failures come back joined into one error.
 func Prune(dir string, keepDay int) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -299,10 +333,11 @@ func Prune(dir string, keepDay int) error {
 		}
 	}
 	sort.Ints(days)
+	var errs []error
 	for _, d := range days {
 		if err := os.Remove(DayPath(dir, d)); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

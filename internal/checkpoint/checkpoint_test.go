@@ -122,6 +122,16 @@ func TestWriteFileAtomicAndLatest(t *testing.T) {
 		t.Fatalf("Sum = %x, want file footer %x", snap.Sum, want)
 	}
 
+	// World-readable: os.CreateTemp's 0600 would stop a daemon running
+	// as a different user from mounting the snapshot.
+	fi, err := os.Stat(snap.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("checkpoint mode %v, want 0644", fi.Mode().Perm())
+	}
+
 	if err := Prune(dir, 29); err != nil {
 		t.Fatalf("Prune: %v", err)
 	}
@@ -132,6 +142,74 @@ func TestWriteFileAtomicAndLatest(t *testing.T) {
 	}
 	if _, err := os.Stat(DayPath(dir, 29)); err != nil {
 		t.Errorf("newest checkpoint pruned: %v", err)
+	}
+}
+
+// TestPruneContinuesPastFailures pins the doc contract: one stubborn
+// entry must not shield the rest of the backlog. A non-empty
+// directory named like a checkpoint is undeletable by os.Remove
+// (works even when the tests run as root, unlike permission tricks);
+// Prune must still remove every other old day, report the failure,
+// and never touch the newest snapshot.
+func TestPruneContinuesPastFailures(t *testing.T) {
+	dir := t.TempDir()
+	for _, day := range []int{2, 9, 21} {
+		f := &File{}
+		f.Add("meta", []byte{byte(day)})
+		if err := WriteFile(DayPath(dir, day), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// day-007.ckpt is a directory with a child: os.Remove fails.
+	stuck := DayPath(dir, 7)
+	if err := os.MkdirAll(filepath.Join(stuck, "child"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	err := Prune(dir, 21)
+	if err == nil {
+		t.Fatal("Prune with an undeletable entry reported no error")
+	}
+	for _, day := range []int{2, 9} {
+		if _, statErr := os.Stat(DayPath(dir, day)); !os.IsNotExist(statErr) {
+			t.Errorf("day %d survived prune despite the earlier failure: %v", day, statErr)
+		}
+	}
+	if _, statErr := os.Stat(DayPath(dir, 21)); statErr != nil {
+		t.Errorf("newest checkpoint touched: %v", statErr)
+	}
+	if _, statErr := os.Stat(stuck); statErr != nil {
+		t.Errorf("stuck entry vanished: %v", statErr)
+	}
+}
+
+// TestLatestOverMixedDir walks Latest across the directory shapes a
+// long-lived lake accumulates: live snapshots, corrupt ones, gaps
+// left by pruning, stray temp files, and non-file entries.
+func TestLatestOverMixedDir(t *testing.T) {
+	dir := t.TempDir()
+	// Live: 8 and 40. The pruned gap (10..30 absent) is implicit.
+	for _, day := range []int{8, 40} {
+		f := &File{}
+		f.Add("meta", []byte{byte(day)})
+		if err := WriteFile(DayPath(dir, day), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt newest, stray temp file, and a directory squatting on a
+	// checkpoint name.
+	os.WriteFile(DayPath(dir, 55), []byte("torn"), 0o644)
+	os.WriteFile(filepath.Join(dir, "day-060.ckpt.tmp42"), []byte("junk"), 0o644)
+	os.MkdirAll(filepath.Join(DayPath(dir, 70), "child"), 0o755)
+
+	snap, skipped, err := Latest(dir)
+	if err != nil || snap == nil {
+		t.Fatalf("Latest: snap=%v err=%v", snap, err)
+	}
+	// day-070.ckpt is a directory: ReadFile fails, so it counts as
+	// skipped alongside the corrupt day 55; day 40 is the fallback.
+	if snap.Day != 40 || skipped != 2 {
+		t.Fatalf("Latest: got day %d skipped %d, want day 40 skipped 2", snap.Day, skipped)
 	}
 }
 

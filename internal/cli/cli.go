@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"malnet/internal/core"
+	"malnet/internal/lake"
 	"malnet/internal/loadgen"
 	"malnet/internal/obs"
 	"malnet/internal/world"
@@ -63,7 +64,36 @@ func (f *StudyFlags) Configs() (world.Config, core.StudyConfig, error) {
 	scfg.Determinism.Workers = f.Workers
 	scfg.Determinism.Faults = f.Faults
 	scfg.Determinism.FaultSeed = f.FaultSeed
-	scfg.Durability = core.CheckpointConfig(f.Checkpoint)
+	scfg.Durability = core.CheckpointConfig{
+		Dir:    f.Checkpoint.Dir,
+		Every:  f.Checkpoint.Every,
+		Resume: f.Checkpoint.Resume,
+	}
+	if f.Checkpoint.LakeDir != "" {
+		if f.Checkpoint.Dir == "" {
+			return wcfg, scfg, errors.New("-lake-dir requires -checkpoint-dir")
+		}
+		run := f.Checkpoint.LakeRun
+		if run == "" {
+			run = fmt.Sprintf("seed-%d", f.Seed)
+		}
+		branch, seed := f.Checkpoint.LakeBranch, f.Seed
+		// The lake is opened on the first checkpoint, not here:
+		// Configs must stay side-effect free so validation errors
+		// don't leave half-created directories behind. The callback
+		// runs on the merge goroutine, strictly sequentially.
+		var lk *lake.Lake
+		scfg.Durability.OnCheckpoint = func(day int, path string) error {
+			if lk == nil {
+				var err error
+				if lk, err = lake.Open(f.Checkpoint.LakeDir); err != nil {
+					return err
+				}
+			}
+			_, err := lk.CommitFile(branch, run, seed, day, path)
+			return err
+		}
+	}
 	if f.Short {
 		wcfg.TotalSamples = 150
 		scfg.Analysis.ProbeRounds = 12
@@ -89,11 +119,19 @@ func (f *StudyFlags) ProgressPrinter() func(core.ProgressUpdate) {
 	}
 }
 
-// CheckpointFlags mirrors core.CheckpointConfig, flag-registered.
+// CheckpointFlags mirrors core.CheckpointConfig, flag-registered,
+// plus the run-lake publication knobs.
 type CheckpointFlags struct {
 	Dir    string
 	Every  int
 	Resume bool
+
+	// LakeDir, when set, commits every written checkpoint into the
+	// run lake at that directory (creating it on first use); LakeRun
+	// and LakeBranch name the run and the branch the commits land on.
+	LakeDir    string
+	LakeRun    string
+	LakeBranch string
 }
 
 // Register declares the checkpoint flag group on fs.
@@ -101,6 +139,9 @@ func (c *CheckpointFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Dir, "checkpoint-dir", "", "write resumable study snapshots to DIR at day-batch boundaries")
 	fs.IntVar(&c.Every, "checkpoint-every", 1, "snapshot after every N-th non-empty day batch")
 	fs.BoolVar(&c.Resume, "resume", false, "resume from the newest snapshot in -checkpoint-dir (config must match)")
+	fs.StringVar(&c.LakeDir, "lake-dir", "", "commit each checkpoint into the run lake at DIR (requires -checkpoint-dir)")
+	fs.StringVar(&c.LakeRun, "lake-run", "", "run name recorded on lake commits (default seed-<seed>)")
+	fs.StringVar(&c.LakeBranch, "lake-branch", "main", "lake branch the run's commits land on")
 }
 
 // InterruptHint tells the user how to continue a checkpointed run

@@ -50,6 +50,14 @@ type CheckpointConfig struct {
 	// exists. The snapshot's config fingerprint must match the
 	// current run; a mismatch fails loudly naming the fields.
 	Resume bool
+	// OnCheckpoint, when set, runs after each snapshot is durably on
+	// disk (written, fsync'd, and older days pruned). The study uses
+	// it to publish snapshots into a run lake; an error fails the
+	// day's checkpoint, not the study's data. Excluded from the config
+	// fingerprint along with the rest of CheckpointConfig
+	// (StudyConfig.Durability is json:"-"): publication side effects
+	// do not change study output.
+	OnCheckpoint func(day int, path string) error
 }
 
 // fingerprintData is the config surface a snapshot is only valid
@@ -203,11 +211,17 @@ func (st *Study) saveCheckpoint(dayIdx int) error {
 			return fail(err)
 		}
 	}
-	if err := checkpoint.WriteFile(checkpoint.DayPath(st.Cfg.Durability.Dir, dayIdx), f); err != nil {
+	path := checkpoint.DayPath(st.Cfg.Durability.Dir, dayIdx)
+	if err := checkpoint.WriteFile(path, f); err != nil {
 		return fail(err)
 	}
 	if err := checkpoint.Prune(st.Cfg.Durability.Dir, dayIdx); err != nil {
 		return fail(err)
+	}
+	if cb := st.Cfg.Durability.OnCheckpoint; cb != nil {
+		if err := cb(dayIdx, path); err != nil {
+			return fail(err)
+		}
 	}
 	return nil
 }
@@ -345,11 +359,37 @@ func OpenStudySnapshot(dir string) (*StudySnapshot, *obs.Registry, error) {
 	if snap == nil {
 		return nil, nil, nil
 	}
+	ss, reg, err := snapshotFromFile(snap.File, snap.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ss.SkippedCorrupt = skipped
+	return ss, reg, nil
+}
+
+// OpenSnapshotAt loads one specific checkpoint file for read-only
+// serving — the lake's time-travel path, where the file is a
+// content-addressed object rather than the newest entry of a
+// directory. The day comes from the snapshot's own meta (lake object
+// names carry no day), which for directory checkpoints equals the
+// day in the filename by construction of saveCheckpoint.
+func OpenSnapshotAt(path string) (*StudySnapshot, *obs.Registry, error) {
+	f, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open snapshot: %s: %w", path, err)
+	}
+	return snapshotFromFile(f, path)
+}
+
+// snapshotFromFile builds the serving view from a decoded checkpoint:
+// the snapshot struct plus a metrics registry reconstructed the way a
+// finished study's Metrics() would read (study-plane registry,
+// dataset-size gauges, world-plane registry under the "world."
+// prefix).
+func snapshotFromFile(f *checkpoint.File, path string) (*StudySnapshot, *obs.Registry, error) {
 	ss := &StudySnapshot{
-		Path:           snap.Path,
-		Day:            snap.Day,
-		Generation:     snap.SumHex(),
-		SkippedCorrupt: skipped,
+		Path:       path,
+		Generation: f.SumHex(),
 	}
 	var metrics, worldMetrics obs.MetricsDump
 	for _, s := range []struct {
@@ -361,10 +401,11 @@ func OpenStudySnapshot(dir string) (*StudySnapshot, *obs.Registry, error) {
 		{"metrics", &metrics},
 		{"world-metrics", &worldMetrics},
 	} {
-		if err := snap.JSON(s.name, s.v); err != nil {
-			return nil, nil, fmt.Errorf("open snapshot: %s: %w", snap.Path, err)
+		if err := f.JSON(s.name, s.v); err != nil {
+			return nil, nil, fmt.Errorf("open snapshot: %s: %w", path, err)
 		}
 	}
+	ss.Day = ss.Meta.Day
 	if ss.Datasets.C2s == nil {
 		ss.Datasets.C2s = map[string]*C2Record{}
 	}

@@ -68,7 +68,15 @@ func (p *Plane) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(&b, "# HELP %s_generation_requests_total Requests answered per store generation (last %d generations retained).\n", pre, maxGenerations)
 	fmt.Fprintf(&b, "# TYPE %s_generation_requests_total counter\n", pre)
 	for _, g := range gens {
-		fmt.Fprintf(&b, "%s_generation_requests_total{generation=%q} %d\n", pre, g.gen, g.n)
+		// The run label appears only in lake mode; directory-mode
+		// exposition is byte-identical to what it was before runs
+		// existed, so dashboards keyed on the bare generation keep
+		// matching.
+		if g.run == "" {
+			fmt.Fprintf(&b, "%s_generation_requests_total{generation=%q} %d\n", pre, g.gen, g.n)
+		} else {
+			fmt.Fprintf(&b, "%s_generation_requests_total{generation=%q,run=%q} %d\n", pre, g.gen, g.run, g.n)
+		}
 	}
 
 	fmt.Fprintf(&b, "# HELP %s_store_swaps_total Hot swaps of the serving store.\n", pre)

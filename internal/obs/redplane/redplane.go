@@ -102,9 +102,13 @@ type endpointRED struct {
 }
 
 // genCount is one store generation's request total, kept in
-// first-seen order so eviction drops the oldest.
+// first-seen order so eviction drops the oldest. run is the lake run
+// that produced the generation ("" outside lake mode — the label is
+// then omitted from the exposition), so one counter row answers both
+// "which snapshot" and "whose study".
 type genCount struct {
 	gen string
+	run string
 	n   int64
 }
 
@@ -158,6 +162,7 @@ type Span struct {
 	endpoint   string
 	path       string
 	generation string
+	run        string
 	start      time.Time
 
 	stages []Stage
@@ -223,6 +228,25 @@ func (sp *Span) SetCache(outcome string) {
 	}
 }
 
+// SetRun records the lake run whose generation answered the request;
+// it labels the generation counter and the access-log line. Requests
+// that resolve a historical generation (run=/asof= selectors) call
+// this after resolution, alongside SetGeneration.
+func (sp *Span) SetRun(run string) {
+	if sp != nil {
+		sp.run = run
+	}
+}
+
+// SetGeneration re-points the span at the generation that actually
+// answered the request, when selector resolution lands on a different
+// store than the one the span was opened against.
+func (sp *Span) SetGeneration(gen string) {
+	if sp != nil {
+		sp.generation = gen
+	}
+}
+
 // AddRows records rows scanned while computing the response (index
 // positions touched, columnar rows selected).
 func (sp *Span) AddRows(n int) {
@@ -261,21 +285,22 @@ func (sp *Span) Finish(status, bytes int) {
 	}
 	ep.rows += sp.rows
 	ep.bytes += sp.bytes
-	p.countGeneration(sp.generation)
+	p.countGeneration(sp.generation, sp.run)
 	p.mu.Unlock()
 
 	p.slow.record(sp, durNs)
 	p.logAccess(sp, durNs)
 }
 
-// countGeneration bumps the per-generation request counter, evicting
-// the oldest label past maxGenerations. Caller holds p.mu.
-func (p *Plane) countGeneration(gen string) {
+// countGeneration bumps the per-(generation, run) request counter,
+// evicting the oldest label pair past maxGenerations. Caller holds
+// p.mu.
+func (p *Plane) countGeneration(gen, run string) {
 	if gen == "" {
 		return
 	}
 	for i := range p.gens {
-		if p.gens[i].gen == gen {
+		if p.gens[i].gen == gen && p.gens[i].run == run {
 			p.gens[i].n++
 			return
 		}
@@ -283,7 +308,7 @@ func (p *Plane) countGeneration(gen string) {
 	if len(p.gens) >= maxGenerations {
 		p.gens = p.gens[1:]
 	}
-	p.gens = append(p.gens, genCount{gen: gen, n: 1})
+	p.gens = append(p.gens, genCount{gen: gen, run: run, n: 1})
 }
 
 // statusClass buckets an HTTP status for the error-class counters.
@@ -305,6 +330,7 @@ type accessRecord struct {
 	Endpoint   string  `json:"endpoint"`
 	Path       string  `json:"path"`
 	Generation string  `json:"generation,omitempty"`
+	Run        string  `json:"run,omitempty"`
 	Status     int     `json:"status"`
 	Cache      string  `json:"cache,omitempty"`
 	Rows       int64   `json:"rows"`
@@ -324,6 +350,7 @@ func (p *Plane) logAccess(sp *Span, durNs int64) {
 		Endpoint:   sp.endpoint,
 		Path:       sp.path,
 		Generation: sp.generation,
+		Run:        sp.run,
 		Status:     sp.status,
 		Cache:      sp.cache,
 		Rows:       sp.rows,
@@ -378,7 +405,12 @@ func (p *Plane) snapshot() (eps []redSnapshot, gens []genCount, swaps int64) {
 		})
 	}
 	gens = append(gens, p.gens...)
-	sort.Slice(gens, func(i, j int) bool { return gens[i].gen < gens[j].gen })
+	sort.Slice(gens, func(i, j int) bool {
+		if gens[i].gen != gens[j].gen {
+			return gens[i].gen < gens[j].gen
+		}
+		return gens[i].run < gens[j].run
+	})
 	return eps, gens, p.swaps
 }
 

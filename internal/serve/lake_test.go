@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"malnet/internal/checkpoint"
+	"malnet/internal/lake"
+	"malnet/internal/obs"
+	"malnet/internal/obs/redplane"
+)
+
+// lakeFixture is one worker count's lake: a study killed mid-run and
+// resumed to completion, with both checkpoints committed to branch
+// "main" — two generations of one run. midDir holds a plain-directory
+// copy of the mid-study checkpoint for the equivalence diff.
+type lakeFixture struct {
+	lakeDir  string
+	midDir   string
+	finalDir string
+	midDay   int
+}
+
+var (
+	lakeFixtures = map[int]*lakeFixture{}
+)
+
+// buildLakeFixture runs the killed+resumed study for one worker count
+// and commits both generations. Cached per worker count for the test
+// binary's lifetime (study runs dominate this package's runtime).
+func buildLakeFixture(t *testing.T, workers int) *lakeFixture {
+	t.Helper()
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if f, ok := lakeFixtures[workers]; ok {
+		return f
+	}
+	base := filepath.Join(fixtureBase, fmt.Sprintf("lake-w%d", workers))
+	f := &lakeFixture{
+		lakeDir:  filepath.Join(base, "lake"),
+		midDir:   filepath.Join(base, "mid"),
+		finalDir: filepath.Join(base, "ckpt"),
+	}
+	l, err := lake.Open(f.lakeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := fmt.Sprintf("seed-%d", fixtureSeed)
+
+	runStudy(t, f.finalDir, workers, 90, false)
+	snap, _, err := checkpoint.Latest(f.finalDir)
+	if err != nil || snap == nil {
+		t.Fatalf("no mid-study checkpoint: snap=%v err=%v", snap, err)
+	}
+	f.midDay = snap.Day
+	// Keep a directory-mode copy of the mid checkpoint: resuming
+	// prunes it from finalDir, and the equivalence test serves it
+	// directly.
+	if err := os.MkdirAll(f.midDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(snap.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(f.midDir, filepath.Base(snap.Path)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CommitFile("main", run, fixtureSeed, snap.Day, snap.Path); err != nil {
+		t.Fatal(err)
+	}
+
+	runStudy(t, f.finalDir, workers, -1, true)
+	snap, _, err = checkpoint.Latest(f.finalDir)
+	if err != nil || snap == nil {
+		t.Fatalf("no final checkpoint: snap=%v err=%v", snap, err)
+	}
+	if snap.Day <= f.midDay {
+		t.Fatalf("final checkpoint day %d not past mid day %d", snap.Day, f.midDay)
+	}
+	if _, err := l.CommitFile("main", run, fixtureSeed, snap.Day, snap.Path); err != nil {
+		t.Fatal(err)
+	}
+	lakeFixtures[workers] = f
+	return f
+}
+
+// TestServeTimeTravelEquivalence is the lake's serving contract: a
+// run=/asof= selector answers with bytes identical to a daemon
+// serving that checkpoint directly, and — like every serving path —
+// identical across worker counts 1, 2, and 8.
+func TestServeTimeTravelEquivalence(t *testing.T) {
+	paths := []string{
+		"/v1/headline",
+		"/v1/metrics",
+		"/v1/samples?limit=7",
+		"/v1/c2?limit=500",
+		"/v1/attacks?limit=500",
+		"/v1/query?q=" + url.QueryEscape(`| count() by family`),
+	}
+	sel := func(p, extra string) string {
+		if strings.Contains(p, "?") {
+			return p + "&" + extra
+		}
+		return p + "?" + extra
+	}
+	var want map[string][]byte
+	for _, workers := range []int{1, 2, 8} {
+		f := buildLakeFixture(t, workers)
+		lsrv, err := New(f.lakeDir, obs.NewWall())
+		if err != nil {
+			t.Fatalf("workers=%d: mounting lake: %v", workers, err)
+		}
+		lts := httptest.NewServer(lsrv.Handler())
+		midSrv, err := New(f.midDir, obs.NewWall())
+		if err != nil {
+			t.Fatalf("workers=%d: serving mid dir: %v", workers, err)
+		}
+		mts := httptest.NewServer(midSrv.Handler())
+		finalSrv, err := New(f.finalDir, obs.NewWall())
+		if err != nil {
+			t.Fatalf("workers=%d: serving final dir: %v", workers, err)
+		}
+		fts := httptest.NewServer(finalSrv.Handler())
+
+		got := map[string][]byte{}
+		for _, p := range paths {
+			// Head of the branch == the final checkpoint, three ways:
+			// bare, by run name, by branch name.
+			_, direct := get(t, fts, p)
+			for _, q := range []string{p,
+				sel(p, "run=main"),
+				sel(p, fmt.Sprintf("run=seed-%d", fixtureSeed)),
+			} {
+				if _, body := get(t, lts, q); !bytes.Equal(body, direct) {
+					t.Fatalf("workers=%d: GET %s differs from direct serving:\n%s\nvs\n%s", workers, q, body, direct)
+				}
+			}
+			// Time travel to the mid-study day — exact day and a day
+			// between the two commits both resolve to the mid
+			// generation.
+			_, directMid := get(t, mts, p)
+			for _, asof := range []int{f.midDay, f.midDay + 1} {
+				q := sel(p, fmt.Sprintf("asof=%d", asof))
+				if _, body := get(t, lts, q); !bytes.Equal(body, directMid) {
+					t.Fatalf("workers=%d: GET %s differs from direct mid serving:\n%s\nvs\n%s", workers, q, body, directMid)
+				}
+			}
+			got[p] = direct
+		}
+		lts.Close()
+		mts.Close()
+		fts.Close()
+		if want == nil {
+			want = got
+			continue
+		}
+		for _, p := range paths {
+			if !bytes.Equal(got[p], want[p]) {
+				t.Fatalf("workers=%d: GET %s differs from workers=1", workers, p)
+			}
+		}
+	}
+}
+
+// TestServeLakeSelectorsAndErrors covers the selector edges: asof
+// before the first commit, unknown runs, selectors against a non-lake
+// daemon, and the resident-store gauge.
+func TestServeLakeSelectorsAndErrors(t *testing.T) {
+	f := buildLakeFixture(t, 2)
+	wall := obs.NewWall()
+	srv, err := New(f.lakeDir, wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path   string
+		status int
+	}{
+		{"/v1/headline?run=nope", http.StatusNotFound},
+		{fmt.Sprintf("/v1/headline?asof=%d", f.midDay-1), http.StatusNotFound},
+		{"/v1/headline?asof=-3", http.StatusBadRequest},
+		{"/v1/headline?asof=later", http.StatusBadRequest},
+	} {
+		status, body := get(t, ts, tc.path)
+		if status != tc.status {
+			t.Fatalf("GET %s: status %d, want %d (%s)", tc.path, status, tc.status, body)
+		}
+	}
+
+	// A time-travel request leaves its generation resident.
+	if status, _ := get(t, ts, fmt.Sprintf("/v1/headline?asof=%d", f.midDay)); status != http.StatusOK {
+		t.Fatalf("time-travel request failed with %d", status)
+	}
+	if g := wallGauges(t, wall); g["serve.resident_stores"] != 1 {
+		t.Fatalf("resident_stores %d after one time-travel request, want 1", g["serve.resident_stores"])
+	}
+
+	// Directory-mode daemons refuse selectors and the lake endpoints.
+	dsrv, err := New(f.midDir, obs.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dts := httptest.NewServer(dsrv.Handler())
+	defer dts.Close()
+	if status, _ := get(t, dts, "/v1/headline?run=main"); status != http.StatusBadRequest {
+		t.Fatalf("directory mode accepted a run= selector (status %d)", status)
+	}
+	for _, p := range []string{"/v1/runs", "/v1/diff?a=main&b=main"} {
+		if status, _ := get(t, dts, p); status != http.StatusNotFound {
+			t.Fatalf("directory mode GET %s: want 404, got %d", p, status)
+		}
+	}
+}
+
+// TestServeLakeRunsAndDiff covers the two lake-only endpoints against
+// a two-generation branch.
+func TestServeLakeRunsAndDiff(t *testing.T) {
+	f := buildLakeFixture(t, 2)
+	red := redplane.New(redplane.Options{SlowThreshold: -1})
+	srv, err := New(f.lakeDir, obs.NewWall(), WithRedPlane(red))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var runs struct {
+		ServingBranch string `json:"serving_branch"`
+		Branches      []struct {
+			Branch         string `json:"branch"`
+			Run            string `json:"run"`
+			Seed           int64  `json:"seed"`
+			HeadDay        int    `json:"head_day"`
+			HeadGeneration string `json:"head_generation"`
+			Fingerprint    string `json:"fingerprint"`
+			Generations    int    `json:"generations"`
+			Commits        []struct {
+				ID         int64  `json:"id"`
+				Day        int    `json:"day"`
+				Generation string `json:"generation"`
+			} `json:"commits"`
+		} `json:"branches"`
+	}
+	getOK(t, ts, "/v1/runs", &runs)
+	if runs.ServingBranch != "main" || len(runs.Branches) != 1 {
+		t.Fatalf("/v1/runs: %+v", runs)
+	}
+	br := runs.Branches[0]
+	if br.Branch != "main" || br.Run != fmt.Sprintf("seed-%d", fixtureSeed) || br.Seed != fixtureSeed {
+		t.Fatalf("/v1/runs branch identity: %+v", br)
+	}
+	if br.Generations != 2 || len(br.Commits) != 2 || br.Fingerprint == "" {
+		t.Fatalf("/v1/runs generations: %+v", br)
+	}
+	if br.Commits[0].Day != br.HeadDay || br.Commits[1].Day != f.midDay {
+		t.Fatalf("/v1/runs commits not newest-first: %+v", br.Commits)
+	}
+	if br.HeadGeneration != srv.Store().Generation {
+		t.Fatalf("/v1/runs head generation %s, serving %s", br.HeadGeneration, srv.Store().Generation)
+	}
+	// limit=1 truncates the commit list but not the generation count.
+	getOK(t, ts, "/v1/runs?limit=1", &runs)
+	if br := runs.Branches[0]; br.Generations != 2 || len(br.Commits) != 1 {
+		t.Fatalf("/v1/runs?limit=1: %+v", br)
+	}
+
+	var diff struct {
+		A struct {
+			Day        int    `json:"day"`
+			Generation string `json:"generation"`
+		} `json:"a"`
+		B struct {
+			Day        int    `json:"day"`
+			Generation string `json:"generation"`
+		} `json:"b"`
+		Identical bool           `json:"identical"`
+		Deltas    map[string]int `json:"dataset_deltas"`
+		Changed   []string       `json:"headline_changed"`
+	}
+	getOK(t, ts, fmt.Sprintf("/v1/diff?a=main@%d&b=main", f.midDay), &diff)
+	if diff.Identical || diff.A.Day != f.midDay || diff.B.Day <= f.midDay {
+		t.Fatalf("/v1/diff mid-vs-head: %+v", diff)
+	}
+	if diff.Deltas["samples"] <= 0 {
+		t.Fatalf("/v1/diff: head should hold more samples than day %d: %+v", f.midDay, diff.Deltas)
+	}
+
+	getOK(t, ts, "/v1/diff?a=main&b=main", &diff)
+	if !diff.Identical || diff.A.Generation != diff.B.Generation || len(diff.Changed) != 0 {
+		t.Fatalf("/v1/diff self: %+v", diff)
+	}
+	for k, d := range diff.Deltas {
+		if d != 0 {
+			t.Fatalf("/v1/diff self: nonzero %s delta %d", k, d)
+		}
+	}
+
+	for _, tc := range []struct {
+		path   string
+		status int
+	}{
+		{"/v1/diff?a=main", http.StatusBadRequest},
+		{"/v1/diff?a=main&b=ghost", http.StatusNotFound},
+		{"/v1/diff?a=main@x&b=main", http.StatusBadRequest},
+		{"/v1/runs?limit=0", http.StatusBadRequest},
+		{"/v1/runs?cursor=1", http.StatusBadRequest},
+	} {
+		status, body := get(t, ts, tc.path)
+		if status != tc.status {
+			t.Fatalf("GET %s: status %d, want %d (%s)", tc.path, status, tc.status, body)
+		}
+	}
+
+	// The generation counters carry the run label in lake mode.
+	if status, _ := get(t, ts, "/v1/headline"); status != http.StatusOK {
+		t.Fatal("headline request failed")
+	}
+	var prom bytes.Buffer
+	if err := red.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	wantLabel := fmt.Sprintf("generation_requests_total{generation=%q,run=%q}",
+		srv.Store().Generation, fmt.Sprintf("seed-%d", fixtureSeed))
+	if !strings.Contains(prom.String(), wantLabel) {
+		t.Fatalf("exposition missing per-run generation label %s:\n%s", wantLabel, prom.String())
+	}
+}
+
+// TestServeLakeReload drives the daemon lifecycle against a lake: a
+// commit landing after startup is picked up by Reload, and the new
+// head serves while the old generation stays reachable via asof.
+func TestServeLakeReload(t *testing.T) {
+	f := buildLakeFixture(t, 2)
+	// A private lake so the commit below doesn't pollute the shared
+	// fixture: re-commit the two fixture generations.
+	dir := t.TempDir()
+	l, err := lake.Open(filepath.Join(dir, "lake"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := os.ReadDir(f.midDir)
+	if err != nil || len(mid) != 1 {
+		t.Fatalf("mid fixture dir: %v err=%v", mid, err)
+	}
+	if _, err := l.CommitFile("main", "r", fixtureSeed, f.midDay, filepath.Join(f.midDir, mid[0].Name())); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(filepath.Join(dir, "lake"), obs.NewWall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var before headlineResp
+	getOK(t, ts, "/v1/headline", &before)
+	if before.Day != f.midDay {
+		t.Fatalf("lake head day %d, want %d", before.Day, f.midDay)
+	}
+	if changed, err := srv.Reload(); err != nil || changed {
+		t.Fatalf("no-op lake reload: changed=%v err=%v", changed, err)
+	}
+
+	snap, _, err := checkpoint.Latest(f.finalDir)
+	if err != nil || snap == nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CommitFile("main", "r", fixtureSeed, snap.Day, snap.Path); err != nil {
+		t.Fatal(err)
+	}
+	if changed, err := srv.Reload(); err != nil || !changed {
+		t.Fatalf("lake reload after commit: changed=%v err=%v", changed, err)
+	}
+	var after headlineResp
+	getOK(t, ts, "/v1/headline", &after)
+	if after.Day != snap.Day || after.Generation == before.Generation {
+		t.Fatalf("reloaded head: day %d generation %.12s (before %.12s)", after.Day, after.Generation, before.Generation)
+	}
+	// The pre-reload generation is still one asof away.
+	var old headlineResp
+	getOK(t, ts, fmt.Sprintf("/v1/headline?asof=%d", f.midDay), &old)
+	if old.Generation != before.Generation {
+		t.Fatalf("old generation unreachable after reload: %.12s vs %.12s", old.Generation, before.Generation)
+	}
+
+	// An empty lake (no commits on the branch) refuses to serve.
+	empty := t.TempDir()
+	if _, err := lake.Open(filepath.Join(empty, "lake")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(filepath.Join(empty, "lake"), obs.NewWall()); err == nil {
+		t.Fatal("New on an empty lake did not fail")
+	}
+}

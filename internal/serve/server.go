@@ -13,6 +13,7 @@ import (
 
 	"malnet/internal/colstore"
 	"malnet/internal/core"
+	"malnet/internal/lake"
 	"malnet/internal/obs"
 	"malnet/internal/obs/redplane"
 	"malnet/internal/results"
@@ -25,6 +26,20 @@ import (
 type Server struct {
 	dir   string
 	store atomic.Pointer[Store]
+
+	// Lake mode: when dir holds a run lake (lake.IsLake), lk is the
+	// mounted lake and branch is the line of history the default store
+	// tracks. Every endpoint then accepts run=/asof= selectors that
+	// resolve through the commit journal to any retained generation;
+	// resolved historical generations are kept as resident stores in
+	// an LRU capped at maxResidentStores (see lake.go in this
+	// package). Both are nil/empty in legacy single-directory mode.
+	lk     *lake.Lake
+	branch string
+
+	residentMu   sync.Mutex
+	resident     map[string]*residentStore
+	residentTick int64
 	// swaps counts store generations ingested (the store_generation
 	// wall gauge): 1 after the initial load, +1 per hot reload.
 	swaps    atomic.Int64
@@ -60,6 +75,12 @@ func WithRedPlane(p *redplane.Plane) Option {
 	return func(s *Server) { s.red = p }
 }
 
+// WithBranch selects the lake branch the default store tracks
+// ("main" when unset). Ignored in single-directory mode.
+func WithBranch(branch string) Option {
+	return func(s *Server) { s.branch = branch }
+}
+
 // maxCacheEntries bounds cache memory. The cache is cleared (not
 // LRU-evicted) when full: generations turn over wholesale, and a
 // daemon hot enough to fill the cap is about to repopulate it with
@@ -75,15 +96,30 @@ const maxCacheEntries = 4096
 // cache_misses, cache_coalesced) are counters — see DESIGN.md's
 // expvar key table.
 func New(dir string, wall *obs.Wall, opts ...Option) (*Server, error) {
-	s := &Server{dir: dir, cache: map[string][]byte{}}
+	s := &Server{
+		dir:      dir,
+		branch:   "main",
+		cache:    map[string][]byte{},
+		resident: map[string]*residentStore{},
+	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if lake.IsLake(dir) {
+		lk, err := lake.Open(dir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.lk = lk
 	}
 	changed, err := s.Reload()
 	if err != nil {
 		return nil, err
 	}
 	if !changed {
+		if s.lk != nil {
+			return nil, fmt.Errorf("serve: lake %s has no commits on branch %q", dir, s.branch)
+		}
 		return nil, fmt.Errorf("serve: no checkpoint found in %s", dir)
 	}
 	wall.SetGauge("serve.requests_in_flight", s.inflight.Load)
@@ -98,6 +134,11 @@ func New(dir string, wall *obs.Wall, opts ...Option) (*Server, error) {
 		}
 		return 100 * h / (h + m)
 	})
+	wall.SetGauge("serve.resident_stores", func() int64 {
+		s.residentMu.Lock()
+		defer s.residentMu.Unlock()
+		return int64(len(s.resident))
+	})
 	return s, nil
 }
 
@@ -111,17 +152,47 @@ func (s *Server) Store() *Store { return s.store.Load() }
 // whether a swap happened. Safe to call concurrently with requests
 // (though the daemon calls it from a single ticker goroutine).
 func (s *Server) Reload() (bool, error) {
-	ss, reg, err := core.OpenStudySnapshot(s.dir)
-	if err != nil {
-		return false, err
+	var (
+		ss  *core.StudySnapshot
+		reg *obs.Registry
+		run string
+	)
+	if s.lk != nil {
+		// Lake mode tracks the configured branch's head. A branch
+		// that doesn't exist yet is "nothing to serve", not an error —
+		// the daemon's reload ticker keeps watching for the first
+		// commit.
+		head, err := s.lk.Head(s.branch)
+		if err != nil {
+			return false, fmt.Errorf("serve: %w", err)
+		}
+		if head == nil {
+			return false, nil
+		}
+		if cur := s.store.Load(); cur != nil && cur.Generation == head.Snapshot {
+			return false, nil
+		}
+		ss, reg, err = core.OpenSnapshotAt(s.lk.ObjectPath(head.Snapshot))
+		if err != nil {
+			return false, fmt.Errorf("serve: %w", err)
+		}
+		run = head.Run
+	} else {
+		var err error
+		ss, reg, err = core.OpenStudySnapshot(s.dir)
+		if err != nil {
+			return false, err
+		}
+		if ss == nil {
+			return false, nil
+		}
+		if cur := s.store.Load(); cur != nil && cur.Generation == ss.Generation {
+			return false, nil
+		}
 	}
-	if ss == nil {
-		return false, nil
-	}
-	if cur := s.store.Load(); cur != nil && cur.Generation == ss.Generation {
-		return false, nil
-	}
-	s.store.Store(BuildStore(ss, reg))
+	st := BuildStore(ss, reg)
+	st.Run = run
+	s.store.Store(st)
 	s.swaps.Add(1)
 	s.red.StoreSwapped()
 	s.mu.Lock()
@@ -143,6 +214,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/c2", s.cached("c2_index", s.handleC2Index))
 	mux.HandleFunc("GET /v1/c2/{addr}", s.cached("c2_point", s.handleC2))
 	mux.HandleFunc("GET /v1/query", s.cached("query", s.handleQuery))
+	mux.HandleFunc("GET /v1/runs", s.uncached("runs", s.handleRuns))
+	mux.HandleFunc("GET /v1/diff", s.uncached("diff", s.handleDiff))
 	return mux
 }
 
@@ -232,6 +305,23 @@ func (s *Server) cached(name string, fn endpoint) http.HandlerFunc {
 
 		st := s.store.Load()
 		sp := s.red.Start(name, requestPath(r), st.Generation)
+		// Time travel: a run=/asof= selector re-points the request at
+		// a resolved historical generation before the cache key is
+		// built, so everything downstream — key, flight, handler — is
+		// oblivious to how the store was chosen. The selector scan is
+		// a plain substring walk; selector-free requests (the hot
+		// path) never touch url.Values.
+		if s.lk != nil && hasSelector(r.URL.RawQuery) {
+			hst, herr := s.storeForSelector(r)
+			if herr != nil {
+				b, _ := json.Marshal(map[string]string{"error": herr.msg})
+				finishJSON(w, sp, herr.status, append(b, '\n'))
+				return
+			}
+			st = hst
+			sp.SetGeneration(st.Generation)
+		}
+		sp.SetRun(st.Run)
 		ks := keyScratchPool.Get().(*keyScratch)
 		kb := ks.appendKey(st.Generation, r.URL.Path, r.URL.RawQuery)
 		stopLookup := sp.Stage("cache_lookup")
@@ -357,9 +447,16 @@ func page(r *http.Request) (limit, cursor int, herr *httpError) {
 }
 
 // checkParams rejects unknown query parameters: a typoed filter that
-// silently matches everything is worse than a 400.
-func checkParams(r *http.Request, known ...string) *httpError {
+// silently matches everything is worse than a 400. In lake mode the
+// run= and asof= selectors are valid on every endpoint (consumed by
+// the cached wrapper before the handler runs); in single-directory
+// mode they stay unknown, so a selector against a non-lake daemon
+// fails loudly instead of silently serving the only store.
+func (s *Server) checkParams(r *http.Request, known ...string) *httpError {
 	for k := range r.URL.Query() {
+		if s.lk != nil && (k == "run" || k == "asof") {
+			continue
+		}
 		found := false
 		for _, want := range known {
 			if k == want {
@@ -405,7 +502,7 @@ func clampPage(positions []int, cursor, limit int) []int {
 }
 
 func (s *Server) handleHeadline(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
-	if herr := checkParams(r); herr != nil {
+	if herr := s.checkParams(r); herr != nil {
 		return nil, herr
 	}
 	samples, c2s, exploits, ddos := st.Sizes()
@@ -427,7 +524,7 @@ func (s *Server) handleHeadline(st *Store, r *http.Request, sp *redplane.Span) (
 }
 
 func (s *Server) handleMetrics(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
-	if herr := checkParams(r); herr != nil {
+	if herr := s.checkParams(r); herr != nil {
 		return nil, herr
 	}
 	return struct {
@@ -438,7 +535,7 @@ func (s *Server) handleMetrics(st *Store, r *http.Request, sp *redplane.Span) (a
 }
 
 func (s *Server) handleSamples(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
-	if herr := checkParams(r, "family", "day", "c2", "limit", "cursor"); herr != nil {
+	if herr := s.checkParams(r, "family", "day", "c2", "limit", "cursor"); herr != nil {
 		return nil, herr
 	}
 	limit, cursor, herr := page(r)
@@ -471,7 +568,7 @@ func (s *Server) handleSamples(st *Store, r *http.Request, sp *redplane.Span) (a
 }
 
 func (s *Server) handleAttacks(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
-	if herr := checkParams(r, "type", "limit", "cursor"); herr != nil {
+	if herr := s.checkParams(r, "type", "limit", "cursor"); herr != nil {
 		return nil, herr
 	}
 	limit, cursor, herr := page(r)
@@ -506,7 +603,7 @@ func (s *Server) handleAttacks(st *Store, r *http.Request, sp *redplane.Span) (a
 }
 
 func (s *Server) handleC2Index(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
-	if herr := checkParams(r, "limit", "cursor"); herr != nil {
+	if herr := s.checkParams(r, "limit", "cursor"); herr != nil {
 		return nil, herr
 	}
 	limit, cursor, herr := page(r)
@@ -539,7 +636,7 @@ func (s *Server) handleC2Index(st *Store, r *http.Request, sp *redplane.Span) (a
 // key, and a repeated aggregation is a cache hit that never touches
 // the columns.
 func (s *Server) handleQuery(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
-	if herr := checkParams(r, "q"); herr != nil {
+	if herr := s.checkParams(r, "q"); herr != nil {
 		return nil, herr
 	}
 	src := r.URL.Query().Get("q")
@@ -563,7 +660,7 @@ func (s *Server) handleQuery(st *Store, r *http.Request, sp *redplane.Span) (any
 }
 
 func (s *Server) handleC2(st *Store, r *http.Request, sp *redplane.Span) (any, *httpError) {
-	if herr := checkParams(r); herr != nil {
+	if herr := s.checkParams(r); herr != nil {
 		return nil, herr
 	}
 	addr := r.PathValue("addr")

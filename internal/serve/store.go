@@ -34,6 +34,11 @@ type Store struct {
 	// newer snapshots the loader passed over as corrupt.
 	Day            int
 	SkippedCorrupt int
+	// Run names the lake run that committed this generation; empty in
+	// single-directory mode. It labels the red plane's generation
+	// counters, never response bodies — a lake-served snapshot stays
+	// byte-identical to the same snapshot served from a directory.
+	Run string
 
 	samples  []*core.SampleRecord
 	exploits []core.ExploitFinding

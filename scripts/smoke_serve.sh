@@ -5,6 +5,11 @@
 # checkpoint bytes, and the serving layer are all deterministic, so
 # any drift anywhere in that chain shows up as a golden mismatch.
 #
+# The same study also commits every checkpoint into a run lake
+# (-lake-dir); a second daemon then mounts the lake and the run=/asof=
+# selectors must replay the directory-mode goldens byte-for-byte,
+# with /v1/runs and /v1/diff diffed against their own goldens.
+#
 # Usage:  scripts/smoke_serve.sh           # check against goldens
 #         scripts/smoke_serve.sh -update   # regenerate the goldens
 set -euo pipefail
@@ -16,8 +21,9 @@ tmp="$(mktemp -d)"
 daemon_pid=""
 trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
 
-echo "running the fixture study (-short, checkpointed)..." >&2
-go run ./cmd/malnet -short -checkpoint-dir "$tmp/ckpt" -out "$tmp/out" >/dev/null
+echo "running the fixture study (-short, checkpointed, lake-committed)..." >&2
+go run ./cmd/malnet -short -checkpoint-dir "$tmp/ckpt" -out "$tmp/out" \
+  -lake-dir "$tmp/lake" -lake-run smoke >/dev/null
 
 echo "starting malnetd..." >&2
 go build -o "$tmp/malnetd" ./cmd/malnetd
@@ -78,6 +84,9 @@ check serve_query_topk.json "/v1/query?q=%7C%20topk(3)%20by%20attack"
 # A malformed expression must be a stable 400, not a 500 — the error
 # body (with the parser's position) is part of the API surface.
 check_status serve_query_bad.json 400 "/v1/query?q=family%3D%3D"
+# Lake-only surfaces must be stable 4xx in directory mode, not 500s.
+check_status serve_runs_nonlake.json 404 "/v1/runs"
+check_status serve_selector_nonlake.json 400 "/v1/headline?run=main"
 
 # --- serving-plane observability smoke --------------------------------
 # The golden walk above generated known traffic; the debug listener's
@@ -126,5 +135,45 @@ if ! grep -q '"endpoint": "headline"' "$tmp/slowlog"; then
   status=1
 fi
 
-[ "$status" -eq 0 ] && echo "serve smoke OK ($base, metrics on $dbg)" >&2
+# --- run-lake smoke ---------------------------------------------------
+# Swap the daemon onto the lake the study committed into. Head
+# selectors must replay the directory-mode goldens byte-for-byte:
+# run=main resolves the branch head, run=smoke the run name, asof=365
+# the newest commit of the year — all three are the same generation
+# the directory daemon just served.
+kill "$daemon_pid" 2>/dev/null
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+"$tmp/malnetd" -checkpoint-dir "$tmp/lake" -listen 127.0.0.1:0 -reload-every 0 \
+  >"$tmp/stdout2" 2>"$tmp/stderr2" &
+daemon_pid=$!
+base=""
+for _ in $(seq 100); do
+  base="$(sed -n 's#^listening on ##p' "$tmp/stdout2" | head -n1)"
+  [ -n "$base" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$base" ]; then
+  echo "malnetd did not come up on the lake:" >&2
+  cat "$tmp/stderr2" >&2
+  exit 1
+fi
+
+check serve_headline.json "/v1/headline?run=main"
+check serve_headline.json "/v1/headline?asof=365"
+check serve_samples.json "/v1/samples?family=mirai&limit=2&run=smoke"
+check serve_query_count.json "/v1/query?q=%7C%20count()%20by%20family&run=main"
+# Time travel to mid-study: asof=100 resolves the newest commit at or
+# before day 100, a generation the directory daemon never served.
+check serve_asof_headline.json "/v1/headline?asof=100"
+# Lake-only endpoints: the run listing (truncated so the golden stays
+# small) and a head-vs-day-100 diff of the same branch.
+check serve_runs.json "/v1/runs?limit=3"
+check serve_diff.json "/v1/diff?a=main%40100&b=main"
+# Unknown run names are stable 404s.
+check_status serve_selector_404.json 404 "/v1/headline?run=nope"
+
+[ "$status" -eq 0 ] && echo "serve smoke OK ($base lake, metrics on $dbg)" >&2
 exit "$status"

@@ -12,6 +12,11 @@
 // os.OpenFile) must also call os.Rename — the temp-file-plus-rename
 // pattern that makes snapshot writes atomic. A direct write could
 // leave a half-written day-NNN.ckpt for a resume to trip over.
+// internal/checkpoint and internal/lake additionally carry the fsync
+// half of that contract: a non-test file that opens writable handles
+// must call .Sync() (Close does not flush the page cache), and
+// os.WriteFile — which exposes no handle to Sync — is banned there
+// outright.
 //
 // And it holds internal/colstore to a stricter purity rule: non-test
 // files there may not import "time" or "math/rand" at all. The
@@ -93,6 +98,10 @@ func main() {
 		findings = append(findings, check(fset, file)...)
 		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "checkpoint")) {
 			findings = append(findings, checkAtomicWrites(fset, file, path)...)
+			findings = append(findings, checkSyncBeforeClose(fset, file)...)
+		}
+		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "lake")) {
+			findings = append(findings, checkSyncBeforeClose(fset, file)...)
 		}
 		if strings.Contains(filepath.Clean(path), filepath.Join("internal", "colstore")) {
 			findings = append(findings, checkPureImports(fset, file)...)
@@ -162,6 +171,78 @@ func checkAtomicWrites(fset *token.FileSet, file *ast.File, path string) []strin
 	})
 	if renames {
 		return nil
+	}
+	return creators
+}
+
+// handleCreators are the os-package calls that open a writable file
+// handle. Inside the durable packages (internal/checkpoint,
+// internal/lake) a file that opens handles must also call .Sync()
+// somewhere: Close() does not flush the page cache, so a
+// rename-into-place without an fsync can still lose the bytes on
+// power failure. os.WriteFile is flagged outright — it exposes no
+// handle to Sync.
+var handleCreators = map[string]bool{
+	"Create": true, "CreateTemp": true, "OpenFile": true,
+}
+
+// checkSyncBeforeClose enforces the fsync half of the durability
+// contract on a file from internal/checkpoint or internal/lake: any
+// non-test file that opens writable handles must contain at least one
+// .Sync() call, and may not use os.WriteFile at all.
+func checkSyncBeforeClose(fset *token.FileSet, file *ast.File) []string {
+	osName := ""
+	for _, imp := range file.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == "os" {
+			osName = "os"
+			if imp.Name != nil {
+				osName = imp.Name.Name
+			}
+		}
+	}
+	if osName == "" || osName == "_" {
+		return nil
+	}
+	var creators []string
+	syncs := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == osName && id.Obj == nil {
+			switch {
+			case sel.Sel.Name == "WriteFile":
+				creators = append(creators, fmt.Sprintf(
+					"%s: os.WriteFile in a durable package — it cannot fsync; open a handle and Sync before Close",
+					fset.Position(sel.Pos())))
+			case handleCreators[sel.Sel.Name]:
+				creators = append(creators, fmt.Sprintf(
+					"%s: os.%s without a .Sync() in the file — Close does not flush the page cache",
+					fset.Position(sel.Pos()), sel.Sel.Name))
+			}
+			return true
+		}
+		if sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+			syncs = true
+		}
+		return true
+	})
+	if syncs {
+		// os.WriteFile stays flagged even in a file that Syncs
+		// elsewhere: the WriteFile'd bytes themselves are never
+		// fsynced.
+		var out []string
+		for _, c := range creators {
+			if strings.Contains(c, "os.WriteFile") {
+				out = append(out, c)
+			}
+		}
+		return out
 	}
 	return creators
 }
