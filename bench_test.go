@@ -273,24 +273,32 @@ func BenchmarkFigure13ASCDF(b *testing.B) {
 // ---- Component micro-benchmarks ----
 
 func BenchmarkMiraiCommandRoundTrip(b *testing.B) {
+	mirai, ok := c2.Lookup(c2.FamilyMirai)
+	if !ok {
+		b.Fatal("mirai not registered")
+	}
 	cmd := c2.Command{Attack: c2.AttackUDPFlood, Target: testTarget, Port: 80, Duration: time.Minute}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		wire, err := c2.EncodeMiraiAttack(cmd)
+		wire, err := mirai.EncodeCommand(cmd)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c2.DecodeMiraiAttack(wire); err != nil {
+		if _, err := mirai.DecodeCommand(wire); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkGafgytParseLine(b *testing.B) {
-	line := "!* UDP 198.51.100.9 80 60"
+	gafgyt, ok := c2.Lookup(c2.FamilyGafgyt)
+	if !ok {
+		b.Fatal("gafgyt not registered")
+	}
+	line := []byte("!* UDP 198.51.100.9 80 60\n")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := c2.ParseGafgytLine(line); err != nil {
+		if _, err := gafgyt.DecodeCommand(line); err != nil {
 			b.Fatal(err)
 		}
 	}

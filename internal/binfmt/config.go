@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+
+	"malnet/internal/c2"
 )
 
 // xorKey obfuscates the .botcfg section, mirroring Mirai's table
@@ -133,43 +135,19 @@ func ExtractConfig(b *Binary) (*BotConfig, error) {
 }
 
 // familyStrings returns the characteristic .rodata artifacts each
-// family's real samples carry; the YARA rules in internal/yara key on
-// these.
+// family's real samples carry, from its protocol spec; the YARA
+// rules in internal/yara key on these. Families outside the spec
+// registry get the shared busybox-dropper tooling strings only.
 func familyStrings(family string) []string {
-	common := []string{
+	if p, ok := c2.Lookup(family); ok {
+		if a := p.Spec().Artifacts; len(a) > 0 {
+			return a
+		}
+	}
+	return []string{
 		"/bin/busybox", "/proc/net/tcp", "/dev/watchdog", "/dev/null",
 		"enable", "system", "shell", "sh", "ps", "GET /%s HTTP/1.0",
 	}
-	perFamily := map[string][]string{
-		"mirai": {
-			"/bin/busybox MIRAI", "listening tun0",
-			"TSource Engine Query", "/dev/misc/watchdog", "PMMV",
-		},
-		"gafgyt": {
-			"PING", "PONG!", "REPORT %s:%s:%s", "BOGOMIPS",
-			"/bin/busybox wget", "gafgyt.infect",
-		},
-		"tsunami": {
-			"NICK %s", "MODE %s +xi", "JOIN %s :%s", "PRIVMSG",
-			"NOTICE %s :TSUNAMI", "kaiten.c",
-		},
-		"daddyl33t": {
-			"UDPRAW", "HYDRASYN", "NURSE", "NFOV6",
-			"daddyl33t-army", "qbot.mod",
-		},
-		"mozi": {
-			"dht.transmissionbt.com", "router.bittorrent.com",
-			"Mozi.m", "[ss]", "[hp]", "v2s",
-		},
-		"hajime": {
-			"atk.airdropmalware", ".i.hajime", "stage2.bin",
-		},
-		"vpnfilter": {
-			"/var/run/vpnfilterw", "photobucket.com/user", "torproject",
-			"vpnfilter-stage1",
-		},
-	}
-	return append(common, perFamily[family]...)
 }
 
 // EncodeForeign builds a non-MIPS decoy binary: a structurally

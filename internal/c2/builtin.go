@@ -1,0 +1,337 @@
+package c2
+
+import "malnet/internal/c2/spec"
+
+// The built-in family specs: the paper's seven families (Table 6)
+// plus the two scenario-pack families. Each spec is the complete
+// declarative protocol the historical hand-written implementations
+// encoded; the equivalence suite (legacy_equiv_test.go) pins the
+// compiled wire bytes to the hand-coded originals.
+
+// Well-known wire fragments, kept exported for probers and tests.
+var (
+	// MiraiHandshake is the bot's opening message (version 1).
+	MiraiHandshake = []byte{0x00, 0x00, 0x00, 0x01}
+	// MiraiPing is the 2-byte keepalive, echoed verbatim by the C2.
+	MiraiPing = []byte{0x00, 0x00}
+)
+
+// Text-protocol keepalive fragments.
+const (
+	GafgytPing = "PING"
+	GafgytPong = "PONG!"
+	DaddyPing  = "!ping"
+	DaddyPong  = "!pong"
+	// TsunamiChannel is the control channel bots join.
+	TsunamiChannel = "#tsunami"
+)
+
+// defaultDuty is the paper-calibrated elusiveness model (§3.2,
+// Figure 4) every built-in family ships with.
+var defaultDuty = spec.DutyModel{SlotHours: 4, RespAfterResp: 0.09, RespAfterIdle: 0.30}
+
+// commonArtifacts are the .rodata strings every family's samples
+// carry (busybox droppers share tooling).
+var commonArtifacts = []string{
+	"/bin/busybox", "/proc/net/tcp", "/dev/watchdog", "/dev/null",
+	"enable", "system", "shell", "sh", "ps", "GET /%s HTTP/1.0",
+}
+
+func artifacts(own ...string) []string {
+	return append(append([]string{}, commonArtifacts...), own...)
+}
+
+// MiraiSpec is Mirai's protocol, following the leaked source: a
+// 4-byte handshake, 2-byte keepalive pings echoed by the server, and
+// length-prefixed binary attack commands.
+var MiraiSpec = spec.ProtocolSpec{
+	Name:            FamilyMirai,
+	Transport:       "binary",
+	Description:     "Exploits IoT devices and turns them into bots; appeared 2016 (Dyn, OVH attacks). Binary-based C2 protocol.",
+	LaunchesAttacks: true,
+	Framing:         spec.FramingBinary,
+	Login:           []string{"\x00\x00\x00\x01"},
+	Session: spec.SessionSpec{
+		Ready:     spec.ReadyHandshake,
+		ReadyPat:  "\x00\x00\x00\x01",
+		EchoExact: "\x00\x00",
+	},
+	Keepalive: spec.KeepaliveSpec{
+		// The bot pings every 60 s; the server echoes; the echo is
+		// swallowed (empty Pong).
+		Ping: "\x00\x00", Client: "\x00\x00", ClientEverySecs: 60,
+	},
+	Commands: &spec.CommandSpec{Binary: &spec.BinaryCommandSpec{
+		// Vector ids from the leaked source (subset in the study's
+		// traffic); 33 is a variant-specific TLS extension.
+		Vectors: []spec.VectorSpec{
+			{Attack: AttackUDPFlood, Vector: 0}, // "UDP Flood" — command value "0" per §5.1
+			{Attack: AttackVSE, Vector: 1},
+			{Attack: AttackSYNFlood, Vector: 3},
+			{Attack: AttackSTOMP, Vector: 5},
+			{Attack: AttackTLS, Vector: 33, TCPTransport: true},
+		},
+		DportOptKey: 7, // from the leaked source's attack.h
+	}},
+	Probe: &spec.ProbeSpec{
+		// Handshake, then a keepalive ping the C2 will echo.
+		Messages: []string{"\x00\x00\x00\x01", "\x00\x00"},
+		Engage:   []spec.Match{{Kind: spec.MatchExact, Pat: "\x00\x00"}},
+	},
+	Signature: &spec.SignatureSpec{
+		Match: spec.Match{Kind: spec.MatchPrefix, Pat: "\x00\x00\x00\x01"},
+		Label: "mirai-handshake",
+	},
+	Duty: defaultDuty,
+	Artifacts: artifacts("/bin/busybox MIRAI", "listening tun0",
+		"TSource Engine Query", "/dev/misc/watchdog", "PMMV"),
+	Ports:            []uint16{23, 1312, 666, 606, 1791, 9506},
+	MultiSourcePorts: spec.MultiSourceV2,
+}
+
+// GafgytSpec is Gafgyt's text protocol (bashlite lineage):
+// newline-terminated lines; the server keepalives with "PING", bots
+// answer "PONG!"; commands look like "!* UDP <ip> <port> <secs>".
+var GafgytSpec = spec.ProtocolSpec{
+	Name:            FamilyGafgyt,
+	Transport:       "text",
+	Description:     "Infects Linux/BusyBox systems to launch DDoS attacks; appeared 2014. Text-based C2 protocol.",
+	LaunchesAttacks: true,
+	Framing:         spec.FramingLines,
+	Login:           []string{"BUILD GAFGYT {variant}\n"},
+	Session:         spec.SessionSpec{Ready: spec.ReadyAnyData},
+	Keepalive: spec.KeepaliveSpec{
+		Server: GafgytPing + "\n", Ping: GafgytPing, Pong: GafgytPong,
+	},
+	Commands: &spec.CommandSpec{Text: &spec.TextCommandSpec{
+		Prefix: "!* ",
+		Verbs: []spec.VerbSpec{
+			{Attack: AttackUDPFlood, Verb: "UDP"},
+			{Attack: AttackSYNFlood, Verb: "SYN"},
+			{Attack: AttackVSE, Verb: "VSE"},
+			{Attack: AttackSTD, Verb: "STD"},
+		},
+	}},
+	Probe: &spec.ProbeSpec{
+		Messages: []string{"BUILD GAFGYT PROBE\n"},
+		Engage:   []spec.Match{{Kind: spec.MatchContains, Pat: GafgytPing}},
+	},
+	Signature: &spec.SignatureSpec{
+		Match: spec.Match{Kind: spec.MatchPrefix, Pat: "BUILD GAFGYT"},
+		Label: "gafgyt-login",
+	},
+	Duty: defaultDuty,
+	Artifacts: artifacts("PING", "PONG!", "REPORT %s:%s:%s", "BOGOMIPS",
+		"/bin/busybox wget", "gafgyt.infect"),
+	Ports: []uint16{666, 6738, 1014, 42516, 81},
+}
+
+// TsunamiSpec is Tsunami's IRC dialect (Table 6: "its communication
+// over the IRC protocol"). Only the message types the bots and C2s
+// exchange are modeled: registration (NICK/USER), channel join,
+// server PING/PONG, and PRIVMSG carrying operator commands. No
+// Tsunami DDoS launches appear in the study's D-DDOS, so commands
+// are opaque strings.
+var TsunamiSpec = spec.ProtocolSpec{
+	Name:        FamilyTsunami,
+	Transport:   "irc",
+	Description: "Linux backdoor with download-and-execute capability. Communicates over IRC.",
+	Framing:     spec.FramingIRC,
+	Login:       []string{"NICK {nick}\r\n", "USER {nick} 8 * :tsunami\r\n"},
+	Session: spec.SessionSpec{
+		Ready:       spec.ReadyIRC,
+		ServerName:  "c2",
+		WelcomeText: "welcome",
+		Channel:     TsunamiChannel,
+	},
+	Keepalive: spec.KeepaliveSpec{Server: "PING :c2\r\n"},
+	Probe: &spec.ProbeSpec{
+		Messages: []string{"NICK probe\r\n", "USER probe 8 * :probe\r\n"},
+		Engage: []spec.Match{
+			{Kind: spec.MatchContains, Pat: " 001 "},
+			{Kind: spec.MatchPrefix, Pat: ":"},
+		},
+	},
+	Signature: &spec.SignatureSpec{
+		Match: spec.Match{Kind: spec.MatchPrefix, Pat: "NICK "},
+		Label: "irc-register",
+	},
+	Duty: defaultDuty,
+	Artifacts: artifacts("NICK %s", "MODE %s +xi", "JOIN %s :%s", "PRIVMSG",
+		"NOTICE %s :TSUNAMI", "kaiten.c"),
+	Ports: []uint16{6667},
+}
+
+// DaddySpec is Daddyl33t's text protocol (the QBot-derived family
+// the authors reverse-engineered): bare verbs — "UDPRAW <ip> <port>
+// <secs>", "NURSE <ip> <secs>", ...
+var DaddySpec = spec.ProtocolSpec{
+	Name:            FamilyDaddyl33t,
+	Transport:       "text",
+	Description:     "QBot-derived family targeting IoT devices; distinct DDoS attacks against ICMP and gaming servers.",
+	LaunchesAttacks: true,
+	Framing:         spec.FramingLines,
+	Login:           []string{"l33t {nick}\n"},
+	Session:         spec.SessionSpec{Ready: spec.ReadyLinePrefix, ReadyPat: "l33t"},
+	Keepalive: spec.KeepaliveSpec{
+		Server: DaddyPing + "\n", Ping: DaddyPing, Pong: DaddyPong,
+	},
+	Commands: &spec.CommandSpec{Text: &spec.TextCommandSpec{
+		Verbs: []spec.VerbSpec{
+			{Attack: AttackUDPFlood, Verb: "UDPRAW"},
+			{Attack: AttackSYNFlood, Verb: "HYDRASYN"},
+			{Attack: AttackTLS, Verb: "TLS"},
+			{Attack: AttackBlacknurse, Verb: "NURSE", Portless: true},
+			{Attack: AttackNFO, Verb: "NFOV6"},
+		},
+	}},
+	Probe: &spec.ProbeSpec{
+		Messages: []string{"l33t probe\n"},
+		Engage:   []spec.Match{{Kind: spec.MatchContains, Pat: DaddyPing}},
+	},
+	Signature: &spec.SignatureSpec{
+		Match: spec.Match{Kind: spec.MatchPrefix, Pat: "l33t "},
+		Label: "daddyl33t-login",
+	},
+	Duty: defaultDuty,
+	Artifacts: artifacts("UDPRAW", "HYDRASYN", "NURSE", "NFOV6",
+		"daddyl33t-army", "qbot.mod"),
+	Ports:            []uint16{1312, 3074, 6969},
+	MultiSourcePorts: spec.MultiSourceAlways,
+}
+
+// HajimeSpec: pure P2P, no client-server C2 to speak.
+var HajimeSpec = spec.ProtocolSpec{
+	Name:        FamilyHajime,
+	Transport:   "p2p",
+	Description: "P2P IoT malware; secures the infected device while extending its reach.",
+	P2P:         true,
+	Framing:     spec.FramingRaw,
+	Session:     spec.SessionSpec{Ready: spec.ReadyNone},
+	Duty:        defaultDuty,
+	Artifacts:   artifacts("atk.airdropmalware", ".i.hajime", "stage2.bin"),
+}
+
+// MoziSpec: pure P2P (DHT), no client-server C2.
+var MoziSpec = spec.ProtocolSpec{
+	Name:        FamilyMozi,
+	Transport:   "p2p",
+	Description: "Evolution of Mirai/Gafgyt with Hajime-style P2P (DHT); among the most prevalent Linux malware, 10x sample growth in 2021.",
+	P2P:         true,
+	Framing:     spec.FramingRaw,
+	Session:     spec.SessionSpec{Ready: spec.ReadyNone},
+	Duty:        defaultDuty,
+	Artifacts: artifacts("dht.transmissionbt.com", "router.bittorrent.com",
+		"Mozi.m", "[ss]", "[hp]", "v2s"),
+}
+
+// VPNFilterSpec is the stage-1 HTTPS beacon: the bot GETs the
+// stage-2 marker image; the distribution endpoint answers 200.
+var VPNFilterSpec = spec.ProtocolSpec{
+	Name:        FamilyVPNFilter,
+	Transport:   "https",
+	Description: "APT targeting routers and network devices; persists across reboots.",
+	Framing:     spec.FramingRaw,
+	Login:       []string{"GET /user/vpnf/update.jpg HTTP/1.1\r\nHost: update\r\nUser-Agent: curl/7.47\r\n\r\n"},
+	Session: spec.SessionSpec{
+		Ready:      spec.ReadyChunkPrefix,
+		ReadyPat:   "GET ",
+		ReadyReply: "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+	},
+	Keepalive: spec.KeepaliveSpec{
+		// Re-beacon without the User-Agent line.
+		Client:          "GET /user/vpnf/update.jpg HTTP/1.1\r\nHost: update\r\n\r\n",
+		ClientEverySecs: 60,
+	},
+	Signature: &spec.SignatureSpec{
+		Match: spec.Match{Kind: spec.MatchContains, Pat: "/user/vpnf"},
+		Label: "vpnfilter-beacon",
+	},
+	Duty: defaultDuty,
+	Artifacts: artifacts("/var/run/vpnfilterw", "photobucket.com/user", "torproject",
+		"vpnfilter-stage1"),
+	Ports: []uint16{443},
+}
+
+// WispSpec is the P2P relay scenario pack: a Mozi-style mesh where
+// bots phone relay nodes and relays forward commands from a hidden
+// origin C2 peer-to-peer. Wire grammar is a plain line protocol so
+// the relay's upstream leg reuses the ordinary client machine.
+var WispSpec = spec.ProtocolSpec{
+	Name:            FamilyWisp,
+	Transport:       "text",
+	Description:     "Scenario pack: Mozi-style P2P relay mesh; bots join relay nodes that forward commands from a hidden origin C2.",
+	Topology:        spec.TopologyP2PRelay,
+	LaunchesAttacks: true,
+	Framing:         spec.FramingLines,
+	Login:           []string{"JOIN.MESH {nick}\n"},
+	Session:         spec.SessionSpec{Ready: spec.ReadyLinePrefix, ReadyPat: "JOIN.MESH"},
+	Keepalive: spec.KeepaliveSpec{
+		Server: "MESH.PING\n", Ping: "MESH.PING", Pong: "MESH.PONG",
+	},
+	Commands: &spec.CommandSpec{Text: &spec.TextCommandSpec{
+		Verbs: []spec.VerbSpec{
+			{Attack: AttackUDPFlood, Verb: "RELAY.UDP"},
+			{Attack: AttackSYNFlood, Verb: "RELAY.SYN"},
+			{Attack: AttackSTD, Verb: "RELAY.STD"},
+		},
+	}},
+	Probe: &spec.ProbeSpec{
+		Messages: []string{"JOIN.MESH probe\n"},
+		Engage:   []spec.Match{{Kind: spec.MatchContains, Pat: "MESH.PING"}},
+	},
+	Signature: &spec.SignatureSpec{
+		Match: spec.Match{Kind: spec.MatchPrefix, Pat: "JOIN.MESH "},
+		Label: "wisp-mesh-join",
+	},
+	Duty:      defaultDuty,
+	Artifacts: artifacts("JOIN.MESH", "RELAY.UDP", "wisp.mesh", "seed.node"),
+	Ports:     []uint16{7915},
+}
+
+// SoraSpec is the DGA scenario pack: C2 endpoints are DGA domains
+// rotating on a seed-deterministic schedule; the protocol itself is
+// a plain line grammar.
+var SoraSpec = spec.ProtocolSpec{
+	Name:            FamilySora,
+	Transport:       "text",
+	Description:     "Scenario pack: DGA-style endpoint churn; C2 domains rotate on a seed-deterministic schedule.",
+	Topology:        spec.TopologyDGA,
+	LaunchesAttacks: true,
+	Framing:         spec.FramingLines,
+	Login:           []string{"sora auth {nick}\n"},
+	Session:         spec.SessionSpec{Ready: spec.ReadyLinePrefix, ReadyPat: "sora auth"},
+	Keepalive: spec.KeepaliveSpec{
+		Server: "sping\n", Ping: "sping", Pong: "spong",
+	},
+	Commands: &spec.CommandSpec{Text: &spec.TextCommandSpec{
+		Prefix: "@! ",
+		Verbs: []spec.VerbSpec{
+			{Attack: AttackUDPFlood, Verb: "UDP"},
+			{Attack: AttackSYNFlood, Verb: "SYN"},
+			{Attack: AttackVSE, Verb: "VSE"},
+		},
+	}},
+	Probe: &spec.ProbeSpec{
+		Messages: []string{"sora auth probe\n"},
+		Engage:   []spec.Match{{Kind: spec.MatchContains, Pat: "sping"}},
+	},
+	Signature: &spec.SignatureSpec{
+		Match: spec.Match{Kind: spec.MatchPrefix, Pat: "sora auth "},
+		Label: "sora-auth",
+	},
+	Duty:      defaultDuty,
+	Artifacts: artifacts("sora auth", "dga.gen", "sora.dl"),
+	Ports:     []uint16{48101},
+}
+
+func init() {
+	// Table 6 order first, then the scenario packs.
+	for _, ps := range []spec.ProtocolSpec{
+		MiraiSpec, GafgytSpec, TsunamiSpec, DaddySpec,
+		HajimeSpec, MoziSpec, VPNFilterSpec,
+		WispSpec, SoraSpec,
+	} {
+		Register(MustCompile(ps))
+	}
+}

@@ -1,0 +1,636 @@
+package c2
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"malnet/internal/c2/spec"
+)
+
+// This file pins the spec-driven protocols to the hand-written
+// implementations they replaced. The legacy* functions below are the
+// original per-family codecs, copied verbatim (renamed, unexported)
+// from the pre-spec c2 package; the tests assert byte-for-byte
+// equality between them and the compiled specs across the command
+// space, logins, keepalives, probes, and signatures. If a spec edit
+// would change any wire byte, these tests catch it before the
+// dataset goldens do.
+
+// ---- legacy Mirai (verbatim from the removed mirai.go) ----
+
+var (
+	errLegacyMiraiShort  = errors.New("c2: short mirai command")
+	errLegacyMiraiVector = errors.New("c2: unknown mirai attack vector")
+)
+
+func legacyMiraiVector(a AttackType) (uint8, error) {
+	switch a {
+	case AttackUDPFlood:
+		return 0, nil
+	case AttackVSE:
+		return 1, nil
+	case AttackSYNFlood:
+		return 3, nil
+	case AttackSTOMP:
+		return 5, nil
+	case AttackTLS:
+		return 33, nil
+	}
+	return 0, fmt.Errorf("%w: %v not a mirai attack", errLegacyMiraiVector, a)
+}
+
+func legacyMiraiAttack(vec uint8) (AttackType, error) {
+	switch vec {
+	case 0:
+		return AttackUDPFlood, nil
+	case 1:
+		return AttackVSE, nil
+	case 3:
+		return AttackSYNFlood, nil
+	case 5:
+		return AttackSTOMP, nil
+	case 33:
+		return AttackTLS, nil
+	}
+	return 0, fmt.Errorf("%w: vector %d", errLegacyMiraiVector, vec)
+}
+
+func legacyEncodeMiraiAttack(cmd Command) ([]byte, error) {
+	vec, err := legacyMiraiVector(cmd.Attack)
+	if err != nil {
+		return nil, err
+	}
+	if !cmd.Target.Is4() {
+		return nil, fmt.Errorf("c2: mirai target %v is not IPv4", cmd.Target)
+	}
+	body := make([]byte, 0, 16)
+	body = binary.BigEndian.AppendUint32(body, uint32(cmd.Duration.Seconds()))
+	body = append(body, vec, 1) // one target
+	ip := cmd.Target.As4()
+	body = append(body, ip[:]...)
+	body = append(body, 32) // /32
+	if cmd.Port != 0 {
+		body = append(body, 1, 7, 2)
+		body = binary.BigEndian.AppendUint16(body, cmd.Port)
+	} else {
+		body = append(body, 0)
+	}
+	out := make([]byte, 2, 2+len(body))
+	binary.BigEndian.PutUint16(out, uint16(2+len(body)))
+	return append(out, body...), nil
+}
+
+func legacyDecodeMiraiAttack(b []byte) (*Command, error) {
+	if len(b) < 2 {
+		return nil, errLegacyMiraiShort
+	}
+	total := int(binary.BigEndian.Uint16(b))
+	if total > len(b) || total < 8 {
+		return nil, errLegacyMiraiShort
+	}
+	body := b[2:total]
+	if len(body) < 6 {
+		return nil, errLegacyMiraiShort
+	}
+	dur := time.Duration(binary.BigEndian.Uint32(body)) * time.Second
+	attack, err := legacyMiraiAttack(body[4])
+	if err != nil {
+		return nil, err
+	}
+	n := int(body[5])
+	pos := 6
+	if n < 1 || len(body) < pos+5*n+1 {
+		return nil, errLegacyMiraiShort
+	}
+	target := netip.AddrFrom4([4]byte(body[pos : pos+4]))
+	pos += 5 * n
+	cmd := &Command{Attack: attack, Target: target, Duration: dur, Raw: b[:total]}
+	nOpts := int(body[pos])
+	pos++
+	for i := 0; i < nOpts; i++ {
+		if len(body) < pos+2 {
+			return nil, errLegacyMiraiShort
+		}
+		key, vlen := body[pos], int(body[pos+1])
+		pos += 2
+		if len(body) < pos+vlen {
+			return nil, errLegacyMiraiShort
+		}
+		if key == 7 && vlen == 2 {
+			cmd.Port = binary.BigEndian.Uint16(body[pos:])
+		}
+		pos += vlen
+	}
+	if attack == AttackTLS {
+		cmd.TCPTransport = true // Mirai's TLS variant attacks TCP
+	}
+	return cmd, nil
+}
+
+func legacyIsMiraiHandshake(b []byte) bool {
+	return len(b) >= 4 && b[0] == 0 && b[1] == 0 && b[2] == 0 && b[3] == 1
+}
+
+func legacyIsMiraiPing(b []byte) bool {
+	return len(b) == 2 && b[0] == 0 && b[1] == 0
+}
+
+// ---- legacy Gafgyt / Daddyl33t (verbatim from the removed text.go) ----
+
+var (
+	errLegacyNotCommand = errors.New("c2: line is not a DDoS command")
+	errLegacyBadCommand = errors.New("c2: malformed DDoS command")
+)
+
+func legacyGafgytVerb(a AttackType) (string, bool) {
+	switch a {
+	case AttackUDPFlood:
+		return "UDP", true
+	case AttackSYNFlood:
+		return "SYN", true
+	case AttackVSE:
+		return "VSE", true
+	case AttackSTD:
+		return "STD", true
+	}
+	return "", false
+}
+
+func legacyEncodeGafgytCommand(cmd Command) ([]byte, error) {
+	verb, ok := legacyGafgytVerb(cmd.Attack)
+	if !ok {
+		return nil, fmt.Errorf("c2: %v is not a gafgyt attack", cmd.Attack)
+	}
+	return []byte(fmt.Sprintf("!* %s %s %d %d\n", verb, cmd.Target, cmd.Port, int(cmd.Duration.Seconds()))), nil
+}
+
+func legacyParseGafgytLine(line string) (*Command, error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "!* ") {
+		return nil, errLegacyNotCommand
+	}
+	fields := strings.Fields(line[3:])
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("%w: %q", errLegacyBadCommand, line)
+	}
+	var attack AttackType
+	switch fields[0] {
+	case "UDP":
+		attack = AttackUDPFlood
+	case "SYN":
+		attack = AttackSYNFlood
+	case "VSE":
+		attack = AttackVSE
+	case "STD":
+		attack = AttackSTD
+	default:
+		return nil, fmt.Errorf("%w: verb %q", errLegacyBadCommand, fields[0])
+	}
+	return legacyParseIPPortSecs(attack, fields[1], fields[2], fields[3], line)
+}
+
+func legacyDaddyVerb(a AttackType) (string, bool) {
+	switch a {
+	case AttackUDPFlood:
+		return "UDPRAW", true
+	case AttackSYNFlood:
+		return "HYDRASYN", true
+	case AttackTLS:
+		return "TLS", true
+	case AttackBlacknurse:
+		return "NURSE", true
+	case AttackNFO:
+		return "NFOV6", true
+	}
+	return "", false
+}
+
+func legacyEncodeDaddyCommand(cmd Command) ([]byte, error) {
+	verb, ok := legacyDaddyVerb(cmd.Attack)
+	if !ok {
+		return nil, fmt.Errorf("c2: %v is not a daddyl33t attack", cmd.Attack)
+	}
+	if cmd.Attack == AttackBlacknurse {
+		return []byte(fmt.Sprintf("%s %s %d\n", verb, cmd.Target, int(cmd.Duration.Seconds()))), nil
+	}
+	return []byte(fmt.Sprintf("%s %s %d %d\n", verb, cmd.Target, cmd.Port, int(cmd.Duration.Seconds()))), nil
+}
+
+func legacyParseDaddyLine(line string) (*Command, error) {
+	line = strings.TrimSpace(line)
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, errLegacyNotCommand
+	}
+	var attack AttackType
+	switch fields[0] {
+	case "UDPRAW":
+		attack = AttackUDPFlood
+	case "HYDRASYN":
+		attack = AttackSYNFlood
+	case "TLS":
+		attack = AttackTLS
+	case "NURSE":
+		attack = AttackBlacknurse
+	case "NFOV6":
+		attack = AttackNFO
+	default:
+		return nil, errLegacyNotCommand
+	}
+	if attack == AttackBlacknurse {
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%w: %q", errLegacyBadCommand, line)
+		}
+		return legacyParseIPPortSecs(attack, fields[1], "0", fields[2], line)
+	}
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("%w: %q", errLegacyBadCommand, line)
+	}
+	return legacyParseIPPortSecs(attack, fields[1], fields[2], fields[3], line)
+}
+
+func legacyParseIPPortSecs(attack AttackType, ipS, portS, secS, raw string) (*Command, error) {
+	ip, err := netip.ParseAddr(ipS)
+	if err != nil {
+		return nil, fmt.Errorf("%w: target %q", errLegacyBadCommand, ipS)
+	}
+	port, err := strconv.ParseUint(portS, 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("%w: port %q", errLegacyBadCommand, portS)
+	}
+	secs, err := strconv.Atoi(secS)
+	if err != nil || secs < 0 {
+		return nil, fmt.Errorf("%w: duration %q", errLegacyBadCommand, secS)
+	}
+	return &Command{
+		Attack:   attack,
+		Target:   ip,
+		Port:     uint16(port),
+		Duration: time.Duration(secs) * time.Second,
+		Raw:      []byte(raw),
+	}, nil
+}
+
+// ---- the equivalence suite ----
+
+func mustLookup(t *testing.T, family string) Protocol {
+	t.Helper()
+	p, ok := Lookup(family)
+	if !ok {
+		t.Fatalf("Lookup(%q): not registered", family)
+	}
+	return p
+}
+
+// commandSpace enumerates representative commands across attack
+// types, ports (incl. portless), and durations.
+func commandSpace(attacks []AttackType) []Command {
+	targets := []string{"192.0.2.1", "198.51.100.250", "203.0.113.77"}
+	ports := []uint16{0, 53, 80, 443, 27015, 61613, 65535}
+	durs := []time.Duration{time.Second, 30 * time.Second, 2 * time.Minute, time.Hour}
+	var out []Command
+	for _, a := range attacks {
+		for _, tg := range targets {
+			for _, p := range ports {
+				for _, d := range durs {
+					out = append(out, Command{
+						Attack: a, Target: netip.MustParseAddr(tg), Port: p, Duration: d,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestSpecEquivalenceMirai(t *testing.T) {
+	p := mustLookup(t, FamilyMirai)
+	attacks := []AttackType{AttackUDPFlood, AttackVSE, AttackSYNFlood, AttackSTOMP, AttackTLS}
+	for _, cmd := range commandSpace(attacks) {
+		legacy, lerr := legacyEncodeMiraiAttack(cmd)
+		got, gerr := p.EncodeCommand(cmd)
+		if (lerr == nil) != (gerr == nil) {
+			t.Fatalf("encode %v: legacy err=%v spec err=%v", cmd, lerr, gerr)
+		}
+		if lerr != nil {
+			continue
+		}
+		if !bytes.Equal(legacy, got) {
+			t.Fatalf("encode %v:\nlegacy %x\nspec   %x", cmd, legacy, got)
+		}
+		lc, lerr := legacyDecodeMiraiAttack(legacy)
+		gc, gerr := p.DecodeCommand(got)
+		if lerr != nil || gerr != nil {
+			t.Fatalf("decode %v: legacy err=%v spec err=%v", cmd, lerr, gerr)
+		}
+		if !reflect.DeepEqual(lc, gc) {
+			t.Fatalf("decode %v:\nlegacy %+v\nspec   %+v", cmd, lc, gc)
+		}
+	}
+	// Attacks outside the command set fail in both.
+	for _, a := range []AttackType{AttackBlacknurse, AttackSTD, AttackNFO} {
+		cmd := Command{Attack: a, Target: netip.MustParseAddr("192.0.2.1"), Duration: time.Minute}
+		if _, err := p.EncodeCommand(cmd); err == nil {
+			t.Fatalf("encode %v: spec accepted a non-mirai attack", a)
+		}
+	}
+	// Truncations agree (error presence).
+	full, _ := legacyEncodeMiraiAttack(Command{Attack: AttackUDPFlood,
+		Target: netip.MustParseAddr("192.0.2.1"), Port: 80, Duration: time.Minute})
+	for cut := 0; cut < len(full); cut++ {
+		_, lerr := legacyDecodeMiraiAttack(full[:cut])
+		_, gerr := p.DecodeCommand(full[:cut])
+		if (lerr == nil) != (gerr == nil) {
+			t.Fatalf("truncation %d: legacy err=%v spec err=%v", cut, lerr, gerr)
+		}
+	}
+	// Unknown vectors agree.
+	bad := append([]byte{}, full...)
+	bad[6] = 99
+	if _, err := p.DecodeCommand(bad); !errors.Is(err, spec.ErrVector) {
+		t.Fatalf("unknown vector: err = %v, want ErrVector", err)
+	}
+}
+
+func TestSpecEquivalenceMiraiHandshake(t *testing.T) {
+	p := mustLookup(t, FamilyMirai)
+	if got := p.Login(spec.LoginVars{}); len(got) != 1 || !bytes.Equal(got[0], MiraiHandshake) {
+		t.Fatalf("login = %q, want the 4-byte handshake", got)
+	}
+	wire, every, ok := p.ClientKeepalive()
+	if !ok || !bytes.Equal(wire, MiraiPing) || every != time.Minute {
+		t.Fatalf("client keepalive = %q/%v/%v", wire, every, ok)
+	}
+	sess := p.NewSession()
+	for _, probe := range [][]byte{{0, 0, 0, 2}, {0}, nil} {
+		if legacyIsMiraiHandshake(probe) {
+			t.Fatalf("legacy accepted %x", probe)
+		}
+		if evs := sess.Data(probe); len(evs) != 0 {
+			t.Fatalf("session reacted to %x: %v", probe, evs)
+		}
+	}
+	if evs := sess.Data(MiraiHandshake); len(evs) != 1 || !evs[0].Ready {
+		t.Fatalf("handshake events = %v, want ready", evs)
+	}
+	if evs := sess.Data(MiraiPing); len(evs) != 1 || !bytes.Equal(evs[0].Write, MiraiPing) {
+		t.Fatalf("ping events = %v, want echo", evs)
+	}
+	if !legacyIsMiraiPing(MiraiPing) || legacyIsMiraiPing([]byte{0, 0, 0}) {
+		t.Fatal("legacy ping classifier sanity check failed")
+	}
+}
+
+func TestSpecEquivalenceGafgyt(t *testing.T) {
+	p := mustLookup(t, FamilyGafgyt)
+	attacks := []AttackType{AttackUDPFlood, AttackSYNFlood, AttackVSE, AttackSTD}
+	for _, cmd := range commandSpace(attacks) {
+		legacy, lerr := legacyEncodeGafgytCommand(cmd)
+		got, gerr := p.EncodeCommand(cmd)
+		if (lerr == nil) != (gerr == nil) {
+			t.Fatalf("encode %v: legacy err=%v spec err=%v", cmd, lerr, gerr)
+		}
+		if !bytes.Equal(legacy, got) {
+			t.Fatalf("encode %v:\nlegacy %q\nspec   %q", cmd, legacy, got)
+		}
+		lc, _ := legacyParseGafgytLine(string(legacy))
+		gc, gerr := p.DecodeCommand(got)
+		if gerr != nil {
+			t.Fatalf("decode %q: %v", got, gerr)
+		}
+		if !reflect.DeepEqual(lc, gc) {
+			t.Fatalf("decode %q:\nlegacy %+v\nspec   %+v", legacy, lc, gc)
+		}
+	}
+	// Error-class parity: chatter vs malformed.
+	lines := []string{
+		"PING", "PONG!", "", "hello world", "!*", "UDP 192.0.2.1 80 60",
+		"!* UDP 192.0.2.1 80", "!* WAT 192.0.2.1 80 60", "!* UDP nope 80 60",
+		"!* UDP 192.0.2.1 99999 60", "!* UDP 192.0.2.1 80 -5",
+		"  !* UDP 192.0.2.1 80 60  ",
+	}
+	for _, ln := range lines {
+		lc, lerr := legacyParseGafgytLine(ln)
+		gc, gerr := p.DecodeCommand([]byte(ln + "\n"))
+		if (lerr == nil) != (gerr == nil) {
+			t.Fatalf("%q: legacy err=%v spec err=%v", ln, lerr, gerr)
+		}
+		if errors.Is(lerr, errLegacyNotCommand) != errors.Is(gerr, ErrNotCommand) {
+			t.Fatalf("%q: chatter class mismatch: legacy %v, spec %v", ln, lerr, gerr)
+		}
+		if errors.Is(lerr, errLegacyBadCommand) != errors.Is(gerr, ErrBadCommand) {
+			t.Fatalf("%q: malformed class mismatch: legacy %v, spec %v", ln, lerr, gerr)
+		}
+		if lerr == nil && !reflect.DeepEqual(lc, gc) {
+			t.Fatalf("%q: legacy %+v spec %+v", ln, lc, gc)
+		}
+	}
+}
+
+func TestSpecEquivalenceDaddyl33t(t *testing.T) {
+	p := mustLookup(t, FamilyDaddyl33t)
+	attacks := []AttackType{AttackUDPFlood, AttackSYNFlood, AttackTLS, AttackBlacknurse, AttackNFO}
+	for _, cmd := range commandSpace(attacks) {
+		if cmd.Attack == AttackBlacknurse {
+			cmd.Port = 0 // portless on the wire
+		}
+		legacy, lerr := legacyEncodeDaddyCommand(cmd)
+		got, gerr := p.EncodeCommand(cmd)
+		if (lerr == nil) != (gerr == nil) {
+			t.Fatalf("encode %v: legacy err=%v spec err=%v", cmd, lerr, gerr)
+		}
+		if !bytes.Equal(legacy, got) {
+			t.Fatalf("encode %v:\nlegacy %q\nspec   %q", cmd, legacy, got)
+		}
+		lc, _ := legacyParseDaddyLine(string(legacy))
+		gc, gerr := p.DecodeCommand(got)
+		if gerr != nil {
+			t.Fatalf("decode %q: %v", got, gerr)
+		}
+		if !reflect.DeepEqual(lc, gc) {
+			t.Fatalf("decode %q:\nlegacy %+v\nspec   %+v", legacy, lc, gc)
+		}
+	}
+	lines := []string{
+		"!ping", "!pong", "", "UDPRAW 192.0.2.1 80", "NURSE 192.0.2.1",
+		"NURSE 192.0.2.1 60", "WAT 192.0.2.1 80 60", "UDPRAW nope 80 60",
+		"HYDRASYN 192.0.2.1 80 60", "NFOV6 192.0.2.1 238 60",
+	}
+	for _, ln := range lines {
+		lc, lerr := legacyParseDaddyLine(ln)
+		gc, gerr := p.DecodeCommand([]byte(ln + "\n"))
+		if (lerr == nil) != (gerr == nil) {
+			t.Fatalf("%q: legacy err=%v spec err=%v", ln, lerr, gerr)
+		}
+		if errors.Is(lerr, errLegacyNotCommand) != errors.Is(gerr, ErrNotCommand) {
+			t.Fatalf("%q: chatter class mismatch: legacy %v, spec %v", ln, lerr, gerr)
+		}
+		if lerr == nil && !reflect.DeepEqual(lc, gc) {
+			t.Fatalf("%q: legacy %+v spec %+v", ln, lc, gc)
+		}
+	}
+}
+
+func TestSpecEquivalenceLogins(t *testing.T) {
+	cases := []struct {
+		family string
+		vars   spec.LoginVars
+		want   [][]byte
+	}{
+		{FamilyMirai, spec.LoginVars{}, [][]byte{MiraiHandshake}},
+		{FamilyGafgyt, spec.LoginVars{Variant: "V2"},
+			[][]byte{[]byte("BUILD GAFGYT V2\n")}},
+		{FamilyDaddyl33t, spec.LoginVars{Nick: "Daddyl33t|x86|0042"},
+			[][]byte{[]byte("l33t Daddyl33t|x86|0042\n")}},
+		{FamilyTsunami, spec.LoginVars{Nick: "Tsunami|x86|0042"}, [][]byte{
+			IRCMessage{Command: "NICK", Params: []string{"Tsunami|x86|0042"}}.EncodeIRC(),
+			IRCMessage{Command: "USER", Params: []string{"Tsunami|x86|0042", "8", "*"}, Trailing: "tsunami"}.EncodeIRC(),
+		}},
+		{FamilyVPNFilter, spec.LoginVars{},
+			[][]byte{[]byte("GET /user/vpnf/update.jpg HTTP/1.1\r\nHost: update\r\nUser-Agent: curl/7.47\r\n\r\n")}},
+	}
+	for _, tc := range cases {
+		p := mustLookup(t, tc.family)
+		got := p.Login(tc.vars)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d login messages, want %d", tc.family, len(got), len(tc.want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], tc.want[i]) {
+				t.Fatalf("%s login[%d]:\ngot  %q\nwant %q", tc.family, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestSpecEquivalenceKeepalives(t *testing.T) {
+	for _, tc := range []struct {
+		family string
+		server string
+	}{
+		{FamilyGafgyt, GafgytPing + "\n"},
+		{FamilyDaddyl33t, DaddyPing + "\n"},
+		{FamilyTsunami, string(IRCMessage{Command: "PING", Trailing: "c2"}.EncodeIRC())},
+	} {
+		p := mustLookup(t, tc.family)
+		wire, ok := p.ServerKeepalive()
+		if !ok || string(wire) != tc.server {
+			t.Fatalf("%s server keepalive = %q/%v, want %q", tc.family, wire, ok, tc.server)
+		}
+	}
+	for _, tc := range []struct {
+		family     string
+		ping, pong string
+	}{
+		{FamilyGafgyt, GafgytPing + "\n", GafgytPong + "\n"},
+		{FamilyDaddyl33t, DaddyPing + "\n", DaddyPong + "\n"},
+	} {
+		cl := mustLookup(t, tc.family).NewClient()
+		evs := cl.Data([]byte(tc.ping))
+		if len(evs) != 1 || string(evs[0].Write) != tc.pong {
+			t.Fatalf("%s client answered %v, want %q", tc.family, evs, tc.pong)
+		}
+	}
+	// Mirai client swallows the server's echo of its own ping.
+	if evs := mustLookup(t, FamilyMirai).NewClient().Data(MiraiPing); len(evs) != 0 {
+		t.Fatalf("mirai client reacted to ping echo: %v", evs)
+	}
+}
+
+func TestSpecEquivalenceProbes(t *testing.T) {
+	legacyMsgs := map[string][][]byte{
+		FamilyMirai:     {MiraiHandshake, MiraiPing},
+		FamilyGafgyt:    {[]byte("BUILD GAFGYT PROBE\n")},
+		FamilyDaddyl33t: {[]byte("l33t probe\n")},
+		FamilyTsunami: {
+			IRCMessage{Command: "NICK", Params: []string{"probe"}}.EncodeIRC(),
+			IRCMessage{Command: "USER", Params: []string{"probe", "8", "*"}, Trailing: "probe"}.EncodeIRC(),
+		},
+		FamilyHajime: {{0x00, 0x00, 0x00, 0x01}}, // generic fallback
+	}
+	for family, want := range legacyMsgs {
+		got := ProbeHandshake(family)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d probe messages, want %d", family, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("%s probe[%d]:\ngot  %q\nwant %q", family, i, got[i], want[i])
+			}
+		}
+	}
+	engage := []struct {
+		family string
+		data   []byte
+		want   bool
+	}{
+		{FamilyMirai, MiraiPing, true},
+		{FamilyMirai, []byte{0, 0, 0}, false},
+		{FamilyGafgyt, []byte("PING\n"), true},
+		{FamilyGafgyt, []byte("hello"), false},
+		{FamilyDaddyl33t, []byte("!ping\n"), true},
+		{FamilyDaddyl33t, []byte("PING\n"), false},
+		{FamilyTsunami, []byte(":c2 001 probe :welcome\r\n"), true},
+		{FamilyTsunami, []byte("banner 001 x"), true},
+		{FamilyTsunami, []byte("hello"), false},
+		{FamilyHajime, []byte("x"), true},
+		{FamilyHajime, nil, false},
+	}
+	for _, tc := range engage {
+		if got := ProbeEngaged(tc.family, tc.data); got != tc.want {
+			t.Fatalf("ProbeEngaged(%s, %q) = %v, want %v", tc.family, tc.data, got, tc.want)
+		}
+	}
+}
+
+func TestSpecEquivalenceSignatures(t *testing.T) {
+	// The payload → label table the hand-written c2Signature switch
+	// implemented; each must be claimed by exactly its family.
+	cases := []struct {
+		payload []byte
+		family  string
+		label   string
+	}{
+		{MiraiHandshake, FamilyMirai, "mirai-handshake"},
+		{[]byte("BUILD GAFGYT V1\n"), FamilyGafgyt, "gafgyt-login"},
+		{[]byte("l33t D|x86|0001\n"), FamilyDaddyl33t, "daddyl33t-login"},
+		{[]byte("NICK bot42\r\n"), FamilyTsunami, "irc-register"},
+		{[]byte("GET /user/vpnf/update.jpg HTTP/1.1\r\n"), FamilyVPNFilter, "vpnfilter-beacon"},
+	}
+	for _, tc := range cases {
+		var claimed []string
+		for _, p := range Protocols() {
+			if label, ok := p.Signature(tc.payload); ok {
+				claimed = append(claimed, p.Name()+"="+label)
+			}
+		}
+		want := tc.family + "=" + tc.label
+		if len(claimed) != 1 || claimed[0] != want {
+			t.Fatalf("payload %q claimed by %v, want [%s]", tc.payload, claimed, want)
+		}
+	}
+}
+
+func TestRegistryTable6Order(t *testing.T) {
+	want := []string{
+		FamilyMirai, FamilyGafgyt, FamilyTsunami, FamilyDaddyl33t,
+		FamilyHajime, FamilyMozi, FamilyVPNFilter, FamilyWisp, FamilySora,
+	}
+	got := Protocols()
+	if len(got) != len(want) {
+		t.Fatalf("%d protocols, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if p.Name() != want[i] {
+			t.Fatalf("protocol[%d] = %s, want %s", i, p.Name(), want[i])
+		}
+	}
+}

@@ -18,37 +18,23 @@ import (
 // transports.
 
 // ProbeHandshake returns the message sequence a weaponized bot of
-// the family opens a session with.
+// the family opens a session with. Families whose spec declares no
+// probe (and unknown families) get a generic 4-byte poke.
 func ProbeHandshake(family string) [][]byte {
-	switch family {
-	case FamilyMirai:
-		// Handshake, then a keepalive ping the C2 will echo.
-		return [][]byte{MiraiHandshake, MiraiPing}
-	case FamilyGafgyt:
-		return [][]byte{[]byte("BUILD GAFGYT PROBE\n")}
-	case FamilyDaddyl33t:
-		return [][]byte{[]byte("l33t probe\n")}
-	case FamilyTsunami:
-		return [][]byte{
-			IRCMessage{Command: "NICK", Params: []string{"probe"}}.EncodeIRC(),
-			IRCMessage{Command: "USER", Params: []string{"probe", "8", "*"}, Trailing: "probe"}.EncodeIRC(),
+	if p, ok := Lookup(family); ok {
+		if msgs := p.ProbeMessages(); msgs != nil {
+			return msgs
 		}
 	}
 	return [][]byte{{0x00, 0x00, 0x00, 0x01}}
 }
 
 // ProbeEngaged reports whether data from the peer is C2-protocol
-// engagement for the family.
+// engagement for the family; without a spec probe rule, any data
+// counts.
 func ProbeEngaged(family string, data []byte) bool {
-	switch family {
-	case FamilyMirai:
-		return IsMiraiPing(data)
-	case FamilyGafgyt:
-		return bytes.Contains(data, []byte(GafgytPing))
-	case FamilyDaddyl33t:
-		return bytes.Contains(data, []byte(DaddyPing))
-	case FamilyTsunami:
-		return bytes.Contains(data, []byte(" 001 ")) || bytes.HasPrefix(data, []byte(":"))
+	if p, ok := Lookup(family); ok && p.Spec().Probe != nil {
+		return p.ProbeEngaged(data)
 	}
 	return len(data) > 0
 }

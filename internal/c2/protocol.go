@@ -1,99 +1,59 @@
-// Package c2 implements the command-and-control protocols of the
-// study's botnet families — Mirai's binary protocol, Gafgyt's and
-// Daddyl33t's text protocols, Tsunami's IRC dialect — plus the C2
-// server itself with the duty-cycle "elusiveness" model §3.2
-// measures, and the co-hosted malware downloader (§3.1: downloader
-// and C2 are often the same server).
+// Package c2 implements the command-and-control layer of the study's
+// botnet families: the C2 server with the duty-cycle "elusiveness"
+// model §3.2 measures, the co-hosted malware downloader (§3.1:
+// downloader and C2 are often the same server), and a registry of
+// compiled protocol specs (internal/c2/spec) covering Mirai's binary
+// protocol, Gafgyt's and Daddyl33t's text protocols, Tsunami's IRC
+// dialect, and the scenario-pack families.
 //
-// Protocol codecs are pure functions over bytes so the same code
-// drives the simulated bots, the C2 servers, and the pipeline's
-// traffic profilers (§2.5a builds its DDoS-command extractors from
-// these protocol profiles).
+// Protocols are declarative: each family is a spec.ProtocolSpec
+// compiled once at init and registered under its family name. The
+// same compiled protocol drives the simulated bots, the C2 servers,
+// and the pipeline's traffic profilers (§2.5a builds its
+// DDoS-command extractors from these protocol profiles), so a new
+// family is one spec value, not four hand-written implementations.
 package c2
 
-import (
-	"fmt"
-	"net/netip"
-	"time"
-)
+import "malnet/internal/c2/spec"
 
-// AttackType is one of the eight observed DDoS attack types (§5.1).
-type AttackType uint8
+// The command model lives in the spec package; these aliases keep
+// the pipeline-facing names (c2.Command in checkpoints, datasets,
+// DDoSObservation) stable.
+type (
+	// AttackType is one of the eight observed DDoS attack types (§5.1).
+	AttackType = spec.AttackType
+	// Command is a parsed DDoS command.
+	Command = spec.Command
+	// IRCMessage is one parsed IRC line.
+	IRCMessage = spec.IRCMessage
+)
 
 // The eight attack types of Figure 11.
 const (
-	AttackUDPFlood AttackType = iota
-	AttackSYNFlood
-	AttackTLS
-	AttackBlacknurse
-	AttackSTOMP
-	AttackVSE
-	AttackSTD
-	AttackNFO
+	AttackUDPFlood   = spec.AttackUDPFlood
+	AttackSYNFlood   = spec.AttackSYNFlood
+	AttackTLS        = spec.AttackTLS
+	AttackBlacknurse = spec.AttackBlacknurse
+	AttackSTOMP      = spec.AttackSTOMP
+	AttackVSE        = spec.AttackVSE
+	AttackSTD        = spec.AttackSTD
+	AttackNFO        = spec.AttackNFO
 )
 
-// String names the attack type as the paper does.
-func (a AttackType) String() string {
-	switch a {
-	case AttackUDPFlood:
-		return "UDP Flood"
-	case AttackSYNFlood:
-		return "SYN Flood"
-	case AttackTLS:
-		return "TLS"
-	case AttackBlacknurse:
-		return "BLACKNURSE"
-	case AttackSTOMP:
-		return "STOMP"
-	case AttackVSE:
-		return "VSE"
-	case AttackSTD:
-		return "STD"
-	case AttackNFO:
-		return "NFO"
-	}
-	return fmt.Sprintf("AttackType(%d)", uint8(a))
-}
+// Text protocol errors.
+var (
+	ErrNotCommand = spec.ErrNotCommand
+	ErrBadCommand = spec.ErrBadCommand
+)
 
-// TargetProto returns the victim-side protocol the attack rides on,
-// the dimension of Figure 10.
-func (a AttackType) TargetProto() string {
-	switch a {
-	case AttackUDPFlood, AttackVSE, AttackSTD, AttackNFO:
-		return "UDP"
-	case AttackSYNFlood, AttackSTOMP:
-		return "TCP"
-	case AttackTLS:
-		// The daddyl33t TLS variant floods a UDP/DTLS port; the
-		// Mirai variant is TCP. Per-command Port semantics decide;
-		// the aggregate is labeled by the dominant UDP use.
-		return "UDP"
-	case AttackBlacknurse:
-		return "ICMP"
-	}
-	return "?"
-}
+// ParseIRC parses one IRC line (without its CRLF).
+func ParseIRC(line string) (IRCMessage, error) { return spec.ParseIRC(line) }
 
-// Command is a parsed DDoS command.
-type Command struct {
-	Attack   AttackType
-	Target   netip.Addr
-	Port     uint16 // 0 when the attack has no port (BLACKNURSE)
-	Duration time.Duration
-	// TCPTransport marks TLS commands aimed at a TCP service
-	// (Mirai's variant) rather than UDP/DTLS (daddyl33t's).
-	TCPTransport bool
-	// Raw is the wire form the command arrived in.
-	Raw []byte
-}
-
-// String renders the command for reports.
-func (c Command) String() string {
-	if c.Port == 0 {
-		return fmt.Sprintf("%s %s %ds", c.Attack, c.Target, int(c.Duration.Seconds()))
-	}
-	return fmt.Sprintf("%s %s:%d %ds", c.Attack, c.Target, c.Port, int(c.Duration.Seconds()))
-}
+// Lines splits a text-protocol buffer into complete lines, returning
+// them and any trailing partial line — protocol parsers use it so
+// they behave identically over message-preserving simnet conns and
+// real TCP streams.
+func Lines(buf []byte) (lines []string, rest []byte) { return spec.Lines(buf) }
 
 // Family names used across the pipeline.
 const (
@@ -104,4 +64,9 @@ const (
 	FamilyMozi      = "mozi"
 	FamilyHajime    = "hajime"
 	FamilyVPNFilter = "vpnfilter"
+
+	// Scenario-pack families (not part of the paper's seven; worlds
+	// include them only when the scenario config enables them).
+	FamilyWisp = "wisp" // P2P relay topology (Mozi-style command relay)
+	FamilySora = "sora" // DGA-style endpoint churn
 )

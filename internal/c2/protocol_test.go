@@ -11,14 +11,24 @@ import (
 
 var target = netip.MustParseAddr("198.51.100.9")
 
+func proto(t *testing.T, family string) Protocol {
+	t.Helper()
+	p, ok := Lookup(family)
+	if !ok {
+		t.Fatalf("Lookup(%q): not registered", family)
+	}
+	return p
+}
+
 func TestMiraiAttackRoundTrip(t *testing.T) {
+	p := proto(t, FamilyMirai)
 	for _, attack := range []AttackType{AttackUDPFlood, AttackSYNFlood, AttackSTOMP, AttackVSE, AttackTLS} {
 		cmd := Command{Attack: attack, Target: target, Port: 80, Duration: 60 * time.Second}
-		wire, err := EncodeMiraiAttack(cmd)
+		wire, err := p.EncodeCommand(cmd)
 		if err != nil {
 			t.Fatalf("%v: %v", attack, err)
 		}
-		got, err := DecodeMiraiAttack(wire)
+		got, err := p.DecodeCommand(wire)
 		if err != nil {
 			t.Fatalf("%v: %v", attack, err)
 		}
@@ -31,19 +41,20 @@ func TestMiraiAttackRoundTrip(t *testing.T) {
 func TestMiraiUDPFloodUsesVectorZero(t *testing.T) {
 	// §5.1: "Mirai uses value 0 in the DDOS command to refer to
 	// this attack."
-	wire, _ := EncodeMiraiAttack(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	wire, _ := proto(t, FamilyMirai).EncodeCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
 	if wire[6] != 0 {
 		t.Fatalf("vector byte = %d, want 0", wire[6])
 	}
 }
 
 func TestMiraiPortlessCommand(t *testing.T) {
+	p := proto(t, FamilyMirai)
 	cmd := Command{Attack: AttackSYNFlood, Target: target, Duration: 30 * time.Second}
-	wire, err := EncodeMiraiAttack(cmd)
+	wire, err := p.EncodeCommand(cmd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := DecodeMiraiAttack(wire)
+	got, err := p.DecodeCommand(wire)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,8 +64,9 @@ func TestMiraiPortlessCommand(t *testing.T) {
 }
 
 func TestMiraiTLSMarksTCPTransport(t *testing.T) {
-	wire, _ := EncodeMiraiAttack(Command{Attack: AttackTLS, Target: target, Port: 443, Duration: time.Minute})
-	got, err := DecodeMiraiAttack(wire)
+	p := proto(t, FamilyMirai)
+	wire, _ := p.EncodeCommand(Command{Attack: AttackTLS, Target: target, Port: 443, Duration: time.Minute})
+	got, err := p.DecodeCommand(wire)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,45 +76,53 @@ func TestMiraiTLSMarksTCPTransport(t *testing.T) {
 }
 
 func TestMiraiDecodeRejectsShort(t *testing.T) {
-	if _, err := DecodeMiraiAttack([]byte{0, 5, 1}); err == nil {
+	p := proto(t, FamilyMirai)
+	if _, err := p.DecodeCommand([]byte{0, 5, 1}); err == nil {
 		t.Fatal("short command decoded")
 	}
-	if _, err := DecodeMiraiAttack(nil); err == nil {
+	if _, err := p.DecodeCommand(nil); err == nil {
 		t.Fatal("nil command decoded")
 	}
 }
 
 func TestMiraiDecodeRejectsUnknownVector(t *testing.T) {
-	wire, _ := EncodeMiraiAttack(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	p := proto(t, FamilyMirai)
+	wire, _ := p.EncodeCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
 	wire[6] = 99
-	if _, err := DecodeMiraiAttack(wire); err == nil {
+	if _, err := p.DecodeCommand(wire); err == nil {
 		t.Fatal("unknown vector decoded")
 	}
 }
 
 func TestMiraiHandshakeAndPing(t *testing.T) {
-	if !IsMiraiHandshake(MiraiHandshake) {
-		t.Fatal("canonical handshake not recognized")
-	}
-	if IsMiraiHandshake([]byte{0, 0, 0, 2}) {
+	// The spec-driven session recognizes the canonical handshake and
+	// echoes the canonical ping; near-misses do nothing.
+	sess := proto(t, FamilyMirai).NewSession()
+	if evs := sess.Data([]byte{0, 0, 0, 2}); len(evs) != 0 {
 		t.Fatal("wrong version accepted")
 	}
-	if !IsMiraiPing(MiraiPing) {
-		t.Fatal("canonical ping not recognized")
+	evs := sess.Data(MiraiHandshake)
+	if len(evs) != 1 || !evs[0].Ready {
+		t.Fatalf("canonical handshake not recognized: %v", evs)
 	}
-	if IsMiraiPing([]byte{0, 0, 0}) {
+	if evs := sess.Data([]byte{0, 0, 0}); len(evs) != 0 {
 		t.Fatal("3-byte ping accepted")
+	}
+	evs = sess.Data(MiraiPing)
+	if len(evs) != 1 || !bytes.Equal(evs[0].Write, MiraiPing) {
+		t.Fatalf("canonical ping not echoed: %v", evs)
 	}
 }
 
 func TestGafgytRoundTrip(t *testing.T) {
+	p := proto(t, FamilyGafgyt)
 	for _, attack := range []AttackType{AttackUDPFlood, AttackSYNFlood, AttackVSE, AttackSTD} {
 		cmd := Command{Attack: attack, Target: target, Port: 80, Duration: 60 * time.Second}
-		wire, err := EncodeGafgytCommand(cmd)
+		wire, err := p.EncodeCommand(cmd)
 		if err != nil {
 			t.Fatalf("%v: %v", attack, err)
 		}
-		got, err := ParseGafgytLine(string(wire))
+		got, err := p.DecodeCommand(wire)
 		if err != nil {
 			t.Fatalf("%v: %v", attack, err)
 		}
@@ -114,36 +134,39 @@ func TestGafgytRoundTrip(t *testing.T) {
 
 func TestGafgytUDPWireFormat(t *testing.T) {
 	// §5.1: "Gafgyt uses the string UDP ... to launch this attack".
-	wire, _ := EncodeGafgytCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	wire, _ := proto(t, FamilyGafgyt).EncodeCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
 	if !strings.HasPrefix(string(wire), "!* UDP 198.51.100.9 80 60") {
 		t.Fatalf("wire = %q", wire)
 	}
 }
 
 func TestGafgytChatterIsNotCommand(t *testing.T) {
+	p := proto(t, FamilyGafgyt)
 	for _, line := range []string{"PING", "PONG!", "", "hello"} {
-		if _, err := ParseGafgytLine(line); err != ErrNotCommand {
+		if _, err := p.DecodeCommand([]byte(line)); err != ErrNotCommand {
 			t.Fatalf("%q: err = %v, want ErrNotCommand", line, err)
 		}
 	}
 }
 
 func TestGafgytMalformedCommand(t *testing.T) {
+	p := proto(t, FamilyGafgyt)
 	for _, line := range []string{"!* UDP", "!* UDP notanip 80 60", "!* UDP 1.2.3.4 99999 60", "!* WAT 1.2.3.4 80 60"} {
-		if _, err := ParseGafgytLine(line); err == nil {
+		if _, err := p.DecodeCommand([]byte(line)); err == nil {
 			t.Fatalf("%q parsed", line)
 		}
 	}
 }
 
 func TestDaddyRoundTrip(t *testing.T) {
+	p := proto(t, FamilyDaddyl33t)
 	for _, attack := range []AttackType{AttackUDPFlood, AttackSYNFlood, AttackTLS, AttackNFO} {
 		cmd := Command{Attack: attack, Target: target, Port: 4567, Duration: 120 * time.Second}
-		wire, err := EncodeDaddyCommand(cmd)
+		wire, err := p.EncodeCommand(cmd)
 		if err != nil {
 			t.Fatalf("%v: %v", attack, err)
 		}
-		got, err := ParseDaddyLine(string(wire))
+		got, err := p.DecodeCommand(wire)
 		if err != nil {
 			t.Fatalf("%v: %v", attack, err)
 		}
@@ -155,27 +178,29 @@ func TestDaddyRoundTrip(t *testing.T) {
 
 func TestDaddyVerbsMatchPaper(t *testing.T) {
 	// §5.1: UDPRAW, HYDRASYN, NURSE (ICMP, portless), NFOV6.
-	wire, _ := EncodeDaddyCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	p := proto(t, FamilyDaddyl33t)
+	wire, _ := p.EncodeCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
 	if !strings.HasPrefix(string(wire), "UDPRAW ") {
 		t.Fatalf("UDP verb = %q", wire)
 	}
-	wire, _ = EncodeDaddyCommand(Command{Attack: AttackSYNFlood, Target: target, Port: 80, Duration: time.Minute})
+	wire, _ = p.EncodeCommand(Command{Attack: AttackSYNFlood, Target: target, Port: 80, Duration: time.Minute})
 	if !strings.HasPrefix(string(wire), "HYDRASYN ") {
 		t.Fatalf("SYN verb = %q", wire)
 	}
-	wire, _ = EncodeDaddyCommand(Command{Attack: AttackBlacknurse, Target: target, Duration: time.Minute})
+	wire, _ = p.EncodeCommand(Command{Attack: AttackBlacknurse, Target: target, Duration: time.Minute})
 	if string(wire) != "NURSE 198.51.100.9 60\n" {
 		t.Fatalf("NURSE wire = %q", wire)
 	}
-	got, err := ParseDaddyLine("NURSE 198.51.100.9 60")
+	got, err := p.DecodeCommand([]byte("NURSE 198.51.100.9 60"))
 	if err != nil || got.Attack != AttackBlacknurse || got.Port != 0 {
 		t.Fatalf("NURSE parse = %+v, %v", got, err)
 	}
 }
 
 func TestDaddyNonCommandLines(t *testing.T) {
+	p := proto(t, FamilyDaddyl33t)
 	for _, line := range []string{"!ping", "!pong", "l33t bot1", ""} {
-		if _, err := ParseDaddyLine(line); err != ErrNotCommand {
+		if _, err := p.DecodeCommand([]byte(line)); err != ErrNotCommand {
 			t.Fatalf("%q: err = %v, want ErrNotCommand", line, err)
 		}
 	}
@@ -227,6 +252,7 @@ func TestAttackTargetProtoDistributionDims(t *testing.T) {
 }
 
 func TestQuickMiraiRoundTripAnyPortDuration(t *testing.T) {
+	p := proto(t, FamilyMirai)
 	f := func(port uint16, secs uint16, ip [4]byte) bool {
 		cmd := Command{
 			Attack:   AttackUDPFlood,
@@ -234,11 +260,11 @@ func TestQuickMiraiRoundTripAnyPortDuration(t *testing.T) {
 			Port:     port,
 			Duration: time.Duration(secs) * time.Second,
 		}
-		wire, err := EncodeMiraiAttack(cmd)
+		wire, err := p.EncodeCommand(cmd)
 		if err != nil {
 			return false
 		}
-		got, err := DecodeMiraiAttack(wire)
+		got, err := p.DecodeCommand(wire)
 		if err != nil {
 			return false
 		}
@@ -250,6 +276,7 @@ func TestQuickMiraiRoundTripAnyPortDuration(t *testing.T) {
 }
 
 func TestQuickGafgytRoundTrip(t *testing.T) {
+	p := proto(t, FamilyGafgyt)
 	f := func(port uint16, secs uint8, ip [4]byte) bool {
 		cmd := Command{
 			Attack:   AttackUDPFlood,
@@ -257,11 +284,11 @@ func TestQuickGafgytRoundTrip(t *testing.T) {
 			Port:     port,
 			Duration: time.Duration(secs) * time.Second,
 		}
-		wire, err := EncodeGafgytCommand(cmd)
+		wire, err := p.EncodeCommand(cmd)
 		if err != nil {
 			return false
 		}
-		got, err := ParseGafgytLine(string(wire))
+		got, err := p.DecodeCommand(wire)
 		if err != nil {
 			return false
 		}
@@ -273,10 +300,11 @@ func TestQuickGafgytRoundTrip(t *testing.T) {
 }
 
 func TestMiraiDecodeTruncationFuzz(t *testing.T) {
-	wire, _ := EncodeMiraiAttack(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
+	p := proto(t, FamilyMirai)
+	wire, _ := p.EncodeCommand(Command{Attack: AttackUDPFlood, Target: target, Port: 80, Duration: time.Minute})
 	for i := 0; i < len(wire); i++ {
 		trunc := wire[:i]
-		if cmd, err := DecodeMiraiAttack(trunc); err == nil {
+		if cmd, err := p.DecodeCommand(trunc); err == nil {
 			// Decoding a prefix must never fabricate a different
 			// command.
 			if !bytes.Equal(cmd.Raw, wire) {

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"malnet/internal/c2/spec"
 	"malnet/internal/detrand"
 	"malnet/internal/simclock"
 	"malnet/internal/simnet"
@@ -37,6 +38,20 @@ func DefaultDutyCycle(seed int64) DutyCycle {
 	}
 }
 
+// DutyCycleFrom instantiates a spec's declarative duty model with a
+// seed; a zero model falls back to the default.
+func DutyCycleFrom(m spec.DutyModel, seed int64) DutyCycle {
+	if m.SlotHours <= 0 {
+		return DefaultDutyCycle(seed)
+	}
+	return DutyCycle{
+		SlotLen:       time.Duration(m.SlotHours * float64(time.Hour)),
+		RespAfterResp: m.RespAfterResp,
+		RespAfterIdle: m.RespAfterIdle,
+		Seed:          seed,
+	}
+}
+
 // hash01 derives a uniform [0,1) from the seed and slot index.
 func (d DutyCycle) hash01(slot int) float64 {
 	return detrand.Float01(d.Seed, "slot", strconv.Itoa(slot))
@@ -61,17 +76,34 @@ func (d DutyCycle) Responsive(slot int) bool {
 	return resp
 }
 
+// RelayConfig makes a server a P2P relay node: it dials the upstream
+// origin C2 as a bot, and every command it receives is re-issued to
+// its own downstream sessions.
+type RelayConfig struct {
+	// Upstream is the origin C2 the relay phones.
+	Upstream simnet.Addr
+	// RedialEvery is the reconnect cadence after the upstream leg
+	// drops; defaults to 5 m.
+	RedialEvery time.Duration
+	// IssueEvery is the downstream re-issue interval for forwarded
+	// commands; defaults to 15 m.
+	IssueEvery time.Duration
+	// IssueRetries bounds downstream re-issues while no bot is
+	// connected; defaults to 130 (the attack-plan default).
+	IssueRetries int
+}
+
 // ServerConfig describes one C2 server.
 type ServerConfig struct {
-	// Family selects the protocol (mirai, gafgyt, daddyl33t,
-	// tsunami).
+	// Family selects the registered protocol spec.
 	Family string
 	// Addr is the listen endpoint.
 	Addr simnet.Addr
 	// Birth and Death bound the server's life; outside it the host
 	// is dark (SYN timeouts).
 	Birth, Death time.Time
-	// Duty is the responsiveness model within the lifetime.
+	// Duty is the responsiveness model within the lifetime; a zero
+	// model is filled from the family spec's duty-cycle parameters.
 	Duty DutyCycle
 	// AlwaysOn disables the duty cycle (for protocol tests).
 	AlwaysOn bool
@@ -84,6 +116,8 @@ type ServerConfig struct {
 	// SessionTTL bounds how long a bot session is kept before the
 	// server closes it; defaults to 4 h (bounds event volume).
 	SessionTTL time.Duration
+	// Relay, when non-nil, makes this server a P2P relay node.
+	Relay *RelayConfig
 }
 
 // IssuedCommand is a ground-truth record of an attack command that
@@ -96,9 +130,11 @@ type IssuedCommand struct {
 
 // Server is a live C2 on the virtual network.
 type Server struct {
-	cfg      ServerConfig
-	host     *simnet.Host
-	net      *simnet.Network
+	cfg   ServerConfig
+	proto Protocol // nil for families with no registered protocol
+	host  *simnet.Host
+	net   *simnet.Network
+
 	sessions map[*session]struct{}
 	// chains tracks every scheduled attack chain in creation order,
 	// so a study checkpoint can snapshot and re-arm them (see
@@ -107,14 +143,16 @@ type Server struct {
 	// Issued logs every command actually delivered — the ground
 	// truth D-DDOS is validated against.
 	Issued []IssuedCommand
+
+	// upstream is the relay's current upstream connection.
+	upstream *simnet.Conn
 }
 
 type session struct {
-	srv   *Server
-	conn  *simnet.Conn
-	ready bool
-	buf   []byte
-	nick  string
+	srv     *Server
+	conn    *simnet.Conn
+	ready   bool
+	machine spec.ServerSession
 	// ttlEv and kaEv are the session's pending clock events (TTL
 	// close, next keepalive); both are cancelled when the session
 	// closes so a dead session leaves nothing in the event queue.
@@ -131,11 +169,17 @@ func NewServer(n *simnet.Network, cfg ServerConfig) *Server {
 	if cfg.SessionTTL <= 0 {
 		cfg.SessionTTL = 4 * time.Hour
 	}
+	proto, _ := Lookup(cfg.Family)
 	if cfg.Duty.SlotLen <= 0 {
-		cfg.Duty = DefaultDutyCycle(cfg.Duty.Seed)
+		if proto != nil {
+			cfg.Duty = DutyCycleFrom(proto.Spec().Duty, cfg.Duty.Seed)
+		} else {
+			cfg.Duty = DefaultDutyCycle(cfg.Duty.Seed)
+		}
 	}
 	s := &Server{
 		cfg:      cfg,
+		proto:    proto,
 		net:      n,
 		host:     n.AddHost(cfg.Addr.IP),
 		sessions: make(map[*session]struct{}),
@@ -146,6 +190,18 @@ func NewServer(n *simnet.Network, cfg ServerConfig) *Server {
 	}
 	s.applyOnline()
 	s.scheduleFlips()
+	if cfg.Relay != nil && proto != nil {
+		// The upstream leg lives inside the relay's own lifetime:
+		// first dial at birth, no redials past death (see
+		// dialUpstream's Close handler). Without the gate a relay
+		// materialized a year before its birth would grind the event
+		// queue with failing five-minute redials the whole time.
+		if now := n.Clock.Now(); now.Before(cfg.Birth) {
+			n.Clock.Schedule(cfg.Birth, s.dialUpstream)
+		} else if now.Before(cfg.Death) {
+			s.dialUpstream()
+		}
+	}
 	return s
 }
 
@@ -198,6 +254,9 @@ func (s *Server) scheduleFlips() {
 // accept starts a protocol session for an inbound bot connection.
 func (s *Server) accept(local, remote simnet.Addr) simnet.ConnHandler {
 	sess := &session{srv: s}
+	if s.proto != nil {
+		sess.machine = s.proto.NewSession()
+	}
 	return simnet.ConnFuncs{
 		Connect: func(c *simnet.Conn) {
 			sess.conn = c
@@ -222,8 +281,10 @@ func (s *Server) accept(local, remote simnet.Addr) simnet.ConnHandler {
 }
 
 func (sess *session) onConnect() {
-	switch sess.srv.cfg.Family {
-	case FamilyGafgyt, FamilyDaddyl33t, FamilyTsunami:
+	if sess.srv.proto == nil {
+		return
+	}
+	if _, ok := sess.srv.proto.ServerKeepalive(); ok {
 		sess.scheduleKeepalive()
 	}
 }
@@ -234,66 +295,26 @@ func (sess *session) scheduleKeepalive() {
 		if _, live := srv.sessions[sess]; !live {
 			return
 		}
-		switch srv.cfg.Family {
-		case FamilyGafgyt:
-			sess.conn.Write([]byte(GafgytPing + "\n"))
-		case FamilyDaddyl33t:
-			sess.conn.Write([]byte(DaddyPing + "\n"))
-		case FamilyTsunami:
-			sess.conn.Write(IRCMessage{Command: "PING", Trailing: "c2"}.EncodeIRC())
+		if wire, ok := srv.proto.ServerKeepalive(); ok {
+			sess.conn.Write(wire)
 		}
 		sess.scheduleKeepalive()
 	})
 }
 
+// onData feeds inbound bytes to the protocol machine and applies its
+// events: replies go back on the wire, a Ready event registers the
+// bot.
 func (sess *session) onData(b []byte) {
-	switch sess.srv.cfg.Family {
-	case FamilyMirai:
-		if !sess.ready && IsMiraiHandshake(b) {
+	if sess.machine == nil {
+		return
+	}
+	for _, ev := range sess.machine.Data(b) {
+		if ev.Write != nil {
+			sess.conn.Write(ev.Write)
+		}
+		if ev.Ready {
 			sess.ready = true
-			return
-		}
-		if IsMiraiPing(b) {
-			sess.conn.Write(MiraiPing) // echo keepalive
-		}
-	case FamilyGafgyt:
-		sess.ready = true // any login line registers the bot
-	case FamilyDaddyl33t:
-		sess.buf = append(sess.buf, b...)
-		var lines []string
-		lines, sess.buf = Lines(sess.buf)
-		for _, ln := range lines {
-			if len(ln) >= 4 && ln[:4] == "l33t" {
-				sess.ready = true
-			}
-		}
-	case FamilyVPNFilter:
-		// Stage-2 distribution endpoint: answer beacons with a
-		// generic 200 so the bot holds the session.
-		if len(b) > 4 && string(b[:4]) == "GET " {
-			sess.conn.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"))
-			sess.ready = true
-		}
-	case FamilyTsunami:
-		sess.buf = append(sess.buf, b...)
-		var lines []string
-		lines, sess.buf = Lines(sess.buf)
-		for _, ln := range lines {
-			m, err := ParseIRC(ln)
-			if err != nil {
-				continue
-			}
-			switch m.Command {
-			case "NICK":
-				if len(m.Params) > 0 {
-					sess.nick = m.Params[0]
-				}
-				sess.conn.Write(IRCMessage{Prefix: "c2", Command: "001", Params: []string{sess.nick}, Trailing: "welcome"}.EncodeIRC())
-			case "JOIN":
-				sess.ready = true
-			case "PONG":
-				// keepalive answered; nothing to do
-			}
 		}
 	}
 }
@@ -321,13 +342,8 @@ func (s *Server) Issue(cmd Command) (int, error) {
 }
 
 func (s *Server) encode(cmd Command) ([]byte, error) {
-	switch s.cfg.Family {
-	case FamilyMirai:
-		return EncodeMiraiAttack(cmd)
-	case FamilyGafgyt:
-		return EncodeGafgytCommand(cmd)
-	case FamilyDaddyl33t:
-		return EncodeDaddyCommand(cmd)
+	if s.proto != nil && s.proto.CanIssue() {
+		return s.proto.EncodeCommand(cmd)
 	}
 	return nil, fmt.Errorf("c2: family %q cannot issue attacks", s.cfg.Family)
 }
@@ -338,10 +354,9 @@ func (s *Server) encode(cmd Command) ([]byte, error) {
 // transport (PRIVMSG for IRC, newline-terminated otherwise).
 func (s *Server) IssueText(line string) int {
 	var wire []byte
-	switch s.cfg.Family {
-	case FamilyTsunami:
-		wire = IRCMessage{Prefix: "op!op@c2", Command: "PRIVMSG", Params: []string{TsunamiChannel}, Trailing: line}.EncodeIRC()
-	default:
+	if s.proto != nil {
+		wire = s.proto.WrapText(line)
+	} else {
 		wire = append([]byte(line), '\n')
 	}
 	bots := 0
@@ -351,6 +366,76 @@ func (s *Server) IssueText(line string) int {
 		}
 	}
 	return bots
+}
+
+// ---- P2P relay upstream leg ----
+
+// dialUpstream connects the relay to its origin C2 as if it were a
+// bot: it logs in with a deterministic nick, answers keepalives via
+// the ordinary client machine, and schedules every received command
+// for downstream re-issue. The leg redials (on a timer) whenever it
+// drops — including while the relay's own host is dark, so the mesh
+// reconverges when duty cycles flip hosts back on.
+func (s *Server) dialUpstream() {
+	rc := s.cfg.Relay
+	redial := rc.RedialEvery
+	if redial <= 0 {
+		redial = 5 * time.Minute
+	}
+	issueEvery := rc.IssueEvery
+	if issueEvery <= 0 {
+		issueEvery = 15 * time.Minute
+	}
+	retries := rc.IssueRetries
+	if retries <= 0 {
+		retries = 130
+	}
+	client := s.proto.NewClient()
+	s.upstream = nil
+	s.host.DialTCP(rc.Upstream, simnet.ConnFuncs{
+		Connect: func(c *simnet.Conn) {
+			s.upstream = c
+			vars := spec.LoginVars{Nick: "relay|" + s.cfg.Addr.IP.String()}
+			for _, wire := range s.proto.Login(vars) {
+				c.Write(wire)
+			}
+		},
+		Data: func(c *simnet.Conn, b []byte) {
+			for _, ev := range client.Data(b) {
+				if ev.Write != nil {
+					c.Write(ev.Write)
+				}
+				if ev.Cmd != nil {
+					// Forward: the relay re-issues the command to its
+					// own bots until one picks it up. Chains are
+					// checkpointed like any scheduled attack.
+					s.ScheduleAttackEvery(s.net.Clock.Now(), *ev.Cmd, retries, issueEvery)
+				}
+			}
+		},
+		Close: func(c *simnet.Conn, err error) {
+			if s.upstream == c {
+				s.upstream = nil
+			}
+			// A failed dial lands here too (ErrTimeout/ErrRefused),
+			// so one redial timer covers both drop and failure. A
+			// relay past its death stops redialing for good.
+			if !s.net.Clock.Now().Before(s.cfg.Death) {
+				return
+			}
+			s.net.Clock.After(redial, func() {
+				if s.upstream == nil && s.net.Clock.Now().Before(s.cfg.Death) {
+					s.dialUpstream()
+				}
+			})
+		},
+	})
+}
+
+// UpstreamConnected reports whether the relay currently holds its
+// upstream session (false for non-relay servers).
+func (s *Server) UpstreamConnected() bool {
+	return s.upstream != nil && s.upstream.Established()
 }
 
 // attackChain is the tracked state of one scheduled attack: the

@@ -40,7 +40,7 @@ func TestMiraiSessionHandshakeAndPingEcho(t *testing.T) {
 			c.Write(MiraiPing)
 		},
 		Data: func(c *simnet.Conn, b []byte) {
-			if IsMiraiPing(b) {
+			if len(b) == 2 && b[0] == 0 && b[1] == 0 {
 				echoes++
 			}
 		},
@@ -63,7 +63,7 @@ func TestIssueDeliversCommandToReadyBots(t *testing.T) {
 	bot.DialTCP(srv.cfg.Addr, simnet.ConnFuncs{
 		Connect: func(c *simnet.Conn) { c.Write(MiraiHandshake) },
 		Data: func(c *simnet.Conn, b []byte) {
-			if cmd, err := DecodeMiraiAttack(b); err == nil {
+			if cmd, err := proto(t, FamilyMirai).DecodeCommand(b); err == nil {
 				got = cmd
 			}
 		},
@@ -338,7 +338,7 @@ func TestServerDeathMidSessionBotRotates(t *testing.T) {
 	var echoed bool
 	bot.DialTCP(simnet.AddrFrom("60.0.0.2", 23), simnet.ConnFuncs{
 		Connect: func(c *simnet.Conn) { c.Write(MiraiHandshake); c.Write(MiraiPing) },
-		Data:    func(c *simnet.Conn, b []byte) { echoed = IsMiraiPing(b) },
+		Data:    func(c *simnet.Conn, b []byte) { echoed = len(b) == 2 && b[0] == 0 && b[1] == 0 },
 	})
 	clock.RunFor(time.Minute)
 	if !echoed {

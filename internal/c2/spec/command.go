@@ -1,0 +1,85 @@
+package spec
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// AttackType is one of the eight observed DDoS attack types (§5.1).
+type AttackType uint8
+
+// The eight attack types of Figure 11.
+const (
+	AttackUDPFlood AttackType = iota
+	AttackSYNFlood
+	AttackTLS
+	AttackBlacknurse
+	AttackSTOMP
+	AttackVSE
+	AttackSTD
+	AttackNFO
+)
+
+// String names the attack type as the paper does.
+func (a AttackType) String() string {
+	switch a {
+	case AttackUDPFlood:
+		return "UDP Flood"
+	case AttackSYNFlood:
+		return "SYN Flood"
+	case AttackTLS:
+		return "TLS"
+	case AttackBlacknurse:
+		return "BLACKNURSE"
+	case AttackSTOMP:
+		return "STOMP"
+	case AttackVSE:
+		return "VSE"
+	case AttackSTD:
+		return "STD"
+	case AttackNFO:
+		return "NFO"
+	}
+	return fmt.Sprintf("AttackType(%d)", uint8(a))
+}
+
+// TargetProto returns the victim-side protocol the attack rides on,
+// the dimension of Figure 10.
+func (a AttackType) TargetProto() string {
+	switch a {
+	case AttackUDPFlood, AttackVSE, AttackSTD, AttackNFO:
+		return "UDP"
+	case AttackSYNFlood, AttackSTOMP:
+		return "TCP"
+	case AttackTLS:
+		// The daddyl33t TLS variant floods a UDP/DTLS port; the
+		// Mirai variant is TCP. Per-command Port semantics decide;
+		// the aggregate is labeled by the dominant UDP use.
+		return "UDP"
+	case AttackBlacknurse:
+		return "ICMP"
+	}
+	return "?"
+}
+
+// Command is a parsed DDoS command.
+type Command struct {
+	Attack   AttackType
+	Target   netip.Addr
+	Port     uint16 // 0 when the attack has no port (BLACKNURSE)
+	Duration time.Duration
+	// TCPTransport marks TLS commands aimed at a TCP service
+	// (Mirai's variant) rather than UDP/DTLS (daddyl33t's).
+	TCPTransport bool
+	// Raw is the wire form the command arrived in.
+	Raw []byte
+}
+
+// String renders the command for reports.
+func (c Command) String() string {
+	if c.Port == 0 {
+		return fmt.Sprintf("%s %s %ds", c.Attack, c.Target, int(c.Duration.Seconds()))
+	}
+	return fmt.Sprintf("%s %s:%d %ds", c.Attack, c.Target, c.Port, int(c.Duration.Seconds()))
+}

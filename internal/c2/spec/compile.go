@@ -1,0 +1,334 @@
+package spec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Compiled is an executable protocol: the codec, the login
+// sequence, and factories for the client- and server-side session
+// machines, all derived from one ProtocolSpec.
+type Compiled struct {
+	spec      ProtocolSpec
+	needsNick bool
+
+	// binary command tables
+	vecOf    map[AttackType]VectorSpec
+	attackOf map[uint8]VectorSpec
+	// text command tables
+	verbOf       map[AttackType]VerbSpec
+	attackOfVerb map[string]VerbSpec
+}
+
+// Name returns the family name.
+func (c *Compiled) Name() string { return c.spec.Name }
+
+// Spec returns the protocol's declarative source.
+func (c *Compiled) Spec() ProtocolSpec { return c.spec }
+
+// CanIssue reports whether the family has an attack-command codec.
+func (c *Compiled) CanIssue() bool { return c.spec.Commands != nil }
+
+// NeedsNick reports whether the login sequence references {nick},
+// so callers can avoid drawing nick randomness for families that
+// never use one.
+func (c *Compiled) NeedsNick() bool { return c.needsNick }
+
+// LoginVars are the values substituted into login templates.
+type LoginVars struct {
+	Variant string
+	Nick    string
+}
+
+// Login renders the session-opening wire sequence.
+func (c *Compiled) Login(v LoginVars) [][]byte {
+	out := make([][]byte, 0, len(c.spec.Login))
+	for _, tpl := range c.spec.Login {
+		s := strings.ReplaceAll(tpl, "{variant}", v.Variant)
+		s = strings.ReplaceAll(s, "{nick}", v.Nick)
+		out = append(out, []byte(s))
+	}
+	return out
+}
+
+// ClientKeepalive returns the bot-initiated keepalive wire and
+// cadence; ok is false for families whose bots only answer server
+// pings.
+func (c *Compiled) ClientKeepalive() (wire []byte, every time.Duration, ok bool) {
+	ka := c.spec.Keepalive
+	if ka.Client == "" {
+		return nil, 0, false
+	}
+	every = time.Duration(ka.ClientEverySecs) * time.Second
+	if every <= 0 {
+		every = time.Minute
+	}
+	return []byte(ka.Client), every, true
+}
+
+// ServerKeepalive returns the server→bot ping wire; ok is false for
+// families whose servers never ping.
+func (c *Compiled) ServerKeepalive() ([]byte, bool) {
+	if c.spec.Keepalive.Server == "" {
+		return nil, false
+	}
+	return []byte(c.spec.Keepalive.Server), true
+}
+
+// WrapText wraps a raw operator line per the family's transport:
+// PRIVMSG to the control channel for IRC, newline-terminated
+// otherwise.
+func (c *Compiled) WrapText(line string) []byte {
+	if c.spec.Framing == FramingIRC {
+		return IRCMessage{Prefix: "op!op@c2", Command: "PRIVMSG",
+			Params: []string{c.spec.Session.Channel}, Trailing: line}.EncodeIRC()
+	}
+	return append([]byte(line), '\n')
+}
+
+// ProbeMessages returns the weaponized-probe opening sequence, nil
+// when the spec declares none.
+func (c *Compiled) ProbeMessages() [][]byte {
+	if c.spec.Probe == nil {
+		return nil
+	}
+	out := make([][]byte, 0, len(c.spec.Probe.Messages))
+	for _, m := range c.spec.Probe.Messages {
+		out = append(out, []byte(m))
+	}
+	return out
+}
+
+// ProbeEngaged classifies peer data as C2-protocol engagement.
+// Specs without a probe rule treat any data as engagement.
+func (c *Compiled) ProbeEngaged(data []byte) bool {
+	if c.spec.Probe == nil {
+		return len(data) > 0
+	}
+	for _, m := range c.spec.Probe.Engage {
+		if m.Matches(data) {
+			return true
+		}
+	}
+	return false
+}
+
+// Signature labels a session's first outbound payload when it
+// matches the family's protocol artifact.
+func (c *Compiled) Signature(firstOut []byte) (string, bool) {
+	s := c.spec.Signature
+	if s == nil || !s.Match.Matches(firstOut) {
+		return "", false
+	}
+	return s.Label, true
+}
+
+// ---- command codec ----
+
+// EncodeCommand renders cmd in the family's wire encoding.
+func (c *Compiled) EncodeCommand(cmd Command) ([]byte, error) {
+	switch {
+	case c.vecOf != nil:
+		return c.encodeBinary(cmd)
+	case c.verbOf != nil:
+		return c.encodeText(cmd)
+	}
+	return nil, fmt.Errorf("%w: family %q has no command codec", ErrNotAttack, c.spec.Name)
+}
+
+// DecodeCommand parses the first attack command in data (text
+// grammars scan complete lines; binary grammars decode the frame).
+func (c *Compiled) DecodeCommand(data []byte) (*Command, error) {
+	switch {
+	case c.vecOf != nil:
+		return c.decodeBinary(data)
+	case c.verbOf != nil:
+		lines, rest := Lines(data)
+		if len(rest) > 0 {
+			lines = append(lines, string(rest)) // unterminated final line
+		}
+		var firstErr error
+		for _, ln := range lines {
+			cmd, err := c.ParseCommandLine(ln)
+			if err == nil {
+				return cmd, nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr == nil {
+			firstErr = ErrNotCommand
+		}
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("%w: family %q has no command codec", ErrNotCommand, c.spec.Name)
+}
+
+func (c *Compiled) encodeBinary(cmd Command) ([]byte, error) {
+	v, ok := c.vecOf[cmd.Attack]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v is not a %s attack", ErrNotAttack, cmd.Attack, c.spec.Name)
+	}
+	if !cmd.Target.Is4() {
+		return nil, fmt.Errorf("%w: target %v is not IPv4", ErrNotAttack, cmd.Target)
+	}
+	body := make([]byte, 0, 16)
+	body = binary.BigEndian.AppendUint32(body, uint32(cmd.Duration.Seconds()))
+	body = append(body, v.Vector, 1) // one target
+	ip := cmd.Target.As4()
+	body = append(body, ip[:]...)
+	body = append(body, 32) // /32
+	if cmd.Port != 0 {
+		body = append(body, 1, c.spec.Commands.Binary.DportOptKey, 2)
+		body = binary.BigEndian.AppendUint16(body, cmd.Port)
+	} else {
+		body = append(body, 0)
+	}
+	out := make([]byte, 2, 2+len(body))
+	binary.BigEndian.PutUint16(out, uint16(2+len(body)))
+	return append(out, body...), nil
+}
+
+func (c *Compiled) decodeBinary(b []byte) (*Command, error) {
+	if len(b) < 2 {
+		return nil, ErrShort
+	}
+	total := int(binary.BigEndian.Uint16(b))
+	if total > len(b) || total < 8 {
+		return nil, ErrShort
+	}
+	body := b[2:total]
+	if len(body) < 6 {
+		return nil, ErrShort
+	}
+	dur := time.Duration(binary.BigEndian.Uint32(body)) * time.Second
+	v, ok := c.attackOf[body[4]]
+	if !ok {
+		return nil, fmt.Errorf("%w: vector %d", ErrVector, body[4])
+	}
+	n := int(body[5])
+	pos := 6
+	if n < 1 || len(body) < pos+5*n+1 {
+		return nil, ErrShort
+	}
+	target := netip.AddrFrom4([4]byte(body[pos : pos+4]))
+	pos += 5 * n
+	cmd := &Command{Attack: v.Attack, Target: target, Duration: dur, Raw: b[:total]}
+	nOpts := int(body[pos])
+	pos++
+	for i := 0; i < nOpts; i++ {
+		if len(body) < pos+2 {
+			return nil, ErrShort
+		}
+		key, vlen := body[pos], int(body[pos+1])
+		pos += 2
+		if len(body) < pos+vlen {
+			return nil, ErrShort
+		}
+		if key == c.spec.Commands.Binary.DportOptKey && vlen == 2 {
+			cmd.Port = binary.BigEndian.Uint16(body[pos:])
+		}
+		pos += vlen
+	}
+	cmd.TCPTransport = v.TCPTransport
+	return cmd, nil
+}
+
+func (c *Compiled) encodeText(cmd Command) ([]byte, error) {
+	v, ok := c.verbOf[cmd.Attack]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v is not a %s attack", ErrNotAttack, cmd.Attack, c.spec.Name)
+	}
+	prefix := c.spec.Commands.Text.Prefix
+	if v.Portless {
+		return []byte(fmt.Sprintf("%s%s %s %d\n", prefix, v.Verb, cmd.Target, int(cmd.Duration.Seconds()))), nil
+	}
+	return []byte(fmt.Sprintf("%s%s %s %d %d\n", prefix, v.Verb, cmd.Target, cmd.Port, int(cmd.Duration.Seconds()))), nil
+}
+
+// ParseCommandLine parses one text-protocol line. Non-command
+// chatter returns ErrNotCommand; a prefixed-but-malformed line
+// returns ErrBadCommand.
+func (c *Compiled) ParseCommandLine(line string) (*Command, error) {
+	if c.verbOf == nil {
+		return nil, ErrNotCommand
+	}
+	line = strings.TrimSpace(line)
+	prefix := c.spec.Commands.Text.Prefix
+	body := line
+	if prefix != "" {
+		if !strings.HasPrefix(line, prefix) {
+			return nil, ErrNotCommand
+		}
+		body = line[len(prefix):]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return nil, ErrNotCommand
+	}
+	v, ok := c.attackOfVerb[fields[0]]
+	if !ok {
+		if prefix != "" {
+			// The line claimed to be a command (it carried the
+			// prefix) but the verb is unknown — malformed, not
+			// chatter. Bare-verb grammars treat it as chatter.
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("%w: %q", ErrBadCommand, line)
+			}
+			return nil, fmt.Errorf("%w: verb %q", ErrBadCommand, fields[0])
+		}
+		return nil, ErrNotCommand
+	}
+	if v.Portless {
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%w: %q", ErrBadCommand, line)
+		}
+		return parseIPPortSecs(v.Attack, fields[1], "0", fields[2], line)
+	}
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("%w: %q", ErrBadCommand, line)
+	}
+	return parseIPPortSecs(v.Attack, fields[1], fields[2], fields[3], line)
+}
+
+func parseIPPortSecs(attack AttackType, ipS, portS, secS, raw string) (*Command, error) {
+	ip, err := netip.ParseAddr(ipS)
+	if err != nil {
+		return nil, fmt.Errorf("%w: target %q", ErrBadCommand, ipS)
+	}
+	port, err := strconv.ParseUint(portS, 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("%w: port %q", ErrBadCommand, portS)
+	}
+	secs, err := strconv.Atoi(secS)
+	if err != nil || secs < 0 {
+		return nil, fmt.Errorf("%w: duration %q", ErrBadCommand, secS)
+	}
+	return &Command{
+		Attack:   attack,
+		Target:   ip,
+		Port:     uint16(port),
+		Duration: time.Duration(secs) * time.Second,
+		Raw:      []byte(raw),
+	}, nil
+}
+
+// Lines splits a text-protocol buffer into complete lines,
+// returning them and any trailing partial line — protocol machines
+// use it so they behave identically over message-preserving simnet
+// conns and real TCP streams.
+func Lines(buf []byte) (lines []string, rest []byte) {
+	start := 0
+	for i, b := range buf {
+		if b == '\n' {
+			lines = append(lines, strings.TrimRight(string(buf[start:i]), "\r"))
+			start = i + 1
+		}
+	}
+	return lines, buf[start:]
+}

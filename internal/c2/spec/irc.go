@@ -1,16 +1,13 @@
-package c2
+package spec
 
 import (
 	"fmt"
 	"strings"
 )
 
-// Tsunami speaks IRC (Table 6: "its communication over the IRC
-// protocol"). Only the handful of message types the bots and C2s
-// exchange are modeled: registration (NICK/USER), channel join,
-// server PING/PONG, and PRIVMSG carrying operator commands. No
-// Tsunami DDoS launches appear in the study's D-DDOS, so commands
-// are opaque strings here.
+// IRC-framed families (Tsunami lineage) exchange only the handful of
+// message types bots and C2s need: registration (NICK/USER), channel
+// join, server PING/PONG, and PRIVMSG carrying operator commands.
 
 // IRCMessage is one parsed IRC line.
 type IRCMessage struct {
@@ -47,13 +44,13 @@ func ParseIRC(line string) (IRCMessage, error) {
 	line = strings.TrimRight(line, "\r\n")
 	var m IRCMessage
 	if line == "" {
-		return m, fmt.Errorf("c2: empty IRC line")
+		return m, fmt.Errorf("spec: empty IRC line")
 	}
 	rest := line
 	if rest[0] == ':' {
 		sp := strings.IndexByte(rest, ' ')
 		if sp < 0 {
-			return m, fmt.Errorf("c2: IRC prefix without command: %q", line)
+			return m, fmt.Errorf("spec: IRC prefix without command: %q", line)
 		}
 		m.Prefix = rest[1:sp]
 		rest = rest[sp+1:]
@@ -64,15 +61,9 @@ func ParseIRC(line string) (IRCMessage, error) {
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return m, fmt.Errorf("c2: IRC line without command: %q", line)
+		return m, fmt.Errorf("spec: IRC line without command: %q", line)
 	}
 	m.Command = fields[0]
 	m.Params = fields[1:]
 	return m, nil
 }
-
-// Tsunami session constants.
-const (
-	// TsunamiChannel is the control channel bots join.
-	TsunamiChannel = "#tsunami"
-)

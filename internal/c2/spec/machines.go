@@ -1,0 +1,219 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+)
+
+// The protocol machines: pure byte-in/event-out state machines for
+// the bot side (ClientConn) and server side (ServerSession) of a
+// compiled protocol. The caller owns the connection, the clock, and
+// all side effects; a machine only says what to write and what state
+// transition the inbound bytes caused. That purity is what makes the
+// spec-driven sessions byte-identical across worker counts: the
+// machines cannot observe anything but their input.
+
+// ClientEvent is one consequence of inbound server data at the bot.
+// Exactly one field is meaningful per event.
+type ClientEvent struct {
+	// Write is wire bytes the bot must send back (keepalive answers,
+	// IRC registration steps).
+	Write []byte
+	// Cmd is a decoded DDoS command the bot must execute.
+	Cmd *Command
+	// Op is a raw operator line (IRC PRIVMSG payload) for the bot's
+	// command interpreter.
+	Op string
+}
+
+// ClientConn is the bot side of a protocol session.
+type ClientConn interface {
+	// Data consumes one inbound chunk and returns the resulting
+	// events in protocol order.
+	Data(b []byte) []ClientEvent
+}
+
+// ServerEvent is one consequence of inbound bot data at the server.
+type ServerEvent struct {
+	// Write is wire bytes the server must send back.
+	Write []byte
+	// Ready marks the session command-eligible (the bot logged in).
+	Ready bool
+}
+
+// ServerSession is the server side of a protocol session.
+type ServerSession interface {
+	Data(b []byte) []ServerEvent
+}
+
+// NewClient returns the bot-side machine for the protocol.
+func (c *Compiled) NewClient() ClientConn {
+	switch c.spec.Framing {
+	case FramingBinary:
+		return &binaryClient{c: c}
+	case FramingLines:
+		return &linesClient{c: c}
+	case FramingIRC:
+		return &ircClient{c: c}
+	}
+	return rawClient{}
+}
+
+// NewSession returns the server-side machine for the protocol.
+func (c *Compiled) NewSession() ServerSession {
+	return &serverSession{c: c}
+}
+
+// ---- client machines ----
+
+// binaryClient: exact keepalive chunks are answered (or swallowed);
+// anything else is tried as a command frame.
+type binaryClient struct{ c *Compiled }
+
+func (m *binaryClient) Data(b []byte) []ClientEvent {
+	ka := m.c.spec.Keepalive
+	if ka.Ping != "" && string(b) == ka.Ping {
+		if ka.Pong != "" {
+			return []ClientEvent{{Write: []byte(ka.Pong)}}
+		}
+		return nil // server echo of our own ping
+	}
+	if cmd, err := m.c.decodeBinary(b); err == nil {
+		return []ClientEvent{{Cmd: cmd}}
+	}
+	return nil
+}
+
+// linesClient: buffered line protocol; keepalive lines are answered,
+// other lines are tried as commands.
+type linesClient struct {
+	c   *Compiled
+	buf []byte
+}
+
+func (m *linesClient) Data(b []byte) []ClientEvent {
+	m.buf = append(m.buf, b...)
+	var lines []string
+	lines, m.buf = Lines(m.buf)
+	var events []ClientEvent
+	ka := m.c.spec.Keepalive
+	for _, ln := range lines {
+		if ka.Ping != "" && strings.TrimSpace(ln) == ka.Ping {
+			if ka.Pong != "" {
+				events = append(events, ClientEvent{Write: []byte(ka.Pong + "\n")})
+			}
+			continue
+		}
+		if cmd, err := m.c.ParseCommandLine(ln); err == nil {
+			events = append(events, ClientEvent{Cmd: cmd})
+		}
+	}
+	return events
+}
+
+// ircClient: the register/join/ping dance plus PRIVMSG operator
+// lines.
+type ircClient struct {
+	c   *Compiled
+	buf []byte
+}
+
+func (m *ircClient) Data(b []byte) []ClientEvent {
+	m.buf = append(m.buf, b...)
+	var lines []string
+	lines, m.buf = Lines(m.buf)
+	var events []ClientEvent
+	for _, ln := range lines {
+		msg, err := ParseIRC(ln)
+		if err != nil {
+			continue
+		}
+		switch msg.Command {
+		case "001":
+			events = append(events, ClientEvent{Write: IRCMessage{
+				Command: "JOIN", Params: []string{m.c.spec.Session.Channel}}.EncodeIRC()})
+		case "PING":
+			events = append(events, ClientEvent{Write: IRCMessage{
+				Command: "PONG", Trailing: msg.Trailing}.EncodeIRC()})
+		case "PRIVMSG":
+			events = append(events, ClientEvent{Op: msg.Trailing})
+		}
+	}
+	return events
+}
+
+// rawClient ignores everything (HTTP-ish beacon protocols: the bot
+// holds the session, the 200s need no answer).
+type rawClient struct{}
+
+func (rawClient) Data([]byte) []ClientEvent { return nil }
+
+// ---- server machine ----
+
+type serverSession struct {
+	c     *Compiled
+	ready bool
+	buf   []byte
+	nick  string
+}
+
+func (s *serverSession) Data(b []byte) []ServerEvent {
+	sp := s.c.spec.Session
+	switch sp.Ready {
+	case ReadyHandshake:
+		if !s.ready && bytes.HasPrefix(b, []byte(sp.ReadyPat)) {
+			s.ready = true
+			return []ServerEvent{{Ready: true}}
+		}
+		if e := sp.EchoExact; e != "" && string(b) == e {
+			return []ServerEvent{{Write: []byte(e)}}
+		}
+	case ReadyAnyData:
+		s.ready = true // any login line registers the bot
+		return []ServerEvent{{Ready: true}}
+	case ReadyLinePrefix:
+		var lines []string
+		s.buf = append(s.buf, b...)
+		lines, s.buf = Lines(s.buf)
+		var events []ServerEvent
+		for _, ln := range lines {
+			if strings.HasPrefix(ln, sp.ReadyPat) {
+				s.ready = true
+				events = append(events, ServerEvent{Ready: true})
+			}
+		}
+		return events
+	case ReadyChunkPrefix:
+		if len(b) > len(sp.ReadyPat) && string(b[:len(sp.ReadyPat)]) == sp.ReadyPat {
+			s.ready = true
+			return []ServerEvent{{Write: []byte(sp.ReadyReply)}, {Ready: true}}
+		}
+	case ReadyIRC:
+		var lines []string
+		s.buf = append(s.buf, b...)
+		lines, s.buf = Lines(s.buf)
+		var events []ServerEvent
+		for _, ln := range lines {
+			m, err := ParseIRC(ln)
+			if err != nil {
+				continue
+			}
+			switch m.Command {
+			case "NICK":
+				if len(m.Params) > 0 {
+					s.nick = m.Params[0]
+				}
+				events = append(events, ServerEvent{Write: IRCMessage{
+					Prefix: sp.ServerName, Command: "001",
+					Params: []string{s.nick}, Trailing: sp.WelcomeText}.EncodeIRC()})
+			case "JOIN":
+				s.ready = true
+				events = append(events, ServerEvent{Ready: true})
+			case "PONG":
+				// keepalive answered; nothing to do
+			}
+		}
+		return events
+	}
+	return nil
+}

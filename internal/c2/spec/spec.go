@@ -1,0 +1,472 @@
+// Package spec is the declarative heart of the C2 layer: a botnet
+// family's protocol — login grammar, command wire encodings,
+// keepalive cadence, probe handshake, duty-cycle model — is written
+// down as a ProtocolSpec value and compiled into the codec, the
+// server-side session machine, the bot-side client machine, and the
+// probe classifier that used to be four hand-written per-family
+// implementations. New families are data, not code.
+//
+// The package is pure mechanism over bytes: no clocks, no network,
+// no randomness. Everything stateful (sessions, servers, bots) lives
+// in the packages that drive the compiled machines.
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrSpec is the root of every specification error Compile returns.
+// Compile never panics: a spec decoded from arbitrary bytes either
+// compiles or fails with an error wrapping ErrSpec.
+var ErrSpec = errors.New("spec: invalid protocol spec")
+
+// Codec errors (shared by every compiled protocol).
+var (
+	// ErrShort rejects truncated binary command frames.
+	ErrShort = errors.New("spec: short command")
+	// ErrVector rejects unknown binary attack vectors.
+	ErrVector = errors.New("spec: unknown attack vector")
+	// ErrNotCommand marks protocol chatter that is not a DDoS
+	// command (keepalives, logins, unknown verbs on bare-verb
+	// grammars).
+	ErrNotCommand = errors.New("spec: line is not a DDoS command")
+	// ErrBadCommand marks a line that claims to be a command but is
+	// malformed (bad arity, unparsable target/port/duration).
+	ErrBadCommand = errors.New("spec: malformed DDoS command")
+	// ErrNotAttack rejects encoding an attack outside the family's
+	// command set.
+	ErrNotAttack = errors.New("spec: attack not in family command set")
+)
+
+// Framing names the transport grammar a protocol speaks.
+type Framing string
+
+// The four framings the compiler knows.
+const (
+	// FramingBinary is length-prefixed binary frames (Mirai lineage).
+	FramingBinary Framing = "binary"
+	// FramingLines is newline-terminated text lines.
+	FramingLines Framing = "lines"
+	// FramingIRC is IRC lines (CRLF, prefix/command/params/trailing).
+	FramingIRC Framing = "irc"
+	// FramingRaw is opaque chunks (HTTP-ish beacons).
+	FramingRaw Framing = "raw"
+)
+
+// MatchKind selects how a Match compares against wire bytes.
+type MatchKind string
+
+// Match kinds.
+const (
+	MatchExact    MatchKind = "exact"
+	MatchPrefix   MatchKind = "prefix"
+	MatchContains MatchKind = "contains"
+)
+
+// Match is a declarative byte-pattern predicate.
+type Match struct {
+	Kind MatchKind `json:"kind"`
+	Pat  string    `json:"pat"`
+}
+
+// Matches applies the predicate.
+func (m Match) Matches(data []byte) bool {
+	switch m.Kind {
+	case MatchExact:
+		return string(data) == m.Pat
+	case MatchPrefix:
+		return bytes.HasPrefix(data, []byte(m.Pat))
+	case MatchContains:
+		return bytes.Contains(data, []byte(m.Pat))
+	}
+	return false
+}
+
+// ReadyKind selects how the server-side session machine detects a
+// bot login (the transition that makes a session command-eligible).
+type ReadyKind string
+
+// Ready rules.
+const (
+	// ReadyHandshake: a chunk opening with Pat's bytes is the login
+	// (Mirai's 4-byte version handshake).
+	ReadyHandshake ReadyKind = "handshake"
+	// ReadyAnyData: any inbound data registers the bot (Gafgyt).
+	ReadyAnyData ReadyKind = "any-data"
+	// ReadyLinePrefix: a complete line opening with Pat (Daddyl33t's
+	// "l33t <nick>").
+	ReadyLinePrefix ReadyKind = "line-prefix"
+	// ReadyChunkPrefix: a chunk strictly longer than Pat opening
+	// with it; the session replies with SessionSpec.ReadyReply
+	// (VPNFilter's HTTP beacon).
+	ReadyChunkPrefix ReadyKind = "chunk-prefix"
+	// ReadyIRC: the NICK/welcome/JOIN register dance; requires
+	// FramingIRC and SessionSpec's ServerName/WelcomeText/Channel.
+	ReadyIRC ReadyKind = "irc"
+	// ReadyNone: sessions never become ready (P2P families with no
+	// client-server C2).
+	ReadyNone ReadyKind = "none"
+)
+
+// SessionSpec declares the server-side session machine.
+type SessionSpec struct {
+	// Ready is the login-detection rule.
+	Ready ReadyKind `json:"ready"`
+	// ReadyPat parameterizes handshake/line-prefix/chunk-prefix.
+	ReadyPat string `json:"ready_pat,omitempty"`
+	// ReadyReply is written when a chunk-prefix rule fires.
+	ReadyReply string `json:"ready_reply,omitempty"`
+	// EchoExact, when set, makes the server echo any chunk exactly
+	// equal to it (Mirai's 2-byte keepalive echo).
+	EchoExact string `json:"echo_exact,omitempty"`
+	// ServerName/WelcomeText/Channel parameterize the IRC machine.
+	ServerName  string `json:"server_name,omitempty"`
+	WelcomeText string `json:"welcome_text,omitempty"`
+	Channel     string `json:"channel,omitempty"`
+}
+
+// KeepaliveSpec declares both keepalive directions.
+type KeepaliveSpec struct {
+	// Server is the server→bot ping wire written on a timer; empty
+	// means the server never pings (binary/raw families).
+	Server string `json:"server,omitempty"`
+	// Ping/Pong is the bot's answer rule: an inbound line (lines
+	// framing, whitespace-trimmed) or exact chunk (binary framing)
+	// equal to Ping makes the bot write Pong. An empty Pong with a
+	// non-empty Ping means "recognize and swallow" (Mirai's echo of
+	// its own ping). IRC framing answers PING structurally instead.
+	Ping string `json:"ping,omitempty"`
+	Pong string `json:"pong,omitempty"`
+	// Client is a bot-initiated keepalive wire sent every
+	// ClientEverySecs seconds (default 60); empty means the bot only
+	// answers server pings.
+	Client          string `json:"client,omitempty"`
+	ClientEverySecs int    `json:"client_every_secs,omitempty"`
+}
+
+// CommandSpec declares the family's attack-command wire encoding.
+// Exactly one of Binary/Text is set.
+type CommandSpec struct {
+	Binary *BinaryCommandSpec `json:"binary,omitempty"`
+	Text   *TextCommandSpec   `json:"text,omitempty"`
+}
+
+// BinaryCommandSpec is the Mirai-lineage frame:
+//
+//	u16 total_len | u32 duration | u8 vector | u8 n_targets |
+//	n * (ipv4[4] | netmask u8) | u8 n_opts | n * (key u8 | len u8 | val)
+type BinaryCommandSpec struct {
+	// Vectors maps attack types onto wire vector ids, in the
+	// family's canonical order.
+	Vectors []VectorSpec `json:"vectors"`
+	// DportOptKey is the option key carrying the target port.
+	DportOptKey uint8 `json:"dport_opt_key"`
+}
+
+// VectorSpec is one binary attack-vector row.
+type VectorSpec struct {
+	Attack AttackType `json:"attack"`
+	Vector uint8      `json:"vector"`
+	// TCPTransport marks decoded commands of this vector as
+	// TCP-transported (Mirai's TLS variant).
+	TCPTransport bool `json:"tcp_transport,omitempty"`
+}
+
+// TextCommandSpec is the verb-grammar command line:
+//
+//	<prefix><VERB> <ip> [<port>] <secs>
+type TextCommandSpec struct {
+	// Prefix opens every command line ("!* " for Gafgyt; "" for
+	// bare-verb grammars). With a prefix, prefixed-but-malformed
+	// lines are ErrBadCommand; without one, unknown verbs are plain
+	// ErrNotCommand chatter.
+	Prefix string `json:"prefix,omitempty"`
+	// Verbs maps attack types onto verbs, in canonical order.
+	Verbs []VerbSpec `json:"verbs"`
+}
+
+// VerbSpec is one text-verb row.
+type VerbSpec struct {
+	Attack AttackType `json:"attack"`
+	Verb   string     `json:"verb"`
+	// Portless commands omit the port field (BLACKNURSE).
+	Portless bool `json:"portless,omitempty"`
+}
+
+// ProbeSpec declares the weaponized-probe handshake (§2.1's second
+// mode): the messages that elicit C2 engagement and the classifier
+// for the server's reaction.
+type ProbeSpec struct {
+	// Messages are the raw opening wires, sent in order.
+	Messages []string `json:"messages"`
+	// Engage: data matching any of these is protocol engagement.
+	Engage []Match `json:"engage"`
+}
+
+// SignatureSpec declares the traffic classifier's protocol artifact:
+// a session whose first outbound payload matches is labeled.
+type SignatureSpec struct {
+	Match Match  `json:"match"`
+	Label string `json:"label"`
+}
+
+// DutyModel is the per-slot Markov responsiveness chain behind the
+// paper's "elusive C2" finding (§3.2, Figure 4), as declarative
+// parameters. The clocked chain itself lives in the c2 package.
+type DutyModel struct {
+	// SlotHours is the chain's time step (the paper probes at 4h).
+	SlotHours float64 `json:"slot_hours"`
+	// RespAfterResp is P(responsive | previous slot responsive).
+	RespAfterResp float64 `json:"resp_after_resp"`
+	// RespAfterIdle is P(responsive | previous slot idle).
+	RespAfterIdle float64 `json:"resp_after_idle"`
+}
+
+// MultiSource modes: which variants rotate flood source ports.
+const (
+	MultiSourceNever  = ""       // fixed source port
+	MultiSourceAlways = "always" // every variant rotates
+	MultiSourceV2     = "v2"     // only the v2 variant rotates
+)
+
+// Topology values: the C2 shape world generation builds for the
+// family.
+const (
+	// TopologyClientServer is the default bots-dial-one-server shape.
+	TopologyClientServer = ""
+	// TopologyP2PRelay: bots dial relay nodes; relays forward
+	// commands from a hidden origin C2.
+	TopologyP2PRelay = "p2p-relay"
+	// TopologyDGA: C2 endpoints are DGA domains rotating on a
+	// seed-deterministic schedule.
+	TopologyDGA = "dga"
+)
+
+// ProtocolSpec is one family's complete declarative protocol.
+type ProtocolSpec struct {
+	// Name is the family name — the registry key and the label every
+	// dataset uses.
+	Name string `json:"name"`
+	// Transport is the Table 6 label (binary/text/irc/https/p2p).
+	Transport string `json:"transport"`
+	// Description is the family's Table 6 text, abridged.
+	Description string `json:"description,omitempty"`
+	// P2P marks families without client-server C2 (bots run the DHT
+	// loop instead of dialing the spec's protocol).
+	P2P bool `json:"p2p,omitempty"`
+	// Topology refines the C2 shape for scenario packs:
+	// "" (client-server), "p2p-relay", "dga".
+	Topology string `json:"topology,omitempty"`
+	// LaunchesAttacks marks families whose servers issue DDoS
+	// commands.
+	LaunchesAttacks bool `json:"launches_attacks,omitempty"`
+
+	// Framing selects the wire grammar.
+	Framing Framing `json:"framing"`
+	// Login is the bot's session-opening wire sequence; templates
+	// may reference {variant} and {nick}.
+	Login []string `json:"login,omitempty"`
+	// Session is the server-side machine.
+	Session SessionSpec `json:"session"`
+	// Keepalive covers both keepalive directions.
+	Keepalive KeepaliveSpec `json:"keepalive"`
+	// Commands is the attack command codec; nil for families that
+	// never issue attacks over this protocol.
+	Commands *CommandSpec `json:"commands,omitempty"`
+	// Probe is the weaponized-probe handshake; nil falls back to a
+	// generic 4-byte poke with any-data engagement.
+	Probe *ProbeSpec `json:"probe,omitempty"`
+	// Signature is the traffic classifier's artifact; nil means the
+	// family is classified by behavior only.
+	Signature *SignatureSpec `json:"signature,omitempty"`
+	// Duty is the default elusiveness model for the family's probed
+	// servers.
+	Duty DutyModel `json:"duty"`
+
+	// Artifacts are the strings a binary of the family carries in
+	// .rodata (drives binfmt encoding and YARA rule generation).
+	Artifacts []string `json:"artifacts,omitempty"`
+	// Ports are the listen ports the family's servers use.
+	Ports []uint16 `json:"ports,omitempty"`
+	// MultiSourcePorts picks the flood source-port mode.
+	MultiSourcePorts string `json:"multi_source_ports,omitempty"`
+}
+
+// loginVarPat lists the template variables Login may reference.
+var loginVars = []string{"{variant}", "{nick}"}
+
+// Compile validates the spec and returns the executable protocol.
+// It never panics; every failure wraps ErrSpec.
+func Compile(ps ProtocolSpec) (*Compiled, error) {
+	fail := func(format string, args ...any) (*Compiled, error) {
+		return nil, fmt.Errorf("%w: %s", ErrSpec, fmt.Sprintf(format, args...))
+	}
+	if ps.Name == "" {
+		return fail("missing name")
+	}
+	switch ps.Framing {
+	case FramingBinary, FramingLines, FramingIRC, FramingRaw:
+	default:
+		return fail("family %q: unknown framing %q", ps.Name, ps.Framing)
+	}
+	switch ps.Session.Ready {
+	case ReadyAnyData, ReadyNone, "":
+	case ReadyHandshake, ReadyLinePrefix, ReadyChunkPrefix:
+		if ps.Session.ReadyPat == "" {
+			return fail("family %q: ready rule %q needs ready_pat", ps.Name, ps.Session.Ready)
+		}
+	case ReadyIRC:
+		if ps.Framing != FramingIRC {
+			return fail("family %q: irc ready rule needs irc framing", ps.Name)
+		}
+		if ps.Session.Channel == "" {
+			return fail("family %q: irc ready rule needs a channel", ps.Name)
+		}
+	default:
+		return fail("family %q: unknown ready rule %q", ps.Name, ps.Session.Ready)
+	}
+	if ps.Keepalive.Pong != "" && ps.Keepalive.Ping == "" {
+		return fail("family %q: keepalive pong without ping", ps.Name)
+	}
+	if ps.Keepalive.ClientEverySecs < 0 {
+		return fail("family %q: negative client keepalive cadence", ps.Name)
+	}
+	for _, tpl := range ps.Login {
+		if err := checkTemplate(tpl); err != nil {
+			return fail("family %q: login template: %v", ps.Name, err)
+		}
+	}
+	c := &Compiled{spec: ps}
+	if ps.Commands != nil {
+		if (ps.Commands.Binary == nil) == (ps.Commands.Text == nil) {
+			return fail("family %q: commands need exactly one of binary/text", ps.Name)
+		}
+		if b := ps.Commands.Binary; b != nil {
+			if len(b.Vectors) == 0 {
+				return fail("family %q: binary commands without vectors", ps.Name)
+			}
+			c.vecOf = make(map[AttackType]VectorSpec, len(b.Vectors))
+			c.attackOf = make(map[uint8]VectorSpec, len(b.Vectors))
+			for _, v := range b.Vectors {
+				if _, dup := c.vecOf[v.Attack]; dup {
+					return fail("family %q: duplicate attack %v in vector table", ps.Name, v.Attack)
+				}
+				if _, dup := c.attackOf[v.Vector]; dup {
+					return fail("family %q: duplicate vector %d", ps.Name, v.Vector)
+				}
+				c.vecOf[v.Attack] = v
+				c.attackOf[v.Vector] = v
+			}
+		}
+		if t := ps.Commands.Text; t != nil {
+			if len(t.Verbs) == 0 {
+				return fail("family %q: text commands without verbs", ps.Name)
+			}
+			c.verbOf = make(map[AttackType]VerbSpec, len(t.Verbs))
+			c.attackOfVerb = make(map[string]VerbSpec, len(t.Verbs))
+			for _, v := range t.Verbs {
+				if v.Verb == "" || strings.ContainsAny(v.Verb, " \t\r\n") {
+					return fail("family %q: bad verb %q", ps.Name, v.Verb)
+				}
+				if _, dup := c.verbOf[v.Attack]; dup {
+					return fail("family %q: duplicate attack %v in verb table", ps.Name, v.Attack)
+				}
+				if _, dup := c.attackOfVerb[v.Verb]; dup {
+					return fail("family %q: duplicate verb %q", ps.Name, v.Verb)
+				}
+				c.verbOf[v.Attack] = v
+				c.attackOfVerb[v.Verb] = v
+			}
+		}
+	}
+	if p := ps.Probe; p != nil {
+		if len(p.Messages) == 0 {
+			return fail("family %q: probe without messages", ps.Name)
+		}
+		if len(p.Engage) == 0 {
+			return fail("family %q: probe without engagement rules", ps.Name)
+		}
+		for _, m := range p.Engage {
+			if err := checkMatch(m); err != nil {
+				return fail("family %q: probe engage: %v", ps.Name, err)
+			}
+		}
+	}
+	if s := ps.Signature; s != nil {
+		if err := checkMatch(s.Match); err != nil {
+			return fail("family %q: signature: %v", ps.Name, err)
+		}
+		if s.Label == "" {
+			return fail("family %q: signature without label", ps.Name)
+		}
+	}
+	d := ps.Duty
+	if d.SlotHours < 0 ||
+		d.RespAfterResp < 0 || d.RespAfterResp > 1 ||
+		d.RespAfterIdle < 0 || d.RespAfterIdle > 1 {
+		return fail("family %q: duty model out of range", ps.Name)
+	}
+	for _, port := range ps.Ports {
+		if port == 0 {
+			return fail("family %q: zero server port", ps.Name)
+		}
+	}
+	switch ps.MultiSourcePorts {
+	case MultiSourceNever, MultiSourceAlways, MultiSourceV2:
+	default:
+		return fail("family %q: unknown multi_source_ports mode %q", ps.Name, ps.MultiSourcePorts)
+	}
+	switch ps.Topology {
+	case TopologyClientServer, TopologyP2PRelay, TopologyDGA:
+	default:
+		return fail("family %q: unknown topology %q", ps.Name, ps.Topology)
+	}
+	for _, tpl := range ps.Login {
+		if strings.Contains(tpl, "{nick}") {
+			c.needsNick = true
+		}
+	}
+	return c, nil
+}
+
+// checkTemplate rejects login templates with unknown {var} refs.
+func checkTemplate(tpl string) error {
+	rest := tpl
+	for {
+		i := strings.IndexByte(rest, '{')
+		if i < 0 {
+			return nil
+		}
+		j := strings.IndexByte(rest[i:], '}')
+		if j < 0 {
+			return nil // unbalanced braces are literal bytes
+		}
+		ref := rest[i : i+j+1]
+		known := false
+		for _, v := range loginVars {
+			if ref == v {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown template variable %s", ref)
+		}
+		rest = rest[i+j+1:]
+	}
+}
+
+// checkMatch rejects degenerate match rules.
+func checkMatch(m Match) error {
+	switch m.Kind {
+	case MatchExact, MatchPrefix, MatchContains:
+	default:
+		return fmt.Errorf("unknown match kind %q", m.Kind)
+	}
+	if m.Pat == "" {
+		return fmt.Errorf("empty match pattern")
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// minimal returns the smallest spec Compile accepts.
+func minimal() ProtocolSpec {
+	return ProtocolSpec{Name: "t", Framing: FramingRaw}
+}
+
+func TestCompileMinimal(t *testing.T) {
+	c, err := Compile(minimal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "t" || c.CanIssue() || c.NeedsNick() {
+		t.Fatalf("compiled = %+v", c)
+	}
+}
+
+func TestCompileRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ProtocolSpec)
+	}{
+		{"missing name", func(p *ProtocolSpec) { p.Name = "" }},
+		{"unknown framing", func(p *ProtocolSpec) { p.Framing = "morse" }},
+		{"ready needs pat", func(p *ProtocolSpec) { p.Session.Ready = ReadyHandshake }},
+		{"irc ready needs irc framing", func(p *ProtocolSpec) {
+			p.Session.Ready = ReadyIRC
+			p.Session.Channel = "#x"
+		}},
+		{"irc ready needs channel", func(p *ProtocolSpec) {
+			p.Framing = FramingIRC
+			p.Session.Ready = ReadyIRC
+		}},
+		{"unknown ready rule", func(p *ProtocolSpec) { p.Session.Ready = "telepathy" }},
+		{"pong without ping", func(p *ProtocolSpec) { p.Keepalive.Pong = "PONG" }},
+		{"negative keepalive cadence", func(p *ProtocolSpec) { p.Keepalive.ClientEverySecs = -1 }},
+		{"bad login template", func(p *ProtocolSpec) { p.Login = []string{"hello {world}"} }},
+		{"commands need one codec", func(p *ProtocolSpec) { p.Commands = &CommandSpec{} }},
+		{"commands not both codecs", func(p *ProtocolSpec) {
+			p.Commands = &CommandSpec{Binary: &BinaryCommandSpec{}, Text: &TextCommandSpec{}}
+		}},
+		{"binary without vectors", func(p *ProtocolSpec) {
+			p.Commands = &CommandSpec{Binary: &BinaryCommandSpec{}}
+		}},
+		{"duplicate vector", func(p *ProtocolSpec) {
+			p.Commands = &CommandSpec{Binary: &BinaryCommandSpec{Vectors: []VectorSpec{
+				{Attack: AttackUDPFlood, Vector: 0}, {Attack: AttackSYNFlood, Vector: 0},
+			}}}
+		}},
+		{"duplicate attack", func(p *ProtocolSpec) {
+			p.Commands = &CommandSpec{Binary: &BinaryCommandSpec{Vectors: []VectorSpec{
+				{Attack: AttackUDPFlood, Vector: 0}, {Attack: AttackUDPFlood, Vector: 1},
+			}}}
+		}},
+		{"text without verbs", func(p *ProtocolSpec) {
+			p.Commands = &CommandSpec{Text: &TextCommandSpec{}}
+		}},
+		{"verb with whitespace", func(p *ProtocolSpec) {
+			p.Commands = &CommandSpec{Text: &TextCommandSpec{Verbs: []VerbSpec{
+				{Attack: AttackUDPFlood, Verb: "UDP FLOOD"},
+			}}}
+		}},
+		{"duplicate verb", func(p *ProtocolSpec) {
+			p.Commands = &CommandSpec{Text: &TextCommandSpec{Verbs: []VerbSpec{
+				{Attack: AttackUDPFlood, Verb: "X"}, {Attack: AttackSYNFlood, Verb: "X"},
+			}}}
+		}},
+		{"probe without messages", func(p *ProtocolSpec) {
+			p.Probe = &ProbeSpec{Engage: []Match{{Kind: MatchExact, Pat: "x"}}}
+		}},
+		{"probe without engage", func(p *ProtocolSpec) {
+			p.Probe = &ProbeSpec{Messages: []string{"x"}}
+		}},
+		{"probe bad match kind", func(p *ProtocolSpec) {
+			p.Probe = &ProbeSpec{Messages: []string{"x"}, Engage: []Match{{Kind: "regex", Pat: "x"}}}
+		}},
+		{"signature empty pattern", func(p *ProtocolSpec) {
+			p.Signature = &SignatureSpec{Match: Match{Kind: MatchPrefix}, Label: "l"}
+		}},
+		{"signature without label", func(p *ProtocolSpec) {
+			p.Signature = &SignatureSpec{Match: Match{Kind: MatchPrefix, Pat: "x"}}
+		}},
+		{"duty out of range", func(p *ProtocolSpec) { p.Duty.RespAfterResp = 1.5 }},
+		{"negative slot hours", func(p *ProtocolSpec) { p.Duty.SlotHours = -4 }},
+		{"zero port", func(p *ProtocolSpec) { p.Ports = []uint16{23, 0} }},
+		{"unknown multi-source mode", func(p *ProtocolSpec) { p.MultiSourcePorts = "sometimes" }},
+		{"unknown topology", func(p *ProtocolSpec) { p.Topology = "star" }},
+	}
+	for _, tc := range cases {
+		ps := minimal()
+		tc.mut(&ps)
+		if _, err := Compile(ps); !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: err = %v, want ErrSpec", tc.name, err)
+		}
+	}
+}
+
+func TestLoginTemplates(t *testing.T) {
+	ps := minimal()
+	ps.Login = []string{"HELLO {variant} {nick}\n", "literal {unclosed\n"}
+	c, err := Compile(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.NeedsNick() {
+		t.Fatal("{nick} template must set NeedsNick")
+	}
+	got := c.Login(LoginVars{Variant: "V2", Nick: "B|x86|0001"})
+	want := []string{"HELLO V2 B|x86|0001\n", "literal {unclosed\n"}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("login[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClientKeepaliveDefaults(t *testing.T) {
+	ps := minimal()
+	ps.Keepalive.Client = "\x00\x00"
+	c, _ := Compile(ps)
+	wire, every, ok := c.ClientKeepalive()
+	if !ok || string(wire) != "\x00\x00" || every != 60*time.Second {
+		t.Fatalf("keepalive = %q/%v/%v, want 60s default cadence", wire, every, ok)
+	}
+	ps.Keepalive.ClientEverySecs = 90
+	c, _ = Compile(ps)
+	if _, every, _ := c.ClientKeepalive(); every != 90*time.Second {
+		t.Fatalf("cadence = %v, want 90s", every)
+	}
+	if _, _, ok := MustCompileTest(t, minimal()).ClientKeepalive(); ok {
+		t.Fatal("keepalive reported without a client wire")
+	}
+}
+
+// MustCompileTest compiles or fails the test.
+func MustCompileTest(t *testing.T, ps ProtocolSpec) *Compiled {
+	t.Helper()
+	c, err := Compile(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMatchKinds(t *testing.T) {
+	data := []byte("BUILD GAFGYT V1\n")
+	cases := []struct {
+		m    Match
+		want bool
+	}{
+		{Match{Kind: MatchPrefix, Pat: "BUILD GAFGYT"}, true},
+		{Match{Kind: MatchPrefix, Pat: "GAFGYT"}, false},
+		{Match{Kind: MatchContains, Pat: "GAFGYT"}, true},
+		{Match{Kind: MatchExact, Pat: "BUILD GAFGYT V1\n"}, true},
+		{Match{Kind: MatchExact, Pat: "BUILD"}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.m.Matches(data); got != tc.want {
+			t.Fatalf("%+v on %q = %v, want %v", tc.m, data, got, tc.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	// Specs must survive JSON (the config-override path) without
+	// changing what they compile to.
+	ps := ProtocolSpec{
+		Name:    "jt",
+		Framing: FramingLines,
+		Login:   []string{"HI {nick}\n"},
+		Session: SessionSpec{Ready: ReadyLinePrefix, ReadyPat: "HI"},
+		Keepalive: KeepaliveSpec{
+			Server: "PING\n", Ping: "PING", Pong: "PONG!",
+		},
+		Commands: &CommandSpec{Text: &TextCommandSpec{
+			Prefix: "!* ",
+			Verbs:  []VerbSpec{{Attack: AttackUDPFlood, Verb: "UDP"}},
+		}},
+		Ports: []uint16{666},
+	}
+	blob, err := json.Marshal(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ProtocolSpec
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	c1 := MustCompileTest(t, ps)
+	c2 := MustCompileTest(t, back)
+	cmd := Command{Attack: AttackUDPFlood, Duration: time.Minute}
+	cmd.Target = cmdTarget(t)
+	w1, e1 := c1.EncodeCommand(cmd)
+	w2, e2 := c2.EncodeCommand(cmd)
+	if e1 != nil || e2 != nil || string(w1) != string(w2) {
+		t.Fatalf("round-tripped spec diverged: %q/%v vs %q/%v", w1, e1, w2, e2)
+	}
+}
+
+func TestLinesBuffering(t *testing.T) {
+	lines, rest := Lines([]byte("a\nb\r\nc"))
+	if len(lines) != 2 || lines[0] != "a" || lines[1] != "b" || string(rest) != "c" {
+		t.Fatalf("Lines = %v rest %q", lines, rest)
+	}
+}
+
+// FuzzSpecCompile feeds arbitrary JSON specs through Compile. The
+// contract under fuzz: Compile never panics, and every failure is a
+// typed error wrapping ErrSpec — no raw fmt.Errorf escapes.
+func FuzzSpecCompile(f *testing.F) {
+	seedSpecs := []ProtocolSpec{
+		minimal(),
+		{Name: "b", Framing: FramingBinary,
+			Session: SessionSpec{Ready: ReadyHandshake, ReadyPat: "\x00\x00\x00\x01"},
+			Commands: &CommandSpec{Binary: &BinaryCommandSpec{
+				Vectors:     []VectorSpec{{Attack: AttackUDPFlood, Vector: 0}},
+				DportOptKey: 7,
+			}}},
+		{Name: "l", Framing: FramingLines, Login: []string{"HI {nick}\n"},
+			Session: SessionSpec{Ready: ReadyLinePrefix, ReadyPat: "HI"},
+			Commands: &CommandSpec{Text: &TextCommandSpec{
+				Prefix: "!* ",
+				Verbs:  []VerbSpec{{Attack: AttackSTD, Verb: "STD", Portless: true}},
+			}}},
+		{Name: "bad", Framing: "morse"},
+		{Name: "i", Framing: FramingIRC,
+			Session: SessionSpec{Ready: ReadyIRC, Channel: "#x", ServerName: "c2", WelcomeText: "hi"}},
+	}
+	for _, ps := range seedSpecs {
+		blob, err := json.Marshal(ps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte(`{"name":"x","framing":"lines","topology":"dga"}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		var ps ProtocolSpec
+		if err := json.Unmarshal(blob, &ps); err != nil {
+			return // not a spec; Compile contract does not apply
+		}
+		c, err := Compile(ps)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("untyped compile error: %v", err)
+			}
+			return
+		}
+		// A compiled spec must also survive basic use without
+		// panicking, whatever the fuzzer put in it.
+		c.Login(LoginVars{Variant: "V", Nick: "N"})
+		c.ClientKeepalive()
+		c.ServerKeepalive()
+		c.ProbeMessages()
+		c.ProbeEngaged([]byte("probe data"))
+		c.Signature([]byte("\x00\x00\x00\x01"))
+		sess := c.NewSession()
+		cl := c.NewClient()
+		for _, chunk := range [][]byte{[]byte("NICK a\r\nJOIN #x\r\n"), {0, 0}, []byte("!* UDP 1.2.3.4 80 60\n")} {
+			sess.Data(chunk)
+			cl.Data(chunk)
+		}
+		if c.CanIssue() {
+			cmd := Command{Attack: AttackUDPFlood, Duration: time.Minute}
+			cmd.Target = cmdTarget(t)
+			if wire, err := c.EncodeCommand(cmd); err == nil {
+				if _, err := c.DecodeCommand(wire); err != nil &&
+					!errors.Is(err, ErrNotCommand) && !errors.Is(err, ErrBadCommand) &&
+					!errors.Is(err, ErrShort) && !errors.Is(err, ErrVector) {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+			}
+		}
+	})
+}
+
+func cmdTarget(t testing.TB) netip.Addr {
+	t.Helper()
+	return netip.MustParseAddr("192.0.2.7")
+}
+
+func TestDutyModelZeroMeansDefault(t *testing.T) {
+	// An all-zero duty model compiles (the server substitutes the
+	// paper's default cadence); partial garbage does not.
+	if _, err := Compile(minimal()); err != nil {
+		t.Fatal(err)
+	}
+	ps := minimal()
+	ps.Duty = DutyModel{SlotHours: 4, RespAfterResp: 0.09, RespAfterIdle: 0.30}
+	if _, err := Compile(ps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapTextIRCAndLines(t *testing.T) {
+	irc := minimal()
+	irc.Framing = FramingIRC
+	irc.Session = SessionSpec{Ready: ReadyIRC, Channel: "#c", ServerName: "srv", WelcomeText: "hi"}
+	c := MustCompileTest(t, irc)
+	got := string(c.WrapText("do things"))
+	if !strings.HasPrefix(got, ":op!op@c2 PRIVMSG #c :do things") || !strings.HasSuffix(got, "\r\n") {
+		t.Fatalf("irc wrap = %q", got)
+	}
+	lines := minimal()
+	lines.Framing = FramingLines
+	if got := string(MustCompileTest(t, lines).WrapText("x")); got != "x\n" {
+		t.Fatalf("line wrap = %q", got)
+	}
+}

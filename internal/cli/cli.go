@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"malnet/internal/core"
@@ -35,6 +36,7 @@ type StudyFlags struct {
 	Faults    bool
 	FaultSeed int64
 	Verbose   bool
+	Scenarios string
 
 	Checkpoint CheckpointFlags
 	Obs        ObsFlags
@@ -50,6 +52,7 @@ func NewStudyFlags(fs *flag.FlagSet) *StudyFlags {
 	fs.BoolVar(&f.Faults, "faults", false, "inject deterministic network faults (loss, resets, spikes, blackouts, slow drips)")
 	fs.Int64Var(&f.FaultSeed, "fault-seed", 0, "fault-plan seed (0 = -seed); same seed reproduces the same fault schedule at any worker count")
 	fs.BoolVar(&f.Verbose, "v", false, "print per-1000-sample throughput to stderr while the study runs")
+	fs.StringVar(&f.Scenarios, "scenarios", "", "comma-separated scenario-pack families to add to the world (e.g. wisp,sora)")
 	f.Checkpoint.Register(fs)
 	f.Obs.Register(fs)
 	return f
@@ -100,6 +103,18 @@ func (f *StudyFlags) Configs() (world.Config, core.StudyConfig, error) {
 	}
 	if f.Samples > 0 {
 		wcfg.TotalSamples = f.Samples
+	}
+	if f.Scenarios != "" {
+		for _, fam := range strings.Split(f.Scenarios, ",") {
+			if fam = strings.TrimSpace(fam); fam != "" {
+				wcfg.Scenario.Families = append(wcfg.Scenario.Families, fam)
+			}
+		}
+		wcfg.Scenario.Defaults()
+		// Mirror into the study config so the flag is covered by the
+		// checkpoint fingerprint even before the study adopts the
+		// world's copy.
+		scfg.Scenario = wcfg.Scenario
 	}
 	return wcfg, scfg, scfg.Validate()
 }

@@ -50,20 +50,16 @@ type C2Candidate struct {
 }
 
 // c2Signature inspects a session's first payloads for known C2
-// protocol openings (the profile-based half of the classifier).
+// protocol openings (the profile-based half of the classifier). The
+// per-family artifacts come from the spec registry; a generic
+// server-keepalive check backstops families without one.
 func c2Signature(firstOut, firstIn []byte) string {
-	switch {
-	case c2.IsMiraiHandshake(firstOut):
-		return "mirai-handshake"
-	case bytes.HasPrefix(firstOut, []byte("BUILD GAFGYT")):
-		return "gafgyt-login"
-	case bytes.HasPrefix(firstOut, []byte("l33t ")):
-		return "daddyl33t-login"
-	case bytes.HasPrefix(firstOut, []byte("NICK ")):
-		return "irc-register"
-	case bytes.Contains(firstOut, []byte("/user/vpnf")):
-		return "vpnfilter-beacon"
-	case bytes.Contains(firstIn, []byte("PING")) && !bytes.HasPrefix(firstOut, []byte("GET ")):
+	for _, p := range c2.Protocols() {
+		if label, ok := p.Signature(firstOut); ok {
+			return label
+		}
+	}
+	if bytes.Contains(firstIn, []byte("PING")) && !bytes.HasPrefix(firstOut, []byte("GET ")) {
 		return "server-keepalive"
 	}
 	return ""

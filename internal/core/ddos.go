@@ -205,29 +205,18 @@ func ExtractDDoS(rep *sandbox.Report, family string, cands []C2Candidate, cfg DD
 }
 
 // parseByProfile applies the family's protocol profile to one C2
-// message.
+// message. Only families whose spec declares a command grammar can
+// be profiled; the rest fall through to the behavioral heuristic.
 func parseByProfile(family string, data []byte) *c2.Command {
-	switch family {
-	case c2.FamilyMirai:
-		if cmd, err := c2.DecodeMiraiAttack(data); err == nil {
-			return cmd
-		}
-	case c2.FamilyGafgyt:
-		lines, _ := c2.Lines(data)
-		for _, ln := range lines {
-			if cmd, err := c2.ParseGafgytLine(ln); err == nil {
-				return cmd
-			}
-		}
-	case c2.FamilyDaddyl33t:
-		lines, _ := c2.Lines(data)
-		for _, ln := range lines {
-			if cmd, err := c2.ParseDaddyLine(ln); err == nil {
-				return cmd
-			}
-		}
+	p, ok := c2.Lookup(family)
+	if !ok || !p.CanIssue() {
+		return nil
 	}
-	return nil
+	cmd, err := p.DecodeCommand(data)
+	if err != nil {
+		return nil
+	}
+	return cmd
 }
 
 // attackFromTraffic infers the attack type from the flood's wire

@@ -32,6 +32,12 @@ type StudyConfig struct {
 	// Determinism holds the seeds and the execution knobs covered by
 	// the byte-identical-output contract.
 	Determinism DeterminismConfig `json:"determinism"`
+	// Scenario selects the spec-driven scenario packs the study's
+	// world was generated with. Part of the canonical serialization,
+	// so a resumed run refuses a checkpoint written under a different
+	// scenario. A zero value is filled from the world's config when
+	// the study starts.
+	Scenario world.ScenarioConfig `json:"scenario"`
 	// Durability makes the run resumable: snapshots written at
 	// day-batch boundaries. Where a snapshot lives never changes what
 	// the study computes, so the group is excluded from the canonical
@@ -204,6 +210,9 @@ func (cfg *StudyConfig) Validate() error {
 	}
 	if cfg.Durability.Resume && cfg.Durability.Dir == "" {
 		reject("durability.resume", "needs durability.dir")
+	}
+	if err := cfg.Scenario.Validate(); err != nil {
+		reject("scenario", err.Error())
 	}
 	if len(bad) == 0 {
 		return nil
@@ -402,6 +411,18 @@ func RunStudy(w *world.World, cfg StudyConfig) *Study {
 // study together with ctx's error. A nil error means the study ran
 // to completion.
 func RunStudyContext(ctx context.Context, w *world.World, cfg StudyConfig) (*Study, error) {
+	// The scenario section describes the world, so its source of
+	// truth is the world's config: a zero study scenario adopts it
+	// (putting it under the checkpoint fingerprint), a non-zero one
+	// must agree with it — a study claiming a different scenario than
+	// its world was generated with can only produce nonsense.
+	cfg.Scenario.Defaults() // normalize before comparing: Generate defaulted the world's copy
+	if cfg.Scenario.IsZero() {
+		cfg.Scenario = w.Cfg.Scenario
+	} else if !cfg.Scenario.Equal(w.Cfg.Scenario) {
+		return &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}},
+			fmt.Errorf("invalid study config: scenario (does not match the world's scenario configuration)")
+	}
 	if err := cfg.Validate(); err != nil {
 		return &Study{Cfg: cfg, W: w, C2s: map[string]*C2Record{}}, err
 	}

@@ -214,6 +214,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/c2", s.cached("c2_index", s.handleC2Index))
 	mux.HandleFunc("GET /v1/c2/{addr}", s.cached("c2_point", s.handleC2))
 	mux.HandleFunc("GET /v1/query", s.cached("query", s.handleQuery))
+	mux.HandleFunc("GET /v1/families", s.uncached("families", s.handleFamilies))
 	mux.HandleFunc("GET /v1/runs", s.uncached("runs", s.handleRuns))
 	mux.HandleFunc("GET /v1/diff", s.uncached("diff", s.handleDiff))
 	return mux

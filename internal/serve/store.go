@@ -228,6 +228,9 @@ func (s *Store) Families() []string {
 	return out
 }
 
+// FamilySamples reports how many D-Samples rows carry the family.
+func (s *Store) FamilySamples(family string) int { return len(s.byFamily[family]) }
+
 // Headline is the snapshot's precomputed headline findings.
 func (s *Store) Headline() results.Headlines { return s.headline }
 

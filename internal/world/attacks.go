@@ -85,7 +85,7 @@ func plannedAttacks() []plannedAttack {
 func (ps *populationState) mintAttackC2(slot attackC2Slot, anchor time.Time) *C2Spec {
 	rng := ps.rng
 	ip := ps.allocIP(slot.asn)
-	ports := familyC2Ports[slot.family]
+	ports := familyC2Ports(slot.family)
 	port := ports[rng.Intn(len(ports))]
 	cs := &C2Spec{
 		Address: fmt.Sprintf("%s:%d", ip, port),

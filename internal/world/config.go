@@ -1,6 +1,10 @@
 package world
 
-import "time"
+import (
+	"time"
+
+	"malnet/internal/c2"
+)
 
 // Config holds the calibration knobs. Defaults reproduce the paper's
 // population; ablation benches vary them.
@@ -31,6 +35,9 @@ type Config struct {
 	SandboxWindow time.Duration
 	// LiveWindow is the restricted live window for live-C2 samples.
 	LiveWindow time.Duration
+	// Scenario enables the optional spec-driven scenario packs
+	// (P2P relay mesh, DGA endpoint churn); zero disables them.
+	Scenario ScenarioConfig
 }
 
 // DefaultConfig returns the paper-calibrated world.
@@ -69,11 +76,12 @@ var familyShare = []struct {
 	{"vpnfilter", 0.04, false},
 }
 
-// familyC2Ports are the listen ports each family's servers use.
-var familyC2Ports = map[string][]uint16{
-	"mirai":     {23, 1312, 666, 606, 1791, 9506},
-	"gafgyt":    {666, 6738, 1014, 42516, 81},
-	"tsunami":   {6667},
-	"daddyl33t": {1312, 3074, 6969},
-	"vpnfilter": {443},
+// familyC2Ports returns the listen ports the family's servers use,
+// from its protocol spec.
+func familyC2Ports(family string) []uint16 {
+	p, ok := c2.Lookup(family)
+	if !ok {
+		return nil
+	}
+	return p.Spec().Ports
 }

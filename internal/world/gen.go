@@ -190,7 +190,7 @@ func (ps *populationState) newC2(family, variant string, date time.Time) *planne
 	asns, weights := ps.asWeightsAt(date)
 	asn := asns[pickWeighted(rng, weights)]
 	ip := ps.allocIP(asn)
-	ports := familyC2Ports[family]
+	ports := familyC2Ports(family)
 	port := ports[rng.Intn(len(ports))]
 
 	cs := &C2Spec{

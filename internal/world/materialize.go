@@ -20,8 +20,11 @@ import (
 // Generate builds a complete world from the configuration.
 func Generate(cfg Config) *World {
 	if cfg.TotalSamples <= 0 {
+		scen := cfg.Scenario
 		cfg = DefaultConfig(cfg.Seed)
+		cfg.Scenario = scen
 	}
+	cfg.Scenario.Defaults()
 	clock := simclock.New(StudyStart().Add(-24 * time.Hour))
 	netCfg := simnet.DefaultConfig()
 	netCfg.Seed = cfg.Seed
@@ -39,6 +42,15 @@ func Generate(cfg Config) *World {
 
 	ps := generatePopulation(cfg, reg, rng)
 	attacks := ps.planAttacks(reg)
+	// Scenario packs append to the finished base population on their
+	// own RNG streams: the base world is byte-identical with packs on
+	// or off. A bad scenario config is a programming error here — the
+	// CLI and StudyConfig.Validate reject it before generation.
+	scenAttacks, err := ps.generateScenarios(reg)
+	if err != nil {
+		panic("world: " + err.Error())
+	}
+	attacks = append(attacks, scenAttacks...)
 
 	w := &World{
 		Cfg:     cfg,
@@ -151,6 +163,13 @@ func (w *World) installServer(cs *C2Spec) {
 	}
 	if cs.Downloader {
 		scfg.Downloader = loaderFiles()
+	}
+	if cs.RelayUpstream != "" {
+		if up := w.C2s[cs.RelayUpstream]; up != nil {
+			scfg.Relay = &c2.RelayConfig{
+				Upstream: simnet.Addr{IP: up.IP, Port: up.Port},
+			}
+		}
 	}
 	w.Servers[cs.Address] = c2.NewServer(w.Net, scfg)
 }

@@ -1,0 +1,529 @@
+package world
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"malnet/internal/c2"
+	"malnet/internal/c2/spec"
+	"malnet/internal/detrand"
+	"malnet/internal/geo"
+)
+
+// Scenario packs extend the paper's seven-family population with
+// spec-driven C2 shapes the original taxonomy doesn't cover: a
+// P2P relay mesh (bots dial relay nodes that forward commands from a
+// hidden origin) and DGA-style endpoint churn (the C2 domain rotates
+// on a seed-deterministic schedule). Pack generation runs strictly
+// AFTER the base population and attack plan are laid out, on its own
+// detrand-derived RNG streams, so enabling a pack never perturbs a
+// single byte of the base world.
+
+// P2PScenario tunes the relay-mesh pack (families whose spec declares
+// Topology "p2p-relay").
+type P2PScenario struct {
+	// Cells is the number of independent relay meshes, each with its
+	// own hidden origin C2.
+	Cells int `json:"cells,omitempty"`
+	// RelaysPerCell is the relay fan-out under each origin.
+	RelaysPerCell int `json:"relays_per_cell,omitempty"`
+	// Samples is the number of pack binaries added to the feed.
+	Samples int `json:"samples,omitempty"`
+}
+
+// DGAScenario tunes the endpoint-churn pack (families whose spec
+// declares Topology "dga").
+type DGAScenario struct {
+	// RotateDays is the rotation period of the generated domains.
+	RotateDays int `json:"rotate_days,omitempty"`
+	// Windows is the number of consecutive rotation windows.
+	Windows int `json:"windows,omitempty"`
+	// Samples is the number of pack binaries added to the feed.
+	Samples int `json:"samples,omitempty"`
+}
+
+// ScenarioConfig selects and tunes the optional scenario packs. The
+// zero value disables everything; it is embedded in both world.Config
+// and core.StudyConfig so the study fingerprint covers it and a
+// resumed run refuses a changed scenario.
+type ScenarioConfig struct {
+	// Families enables packs by family name; each must resolve to a
+	// registered protocol (or a SpecOverrides entry). The spec's
+	// Topology picks the pack shape.
+	Families []string `json:"families,omitempty"`
+	// P2P tunes the relay-mesh pack.
+	P2P P2PScenario `json:"p2p"`
+	// DGA tunes the endpoint-churn pack.
+	DGA DGAScenario `json:"dga"`
+	// SpecOverrides maps family name -> ProtocolSpec JSON, letting a
+	// scenario introduce a custom spec-driven family without code.
+	// Each spec must compile and carry its key as Name; it is
+	// registered at world generation (idempotently — re-registering
+	// a byte-identical spec is a no-op, a conflicting one an error).
+	SpecOverrides map[string]string `json:"spec_overrides,omitempty"`
+}
+
+// IsZero reports whether the config is the all-disabled zero value.
+func (sc *ScenarioConfig) IsZero() bool {
+	return len(sc.Families) == 0 && len(sc.SpecOverrides) == 0 &&
+		sc.P2P == (P2PScenario{}) && sc.DGA == (DGAScenario{})
+}
+
+// Enabled reports whether family's pack is switched on.
+func (sc *ScenarioConfig) Enabled(family string) bool {
+	for _, f := range sc.Families {
+		if f == family {
+			return true
+		}
+	}
+	return false
+}
+
+// Defaults fills zero knobs with the pack defaults. Only the knobs
+// are touched; an empty Families list stays empty (disabled).
+func (sc *ScenarioConfig) Defaults() {
+	if len(sc.Families) == 0 {
+		return
+	}
+	if sc.P2P.Cells <= 0 {
+		sc.P2P.Cells = 2
+	}
+	if sc.P2P.RelaysPerCell <= 0 {
+		sc.P2P.RelaysPerCell = 3
+	}
+	if sc.P2P.Samples <= 0 {
+		sc.P2P.Samples = 24
+	}
+	if sc.DGA.RotateDays <= 0 {
+		sc.DGA.RotateDays = 7
+	}
+	if sc.DGA.Windows <= 0 {
+		sc.DGA.Windows = 6
+	}
+	if sc.DGA.Samples <= 0 {
+		sc.DGA.Samples = 30
+	}
+}
+
+// Validate checks the scenario config, returning an error naming the
+// offending field. Overrides are compiled (never registered) here, so
+// a config rejected at validation leaves no trace in the registry.
+func (sc *ScenarioConfig) Validate() error {
+	seen := map[string]bool{}
+	for _, f := range sc.Families {
+		if f == "" {
+			return fmt.Errorf("scenario.families: empty family name")
+		}
+		if seen[f] {
+			return fmt.Errorf("scenario.families: duplicate %q", f)
+		}
+		seen[f] = true
+		if _, ok := c2.Lookup(f); !ok {
+			if _, ok := sc.SpecOverrides[f]; !ok {
+				return fmt.Errorf("scenario.families: unknown family %q (not registered, no spec override)", f)
+			}
+		}
+	}
+	for name, raw := range sc.SpecOverrides {
+		ps, err := parseSpecOverride(name, raw)
+		if err != nil {
+			return err
+		}
+		if _, err := spec.Compile(ps); err != nil {
+			return fmt.Errorf("scenario.spec_overrides[%s]: %v", name, err)
+		}
+	}
+	if sc.P2P.Cells < 0 || sc.P2P.RelaysPerCell < 0 || sc.P2P.Samples < 0 {
+		return fmt.Errorf("scenario.p2p: negative knob")
+	}
+	if sc.DGA.RotateDays < 0 || sc.DGA.Windows < 0 || sc.DGA.Samples < 0 {
+		return fmt.Errorf("scenario.dga: negative knob")
+	}
+	return nil
+}
+
+// Equal reports configuration equality (field-wise; family order is
+// significant because it is generation order).
+func (sc *ScenarioConfig) Equal(other ScenarioConfig) bool {
+	a, _ := json.Marshal(sc)
+	b, _ := json.Marshal(&other)
+	return string(a) == string(b)
+}
+
+func parseSpecOverride(name, raw string) (spec.ProtocolSpec, error) {
+	var ps spec.ProtocolSpec
+	if err := json.Unmarshal([]byte(raw), &ps); err != nil {
+		return ps, fmt.Errorf("scenario.spec_overrides[%s]: bad JSON: %v", name, err)
+	}
+	if ps.Name != name {
+		return ps, fmt.Errorf("scenario.spec_overrides[%s]: spec name %q does not match key", name, ps.Name)
+	}
+	return ps, nil
+}
+
+// registerOverrides compiles and registers every spec override. A
+// family already registered with a byte-identical spec is a no-op, so
+// repeated world generation in one process stays legal; a conflicting
+// re-registration is an error.
+func (sc *ScenarioConfig) registerOverrides() error {
+	names := make([]string, 0, len(sc.SpecOverrides))
+	for name := range sc.SpecOverrides {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps, err := parseSpecOverride(name, sc.SpecOverrides[name])
+		if err != nil {
+			return err
+		}
+		if err := c2.RegisterSpec(ps); err != nil {
+			return fmt.Errorf("scenario.spec_overrides[%s]: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// scenarioRNG derives family's dedicated generation stream. Keyed off
+// the world seed and the family name only, so adding a second pack
+// never shifts the first one's draws.
+func scenarioRNG(seed int64, family string) *rand.Rand {
+	return rand.New(rand.NewSource(detrand.Seed(seed, "scenario", family)))
+}
+
+// generateScenarios appends the enabled packs' samples and C2s to the
+// population and returns their attack plans. Must run after the base
+// population and attack planning so the base world is byte-identical
+// with packs on or off.
+func (ps *populationState) generateScenarios(reg *geo.Registry) ([]AttackPlan, error) {
+	sc := ps.cfg.Scenario
+	if sc.IsZero() {
+		return nil, nil
+	}
+	sc.Defaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.registerOverrides(); err != nil {
+		return nil, err
+	}
+	var plans []AttackPlan
+	for _, family := range sc.Families {
+		p, ok := c2.Lookup(family)
+		if !ok {
+			return nil, fmt.Errorf("scenario: family %q not registered", family)
+		}
+		rng := scenarioRNG(ps.cfg.Seed, family)
+		switch p.Spec().Topology {
+		case spec.TopologyP2PRelay:
+			plans = append(plans, ps.genRelayMesh(family, sc.P2P, rng)...)
+		case spec.TopologyDGA:
+			plans = append(plans, ps.genDGAChurn(family, sc.DGA, rng)...)
+		default:
+			plans = append(plans, ps.genPlainPack(family, rng)...)
+		}
+	}
+	return plans, nil
+}
+
+// scenarioDates spreads n pack samples across the study calendar
+// between fractional positions lo and hi (0 = first week, 1 = last).
+func scenarioDates(n int, lo, hi float64, rng *rand.Rand) []time.Time {
+	weeks := Calendar()
+	first := int(lo * float64(len(weeks)-1))
+	last := int(hi * float64(len(weeks)-1))
+	if last <= first {
+		last = first + 1
+	}
+	span := last - first
+	dates := make([]time.Time, 0, n)
+	for i := 0; i < n; i++ {
+		w := weeks[first+i*span/n]
+		dates = append(dates, w.Start.AddDate(0, 0, rng.Intn(7)))
+	}
+	sort.Slice(dates, func(i, j int) bool { return dates[i].Before(dates[j]) })
+	return dates
+}
+
+// scenarioASN draws a hosting AS with the base world's weights but
+// the pack's own RNG.
+func (ps *populationState) scenarioASN(date time.Time, rng *rand.Rand) int {
+	asns, weights := ps.asWeightsAt(date)
+	return asns[pickWeighted(rng, weights)]
+}
+
+// scenarioTarget picks a victim address clear of the base plan's
+// allocations (the base uses AddrAt(100+i) with i < ~50).
+func scenarioTarget(reg *geo.Registry, i int) netip.Addr {
+	victims := geo.VictimASes()
+	as := reg.ByASN(victims[i%len(victims)].ASN)
+	return as.AddrAt(200 + i)
+}
+
+// scenarioAttack builds one pack attack plan using the family's own
+// command vocabulary.
+func scenarioAttack(p c2.Protocol, c2Addr string, day time.Time, target netip.Addr, rng *rand.Rand) (AttackPlan, bool) {
+	s := p.Spec()
+	if s.Commands == nil || s.Commands.Text == nil || len(s.Commands.Text.Verbs) == 0 {
+		return AttackPlan{}, false
+	}
+	verb := s.Commands.Text.Verbs[rng.Intn(len(s.Commands.Text.Verbs))]
+	cmd := c2.Command{
+		Attack:   verb.Attack,
+		Target:   target,
+		Port:     uint16(1024 + rng.Intn(60000)),
+		Duration: time.Duration(30+rng.Intn(90)) * time.Second,
+	}
+	return AttackPlan{
+		C2Address: c2Addr,
+		// Same shape as the base plan: early first attempt, dense
+		// 15-minute retries spanning ~32 h, so whichever 2-hour live
+		// window the pipeline opens that day overlaps an attempt.
+		When:    day.Add(time.Duration(5+rng.Intn(55)) * time.Minute),
+		Retries: 130,
+		Command: cmd,
+	}, true
+}
+
+// genRelayMesh builds the p2p-relay pack: per cell, one hidden origin
+// C2 (never referenced by a binary, so it stays out of intel and the
+// D-C2 tables) plus a fan of relay nodes that dial it; pack binaries
+// reference only the relays. Ground-truth attacks are scheduled on
+// the origin and ripple out through the mesh.
+func (ps *populationState) genRelayMesh(family string, knobs P2PScenario, rng *rand.Rand) []AttackPlan {
+	port := familyC2Ports(family)[0]
+	dates := scenarioDates(knobs.Samples, 0.1, 0.9, rng)
+	first, last := dates[0], dates[len(dates)-1]
+
+	type cell struct {
+		origin *C2Spec
+		relays []*C2Spec
+	}
+	cells := make([]cell, knobs.Cells)
+	for ci := range cells {
+		oIP := ps.allocIP(ps.scenarioASN(first, rng))
+		origin := &C2Spec{
+			Address: fmt.Sprintf("%s:%d", oIP, port),
+			IP:      oIP, Port: port, ASN: mustASN(ps.reg, oIP),
+			Family: family, Variant: "v1",
+			Sticky: true, AttackLauncher: true,
+			Birth: first.Add(-48 * time.Hour),
+			Death: last.Add(72 * time.Hour),
+		}
+		ps.c2s[origin.Address] = origin
+		ps.order = append(ps.order, origin)
+		cells[ci].origin = origin
+		for k := 0; k < knobs.RelaysPerCell; k++ {
+			rIP := ps.allocIP(ps.scenarioASN(first, rng))
+			relay := &C2Spec{
+				Address: fmt.Sprintf("%s:%d", rIP, port),
+				IP:      rIP, Port: port, ASN: mustASN(ps.reg, rIP),
+				Family: family, Variant: "v1",
+				Sticky: true,
+				// Relays outlive the origin on neither side: born
+				// after it (so the first upstream dial connects) and
+				// dead before it (so redials never outlive the mesh).
+				Birth:         first.Add(-24 * time.Hour),
+				Death:         last.Add(48 * time.Hour),
+				RelayUpstream: origin.Address,
+			}
+			ps.c2s[relay.Address] = relay
+			ps.order = append(ps.order, relay)
+			cells[ci].relays = append(cells[ci].relays, relay)
+		}
+	}
+
+	for i, date := range dates {
+		c := cells[i%len(cells)]
+		variant := "v1"
+		if rng.Intn(2) == 1 {
+			variant = "v2"
+		}
+		s := &SampleSpec{
+			Index: len(ps.samples), Date: date,
+			Family: family, Variant: variant,
+			Seed:      sampleSeed(ps.cfg.Seed, len(ps.samples)),
+			ScanPorts: []uint16{23},
+		}
+		// Each binary carries two relay addresses from its cell
+		// (mesh bootstrap list), rotating so every relay is
+		// referenced.
+		for k := 0; k < 2 && k < len(c.relays); k++ {
+			relay := c.relays[(i+k)%len(c.relays)]
+			s.C2Refs = append(s.C2Refs, relay.Address)
+			bind(relay, s.Index, date)
+		}
+		ps.samples = append(ps.samples, s)
+	}
+
+	// One ground-truth command per cell per third of the pack's
+	// sample days: issued by the hidden origin, observed by the
+	// pipeline only at the relays.
+	p, _ := c2.Lookup(family)
+	var plans []AttackPlan
+	ti := 0
+	for i, date := range dates {
+		if i%3 != 0 {
+			continue
+		}
+		c := cells[i%len(cells)]
+		if plan, ok := scenarioAttack(p, c.origin.Address, date, scenarioTarget(ps.reg, ti), rng); ok {
+			plans = append(plans, plan)
+			ti++
+		}
+	}
+	return plans
+}
+
+// genDGAChurn builds the dga pack: consecutive RotateDays-long
+// windows each get a fresh seed-deterministic domain with its own
+// short-lived server; binaries reference the window's domain plus the
+// next one (the generator's lookahead), so the referenced endpoint
+// set churns on schedule.
+func (ps *populationState) genDGAChurn(family string, knobs DGAScenario, rng *rand.Rand) []AttackPlan {
+	port := familyC2Ports(family)[0]
+	rotate := time.Duration(knobs.RotateDays) * 24 * time.Hour
+	// The campaign occupies a contiguous stretch starting a quarter
+	// into the study.
+	weeks := Calendar()
+	epoch := weeks[len(weeks)/4].Start
+	span := time.Duration(knobs.Windows) * rotate
+
+	windows := make([]*C2Spec, knobs.Windows)
+	for i := range windows {
+		start := epoch.Add(time.Duration(i) * rotate)
+		ip := ps.allocIP(ps.scenarioASN(start, rng))
+		domain := dgaDomain(ps.cfg.Seed, family, i)
+		cs := &C2Spec{
+			Address: fmt.Sprintf("%s:%d", domain, port),
+			IsDNS:   true, Domain: domain,
+			IP: ip, Port: port, ASN: mustASN(ps.reg, ip),
+			Family: family, Variant: "v1",
+			AttackLauncher: true,
+			// Alive only for its window (plus slack): the churn IS
+			// the lifespan schedule.
+			Birth: start.Add(-6 * time.Hour),
+			Death: start.Add(rotate).Add(6 * time.Hour),
+		}
+		ps.c2s[cs.Address] = cs
+		ps.order = append(ps.order, cs)
+		ps.dns[domain] = ip
+		windows[i] = cs
+	}
+
+	for i := 0; i < knobs.Samples; i++ {
+		offset := time.Duration(float64(span) * float64(i) / float64(knobs.Samples))
+		date := epoch.Add(offset).Truncate(24 * time.Hour).Add(time.Duration(rng.Intn(20)) * time.Hour)
+		win := int(date.Sub(epoch) / rotate)
+		if win < 0 {
+			win = 0
+		}
+		if win >= len(windows) {
+			win = len(windows) - 1
+		}
+		variant := "v1"
+		if rng.Intn(2) == 1 {
+			variant = "v2"
+		}
+		s := &SampleSpec{
+			Index: len(ps.samples), Date: date,
+			Family: family, Variant: variant,
+			Seed:      sampleSeed(ps.cfg.Seed, len(ps.samples)),
+			ScanPorts: []uint16{23, 2323},
+		}
+		// Current window's domain first, then the generator's next
+		// output: a binary caught late in a window already knows the
+		// upcoming endpoint.
+		s.C2Refs = append(s.C2Refs, windows[win].Address)
+		bind(windows[win], s.Index, date)
+		if win+1 < len(windows) {
+			s.C2Refs = append(s.C2Refs, windows[win+1].Address)
+			bind(windows[win+1], s.Index, date)
+		}
+		ps.samples = append(ps.samples, s)
+	}
+
+	// One command per window, anchored to a sample day inside it.
+	p, _ := c2.Lookup(family)
+	var plans []AttackPlan
+	for i, cs := range windows {
+		if len(cs.SampleIdx) == 0 {
+			continue
+		}
+		day := ps.samples[cs.SampleIdx[0]].Date
+		if plan, ok := scenarioAttack(p, cs.Address, day, scenarioTarget(ps.reg, 100+i), rng); ok {
+			plans = append(plans, plan)
+		}
+	}
+	return plans
+}
+
+// genPlainPack is the fallback for enabled families with the default
+// client-server topology (e.g. a SpecOverrides-defined family): a
+// small sample population bound to fresh per-family servers.
+func (ps *populationState) genPlainPack(family string, rng *rand.Rand) []AttackPlan {
+	ports := familyC2Ports(family)
+	if len(ports) == 0 {
+		return nil
+	}
+	port := ports[0]
+	const n = 12
+	dates := scenarioDates(n, 0.1, 0.9, rng)
+	first, last := dates[0], dates[len(dates)-1]
+	ip := ps.allocIP(ps.scenarioASN(first, rng))
+	cs := &C2Spec{
+		Address: fmt.Sprintf("%s:%d", ip, port),
+		IP:      ip, Port: port, ASN: mustASN(ps.reg, ip),
+		Family: family, Variant: "v1",
+		Sticky: true, AttackLauncher: true,
+		Birth: first.Add(-24 * time.Hour),
+		Death: last.Add(48 * time.Hour),
+	}
+	ps.c2s[cs.Address] = cs
+	ps.order = append(ps.order, cs)
+	for _, date := range dates {
+		s := &SampleSpec{
+			Index: len(ps.samples), Date: date,
+			Family: family, Variant: "v1",
+			Seed:      sampleSeed(ps.cfg.Seed, len(ps.samples)),
+			C2Refs:    []string{cs.Address},
+			ScanPorts: []uint16{23},
+		}
+		bind(cs, s.Index, date)
+		ps.samples = append(ps.samples, s)
+	}
+	p, _ := c2.Lookup(family)
+	var plans []AttackPlan
+	if plan, ok := scenarioAttack(p, cs.Address, dates[0], scenarioTarget(ps.reg, 150), rng); ok {
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// dgaDomain derives window i's domain for family: 12 base-26 letters
+// from a keyed hash, plus a family-scoped zone. A pure function of
+// (seed, family, window) — the "algorithm" both sides of a real DGA
+// share.
+func dgaDomain(seed int64, family string, i int) string {
+	h := detrand.Hash64(seed, "dga", fmt.Sprintf("%s/%d", family, i))
+	label := make([]byte, 12)
+	for j := range label {
+		label[j] = byte('a' + h%26)
+		h /= 26
+		if h == 0 {
+			h = detrand.Hash64(seed, "dga2", fmt.Sprintf("%s/%d/%d", family, i, j))
+		}
+	}
+	return fmt.Sprintf("%s.%s-gen.xyz", label, family)
+}
+
+// mustASN resolves the hosting AS of an allocated address.
+func mustASN(reg *geo.Registry, ip netip.Addr) int {
+	if as, ok := reg.Lookup(ip); ok {
+		return as.ASN
+	}
+	return 0
+}

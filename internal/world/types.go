@@ -76,6 +76,10 @@ type C2Spec struct {
 	Downloader bool
 	// Elusive applies the harsh duty cycle (the D-PC2 population).
 	Elusive bool
+	// RelayUpstream, when set, makes the server a P2P relay node:
+	// it phones this origin C2 address for commands and re-issues
+	// them to its own bot sessions (the p2p-relay scenario pack).
+	RelayUpstream string
 }
 
 // LiveAt reports whether the server exists at t (duty cycle aside).

@@ -147,8 +147,8 @@ func (s *Set) FamilyOf(data []byte) string {
 }
 
 // IoTFamilies returns the crowd-sourced-style rule set covering the
-// seven families of the study (Table 6), keyed on the artifacts real
-// samples of each family carry.
+// seven families of the study (Table 6) plus the scenario-pack
+// families, keyed on the artifacts real samples of each family carry.
 func IoTFamilies() *Set {
 	elf := MustHex("elf_magic", "7f454c46")
 	return NewSet(
@@ -185,6 +185,17 @@ func IoTFamilies() *Set {
 		Rule{
 			Name: "vpnfilter_apt", Tags: []string{"family:vpnfilter"},
 			Patterns: []Pattern{elf, Text("run", "/var/run/vpnfilterw"), Text("stage1", "vpnfilter-stage1")},
+			Cond:     AtLeast(2),
+		},
+		// Scenario-pack families (spec-driven; see internal/c2/builtin.go).
+		Rule{
+			Name: "wisp_relay_mesh", Tags: []string{"family:wisp"},
+			Patterns: []Pattern{elf, Text("join", "JOIN.MESH"), Text("mesh", "wisp.mesh"), Text("seed", "seed.node")},
+			Cond:     AtLeast(2),
+		},
+		Rule{
+			Name: "sora_dga", Tags: []string{"family:sora"},
+			Patterns: []Pattern{elf, Text("auth", "sora auth"), Text("dga", "dga.gen"), Text("dl", "sora.dl")},
 			Cond:     AtLeast(2),
 		},
 	)

@@ -21,8 +21,8 @@ tmp="$(mktemp -d)"
 daemon_pid=""
 trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
 
-echo "running the fixture study (-short, checkpointed, lake-committed)..." >&2
-go run ./cmd/malnet -short -checkpoint-dir "$tmp/ckpt" -out "$tmp/out" \
+echo "running the fixture study (-short, scenario-packed, checkpointed, lake-committed)..." >&2
+go run ./cmd/malnet -short -scenarios wisp,sora -checkpoint-dir "$tmp/ckpt" -out "$tmp/out" \
   -lake-dir "$tmp/lake" -lake-run smoke >/dev/null
 
 echo "starting malnetd..." >&2
@@ -81,9 +81,13 @@ check serve_samples.json "/v1/samples?family=mirai&limit=2"
 check serve_query_count.json "/v1/query?q=%7C%20count()%20by%20family"
 check serve_query_filter.json "/v1/query?q=family%3D%3D%22mirai%22%20and%20day%20in%200..365%20%7C%20count()%20by%20c2"
 check serve_query_topk.json "/v1/query?q=%7C%20topk(3)%20by%20attack"
+# The spec registry joined with the scenario-packed dataset: wisp's
+# relay mesh and sora's DGA churn must show up with nonzero counts.
+check serve_families.json "/v1/families"
 # A malformed expression must be a stable 400, not a 500 — the error
 # body (with the parser's position) is part of the API surface.
 check_status serve_query_bad.json 400 "/v1/query?q=family%3D%3D"
+check_status serve_families_bad.json 400 "/v1/families?bogus=1"
 # Lake-only surfaces must be stable 4xx in directory mode, not 500s.
 check_status serve_runs_nonlake.json 404 "/v1/runs"
 check_status serve_selector_nonlake.json 400 "/v1/headline?run=main"
@@ -165,6 +169,7 @@ check serve_headline.json "/v1/headline?run=main"
 check serve_headline.json "/v1/headline?asof=365"
 check serve_samples.json "/v1/samples?family=mirai&limit=2&run=smoke"
 check serve_query_count.json "/v1/query?q=%7C%20count()%20by%20family&run=main"
+check serve_families.json "/v1/families?run=main"
 # Time travel to mid-study: asof=100 resolves the newest commit at or
 # before day 100, a generation the directory daemon never served.
 check serve_asof_headline.json "/v1/headline?asof=100"
